@@ -1,0 +1,99 @@
+(* Benchmark harness.
+
+   Two parts:
+
+   1. Bechamel micro-benchmarks — one Test.make per paper table/figure,
+      each timing the simulation workload that regenerates that item (a
+      single representative data point, so the suite completes quickly).
+      This measures the *harness* cost on the host machine.
+
+   2. The actual reproduction: every figure and table regenerated at the
+      default sweep options — the output to compare against the paper
+      (also recorded in EXPERIMENTS.md). *)
+
+open Bechamel
+open Bechamel.Toolkit
+open Pnp_engine
+open Pnp_harness
+
+let quickest =
+  {
+    Pnp_figures.Opts.max_procs = 4;
+    seeds = 1;
+    warmup = Pnp_util.Units.ms 100.0;
+    measure = Pnp_util.Units.ms 150.0;
+  }
+
+let cfg_point ?(arch = Arch.challenge_100) ?(procs = 4) ?(side = Config.Send)
+    ?(protocol = Config.Tcp) ?(checksum = true) ?(lock_disc = Lock.Unfair)
+    ?(tcp_locking = Pnp_proto.Tcp.One) ?(assume_in_order = false) ?(ticketing = false)
+    ?(refcnt_mode = Atomic_ctr.Ll_sc) ?(message_caching = true) ?(connections = 1) () =
+  Config.v ~arch ~procs ~side ~protocol ~payload:4096 ~checksum ~lock_disc ~tcp_locking
+    ~assume_in_order ~ticketing ~refcnt_mode ~message_caching ~connections
+    ~warmup:quickest.Pnp_figures.Opts.warmup ~measure:quickest.Pnp_figures.Opts.measure ()
+
+let point name cfg =
+  Test.make ~name (Staged.stage (fun () -> ignore (Run.run cfg)))
+
+let tests =
+  Test.make_grouped ~name:"figures"
+    [
+      point "fig2-3:udp-send" (cfg_point ~protocol:Config.Udp ~side:Config.Send ());
+      point "fig4-5:udp-recv" (cfg_point ~protocol:Config.Udp ~side:Config.Recv ());
+      point "fig6-7:tcp-send" (cfg_point ~side:Config.Send ());
+      point "fig8-9:tcp-recv" (cfg_point ~side:Config.Recv ());
+      point "fig10:mcs-recv" (cfg_point ~side:Config.Recv ~lock_disc:Lock.Fifo ());
+      point "table1:ooo" (cfg_point ~side:Config.Recv ~procs:4 ());
+      point "fig11:ticketing" (cfg_point ~side:Config.Recv ~ticketing:true ());
+      point "send-ooo:wire" (cfg_point ~side:Config.Send ~procs:4 ());
+      point "fig12:multiconn"
+        (cfg_point ~side:Config.Recv ~lock_disc:Lock.Fifo ~connections:4 ());
+      point "fig13:tcp6-send" (cfg_point ~side:Config.Send ~tcp_locking:Pnp_proto.Tcp.Six ());
+      point "fig14:tcp6-recv" (cfg_point ~side:Config.Recv ~tcp_locking:Pnp_proto.Tcp.Six ());
+      point "fig15:locked-refs" (cfg_point ~refcnt_mode:Atomic_ctr.Locked ());
+      point "fig16:no-caching" (cfg_point ~message_caching:false ());
+      point "fig17-18:power-series"
+        (cfg_point ~arch:Arch.power_series_33 ~side:Config.Recv ());
+      Test.make ~name:"micro-cksum"
+        (Staged.stage (fun () ->
+             ignore (Pnp_figures.Fig_micro.checksum_bandwidth_data quickest)));
+      point "ext-clp"
+        (Config.v ~protocol:Config.Tcp ~side:Config.Recv ~payload:4096 ~checksum:true
+           ~lock_disc:Lock.Fifo ~connections:8 ~placement:Config.Connection_level
+           ~skew:1.0 ~offered_mbps:360.0 ~procs:4
+           ~warmup:quickest.Pnp_figures.Opts.warmup
+           ~measure:quickest.Pnp_figures.Opts.measure ());
+      point "ext-grant" (cfg_point ~side:Config.Recv ~lock_disc:Lock.Barging ());
+      point "ext-jitter" (cfg_point ~side:Config.Recv ~lock_disc:Lock.Fifo ());
+      point "ext-cksum-lock"
+        (Config.v ~protocol:Config.Tcp ~side:Config.Recv ~payload:4096 ~checksum:true
+           ~lock_disc:Lock.Fifo ~cksum_under_lock:true ~procs:4
+           ~warmup:quickest.Pnp_figures.Opts.warmup
+           ~measure:quickest.Pnp_figures.Opts.measure ());
+      point "ext-pres"
+        (Config.v ~protocol:Config.Udp ~side:Config.Recv ~payload:4096 ~checksum:true
+           ~presentation:true ~procs:4 ~warmup:quickest.Pnp_figures.Opts.warmup
+           ~measure:quickest.Pnp_figures.Opts.measure ());
+    ]
+
+let run_bechamel () =
+  let cfg = Benchmark.cfg ~limit:8 ~quota:(Time.second 2.0) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let results =
+    Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+      (Instance.monotonic_clock) raw
+  in
+  Printf.printf "%-28s %16s\n" "benchmark" "host ms/run";
+  Hashtbl.iter
+    (fun name ols ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] -> Printf.printf "%-28s %16.2f\n" name (est /. 1e6)
+      | _ -> Printf.printf "%-28s %16s\n" name "n/a")
+    results;
+  flush stdout
+
+let () =
+  Printf.printf "### Bechamel: host cost of regenerating each figure/table ###\n%!";
+  run_bechamel ();
+  Printf.printf "\n### Reproduction: every figure and table ###\n%!";
+  Pnp_figures.Registry.run_all Pnp_figures.Opts.default

@@ -1,0 +1,1 @@
+bin/calibrate.ml: Config List Pnp_harness Pnp_util Printf Run

@@ -1,0 +1,1 @@
+bin/debug_recv.ml: Config List Lock Pnp_engine Pnp_harness Pnp_util Printf Run

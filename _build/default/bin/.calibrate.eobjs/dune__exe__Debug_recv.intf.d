@@ -1,0 +1,1 @@
+bin/debug_recv.mli:

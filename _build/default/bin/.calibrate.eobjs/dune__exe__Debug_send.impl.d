@@ -1,0 +1,1 @@
+bin/debug_send.ml: Arch Array Costs Msg Option Platform Pnp_driver Pnp_engine Pnp_proto Pnp_util Pnp_xkern Printf Sim Stack Sys Tcp Tcp_peer Units

@@ -1,0 +1,1 @@
+bin/repro.ml: Arch Arg Cmd Cmdliner Config Format List Platform Pnp_driver Pnp_engine Pnp_figures Pnp_harness Pnp_proto Pnp_util Pnp_xkern Printf Run Sim Sniffer Stack Tcp_peer Term

@@ -1,0 +1,29 @@
+(* Developer tool: print the cost-model calibration grid against the
+   paper's Section 3 anchors (not part of the figure harness). *)
+open Pnp_harness
+
+let () =
+  let measure = Pnp_util.Units.ms 400.0 in
+  let grid =
+    [
+      ("UDP send 4K ck-off", Config.v ~protocol:Config.Udp ~side:Config.Send ~checksum:false ~measure ());
+      ("UDP send 4K ck-on ", Config.v ~protocol:Config.Udp ~side:Config.Send ~checksum:true ~measure ());
+      ("UDP recv 4K ck-off", Config.v ~protocol:Config.Udp ~side:Config.Recv ~checksum:false ~measure ());
+      ("UDP recv 4K ck-on ", Config.v ~protocol:Config.Udp ~side:Config.Recv ~checksum:true ~measure ());
+      ("TCP send 4K ck-off", Config.v ~protocol:Config.Tcp ~side:Config.Send ~checksum:false ~measure ());
+      ("TCP send 4K ck-on ", Config.v ~protocol:Config.Tcp ~side:Config.Send ~checksum:true ~measure ());
+      ("TCP recv 4K ck-off", Config.v ~protocol:Config.Tcp ~side:Config.Recv ~checksum:false ~measure ());
+      ("TCP recv 4K ck-on ", Config.v ~protocol:Config.Tcp ~side:Config.Recv ~checksum:true ~measure ());
+    ]
+  in
+  Printf.printf "%-20s %6s %8s %8s %6s %6s %6s\n" "config" "procs" "Mb/s" "pkts" "ooo%" "wait%" "miss%";
+  List.iter
+    (fun (label, cfg) ->
+      List.iter
+        (fun procs ->
+          let r = Run.run { cfg with Config.procs } in
+          Printf.printf "%-20s %6d %8.1f %8d %6.1f %6.1f %6.1f\n%!" label procs
+            r.Run.throughput_mbps r.Run.packets r.Run.ooo_pct r.Run.lock_wait_pct
+            r.Run.pred_miss_pct)
+        [ 1; 2; 4; 8 ])
+    grid

@@ -1,0 +1,33 @@
+(* Scratch diagnostic: Figure 10 / Table 1 shapes. *)
+open Pnp_engine
+open Pnp_harness
+
+let () =
+  let measure = Pnp_util.Units.ms 400.0 in
+  let base =
+    Config.v ~protocol:Config.Tcp ~side:Config.Recv ~checksum:true ~payload:4096 ~measure ()
+  in
+  let variants =
+    [
+      ("mutex   ", base);
+      ("mcs     ", { base with Config.lock_disc = Lock.Fifo });
+      ("assumed ", { base with Config.assume_in_order = true });
+      ("mcs+tick", { base with Config.lock_disc = Lock.Fifo; ticketing = true });
+      ("mcs+conn", { base with Config.lock_disc = Lock.Fifo; connections = 8 });
+    ]
+  in
+  Printf.printf "%-9s" "variant";
+  for p = 1 to 8 do
+    Printf.printf "   p%d(Mb/s, ooo%%)" p
+  done;
+  print_newline ();
+  List.iter
+    (fun (label, cfg) ->
+      Printf.printf "%-9s" label;
+      for procs = 1 to 8 do
+        let cfg = { cfg with Config.procs; connections = min cfg.Config.connections procs } in
+        let r = Run.run cfg in
+        Printf.printf "  %6.0f %5.1f" r.Run.throughput_mbps r.Run.ooo_pct
+      done;
+      print_newline ())
+    variants

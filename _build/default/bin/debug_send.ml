@@ -1,0 +1,45 @@
+(* Scratch diagnostic for the TCP send path. *)
+open Pnp_engine
+open Pnp_util
+open Pnp_xkern
+open Pnp_proto
+open Pnp_driver
+
+let () =
+  let procs = int_of_string Sys.argv.(1) in
+  let plat = Platform.create ~seed:1 Arch.challenge_100 in
+  let cfg = { Tcp.default_config with Tcp.checksum = false; mss = 4096 } in
+  let stack = Stack.create plat ~tcp_config:cfg ~local_addr:0x0a000001 () in
+  let peer =
+    Tcp_peer.attach stack ~peer_addr:0x0a000002 ~ack_window:(1 lsl 20) ~checksum:false ()
+  in
+  let sess = ref None in
+  ignore
+    (Sim.spawn plat.Platform.sim ~cpu:0 ~name:"conn" (fun () ->
+         sess :=
+           Some (Tcp.connect stack.Stack.tcp ~local_port:5000 ~remote_addr:0x0a000002 ~remote_port:80)));
+  for i = 0 to procs - 1 do
+    ignore
+      (Sim.spawn plat.Platform.sim ~cpu:i ~name:(Printf.sprintf "w%d" i) (fun () ->
+           while !sess = None do
+             Sim.delay plat.Platform.sim 1000
+           done;
+           let s = Option.get !sess in
+           while true do
+             Costs.charge plat Costs.app_send;
+             let m = Msg.create stack.Stack.pool 4096 in
+             Costs.fill_payload plat m ~off:0 ~len:4096 ~stream_off:0;
+             Tcp.send s m
+           done))
+  done;
+  Sim.run ~until:(Units.ms 600.0) plat.Platform.sim;
+  let s = Option.get !sess in
+  let st = Tcp.stats s in
+  Printf.printf
+    "procs=%d bytes(peer)=%d segs_out=%d acks_in=%d dup_acks=%d rexmits=%d pred_hits=%d \
+     pred_miss=%d cwnd=%d wire_mis=%d peer_acks=%d bytes_out=%d\n"
+    procs
+    (Tcp_peer.bytes_received peer)
+    st.Tcp.segs_out st.Tcp.acks_in st.Tcp.dup_acks st.Tcp.rexmits st.Tcp.pred_hits
+    st.Tcp.pred_misses (Tcp.cwnd s) (Tcp_peer.wire_misorders peer) (Tcp_peer.acks_sent peer)
+    st.Tcp.bytes_out

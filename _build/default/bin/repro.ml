@@ -1,0 +1,236 @@
+(* Command-line driver: regenerate the paper's figures and tables. *)
+
+open Cmdliner
+
+let opts_term =
+  let max_procs =
+    let doc = "Sweep processor counts 1..$(docv)." in
+    Arg.(value & opt int 8 & info [ "p"; "max-procs" ] ~docv:"N" ~doc)
+  in
+  let seeds =
+    let doc = "Independent seeded runs averaged per data point." in
+    Arg.(value & opt int 3 & info [ "s"; "seeds" ] ~docv:"N" ~doc)
+  in
+  let measure_ms =
+    let doc = "Steady-state measurement window in simulated milliseconds." in
+    Arg.(value & opt float 500.0 & info [ "m"; "measure-ms" ] ~docv:"MS" ~doc)
+  in
+  let warmup_ms =
+    let doc = "Warmup before measurement, simulated milliseconds." in
+    Arg.(value & opt float 200.0 & info [ "w"; "warmup-ms" ] ~docv:"MS" ~doc)
+  in
+  let quick =
+    let doc = "Short smoke-test sweep (2 seeds, 250 ms)." in
+    Arg.(value & flag & info [ "q"; "quick" ] ~doc)
+  in
+  let build max_procs seeds measure_ms warmup_ms quick =
+    if quick then { Pnp_figures.Opts.quick with Pnp_figures.Opts.max_procs }
+    else
+      {
+        Pnp_figures.Opts.max_procs;
+        seeds;
+        warmup = Pnp_util.Units.ms warmup_ms;
+        measure = Pnp_util.Units.ms measure_ms;
+      }
+  in
+  Term.(const build $ max_procs $ seeds $ measure_ms $ warmup_ms $ quick)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun e -> Printf.printf "%-14s %s\n" e.Pnp_figures.Registry.id e.Pnp_figures.Registry.title)
+      Pnp_figures.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List every reproducible figure/table id.")
+    Term.(const run $ const ())
+
+let fig_cmd =
+  let ids =
+    let doc = "Figure/table ids (see $(b,list)); e.g. fig8-9, table1." in
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"ID" ~doc)
+  in
+  let run opts ids =
+    List.iter
+      (fun id ->
+        match Pnp_figures.Registry.find id with
+        | Some e -> e.Pnp_figures.Registry.run opts
+        | None ->
+          Printf.eprintf "unknown figure id %S; try `repro list`\n" id;
+          exit 1)
+      ids
+  in
+  Cmd.v (Cmd.info "fig" ~doc:"Regenerate specific figures/tables.")
+    Term.(const run $ opts_term $ ids)
+
+let all_cmd =
+  let run opts = Pnp_figures.Registry.run_all opts in
+  Cmd.v (Cmd.info "all" ~doc:"Regenerate every figure and table.")
+    Term.(const run $ opts_term)
+
+(* A single custom experiment with every knob exposed. *)
+let run_cmd =
+  let open Pnp_harness in
+  let enum_arg name values default doc =
+    Arg.(value & opt (enum values) default & info [ name ] ~doc)
+  in
+  let protocol =
+    enum_arg "proto" [ ("udp", Config.Udp); ("tcp", Config.Tcp) ] Config.Tcp
+      "Protocol stack: $(b,udp) or $(b,tcp)."
+  in
+  let side =
+    enum_arg "side" [ ("send", Config.Send); ("recv", Config.Recv) ] Config.Recv
+      "Which path to exercise: $(b,send) or $(b,recv)."
+  in
+  let procs = Arg.(value & opt int 8 & info [ "procs" ] ~doc:"Processors.") in
+  let payload = Arg.(value & opt int 4096 & info [ "payload" ] ~doc:"Bytes per packet.") in
+  let no_cksum = Arg.(value & flag & info [ "no-cksum" ] ~doc:"Disable checksumming.") in
+  let locks =
+    enum_arg "locks"
+      [
+        ("mutex", Pnp_engine.Lock.Unfair);
+        ("mcs", Pnp_engine.Lock.Fifo);
+        ("barging", Pnp_engine.Lock.Barging);
+      ]
+      Pnp_engine.Lock.Unfair "Connection-state lock discipline."
+  in
+  let tcp_locking =
+    enum_arg "tcp-locking"
+      [ ("1", Pnp_proto.Tcp.One); ("2", Pnp_proto.Tcp.Two); ("6", Pnp_proto.Tcp.Six) ]
+      Pnp_proto.Tcp.One "Locking granularity: TCP-$(docv)."
+  in
+  let connections =
+    Arg.(value & opt int 1 & info [ "connections" ] ~doc:"Simultaneous connections.")
+  in
+  let placement =
+    enum_arg "placement"
+      [ ("packet", Config.Packet_level); ("connection", Config.Connection_level) ]
+      Config.Packet_level "Worker-to-connection placement."
+  in
+  let skew =
+    Arg.(value & opt float 0.0 & info [ "skew" ] ~doc:"Zipf exponent of per-connection load.")
+  in
+  let offered =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "offered-mbps" ] ~doc:"Arrival-limited offered load (default: saturating).")
+  in
+  let ticketing = Arg.(value & flag & info [ "ticketing" ] ~doc:"Preserve order above TCP.") in
+  let assume = Arg.(value & flag & info [ "assume-in-order" ] ~doc:"Figure 10 upper bound.") in
+  let locked_refs =
+    Arg.(value & flag & info [ "locked-refs" ] ~doc:"Lock-inc-unlock reference counts.")
+  in
+  let no_caching =
+    Arg.(value & flag & info [ "no-caching" ] ~doc:"Disable per-thread MNode caches.")
+  in
+  let arch =
+    Arg.(
+      value
+      & opt string "challenge-100"
+      & info [ "arch" ] ~doc:"Machine: challenge-100, challenge-150 or power-33.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Base random seed.") in
+  let presentation =
+    Arg.(value & flag & info [ "presentation" ] ~doc:"Add per-packet XDR-style conversion.")
+  in
+  let cksum_under_lock =
+    Arg.(
+      value & flag
+      & info [ "cksum-under-lock" ] ~doc:"Compute checksums inside the state lock (ablation).")
+  in
+  let jitter_us =
+    Arg.(
+      value & opt float 8.0
+      & info [ "jitter-us" ] ~doc:"Mean driver service jitter in microseconds.")
+  in
+  let exec opts protocol side procs payload no_cksum locks tcp_locking connections
+      placement skew offered ticketing assume locked_refs no_caching arch seed
+      presentation cksum_under_lock jitter_us =
+    let arch =
+      match Pnp_engine.Arch.by_name arch with
+      | Some a -> a
+      | None ->
+        Printf.eprintf "unknown architecture %S\n" arch;
+        exit 1
+    in
+    let cfg =
+      Config.v ~arch ~procs ~side ~protocol ~payload ~checksum:(not no_cksum)
+        ~lock_disc:locks ~tcp_locking ~connections ~placement ~skew ?offered_mbps:offered
+        ~ticketing ~assume_in_order:assume
+        ~refcnt_mode:
+          (if locked_refs then Pnp_engine.Atomic_ctr.Locked else Pnp_engine.Atomic_ctr.Ll_sc)
+        ~message_caching:(not no_caching) ~presentation ~cksum_under_lock
+        ~driver_jitter_ns:(jitter_us *. 1000.0) ~warmup:opts.Pnp_figures.Opts.warmup
+        ~measure:opts.Pnp_figures.Opts.measure ~seed ()
+    in
+    Printf.printf "config: %s\n" (Config.describe cfg);
+    let results = Run.run_seeds cfg ~seeds:opts.Pnp_figures.Opts.seeds in
+    let s = Pnp_util.Stats.summary (List.map (fun r -> r.Run.throughput_mbps) results) in
+    let avg f = Pnp_util.Stats.mean (List.map f results) in
+    Printf.printf "throughput:     %8.1f Mbit/s (± %.1f, %d seeds)\n" s.Pnp_util.Stats.mean
+      s.Pnp_util.Stats.ci90 s.Pnp_util.Stats.n;
+    Printf.printf "packets:        %8.0f per run\n" (avg (fun r -> float_of_int r.Run.packets));
+    Printf.printf "out-of-order:   %8.1f %%\n" (avg (fun r -> r.Run.ooo_pct));
+    Printf.printf "pred misses:    %8.1f %%\n" (avg (fun r -> r.Run.pred_miss_pct));
+    Printf.printf "lock waiting:   %8.1f %% of thread time\n"
+      (avg (fun r -> r.Run.lock_wait_pct));
+    Printf.printf "wire misorder:  %8.2f %%\n" (avg (fun r -> r.Run.wire_misorder_pct));
+    Printf.printf "mnode cache:    %8.1f %% hit rate\n" (avg (fun r -> r.Run.cache_hit_pct))
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one experiment with explicit knobs and print all metrics.")
+    Term.(
+      const exec $ opts_term $ protocol $ side $ procs $ payload $ no_cksum $ locks
+      $ tcp_locking $ connections $ placement $ skew $ offered $ ticketing $ assume
+      $ locked_refs $ no_caching $ arch $ seed $ presentation $ cksum_under_lock
+      $ jitter_us)
+
+(* A short annotated wire trace of a TCP connection over the in-memory
+   driver: handshake, data, acks. *)
+let trace_cmd =
+  let count =
+    Arg.(value & opt int 40 & info [ "n" ] ~doc:"Number of frames to print.")
+  in
+  let exec count =
+    let open Pnp_engine in
+    let open Pnp_driver in
+    let plat = Platform.create ~seed:4 Arch.challenge_100 in
+    let stack = Stack.create plat ~local_addr:0x0a000001 () in
+    let sniffer = Sniffer.attach stack () in
+    let _peer =
+      Tcp_peer.attach stack ~peer_addr:0x0a000002 ~ack_window:(1 lsl 20) ~checksum:true ()
+    in
+    ignore
+      (Sim.spawn plat.Platform.sim ~cpu:0 ~name:"app" (fun () ->
+           let sess =
+             Pnp_proto.Tcp.connect stack.Stack.tcp ~local_port:5000
+               ~remote_addr:0x0a000002 ~remote_port:80
+           in
+           for i = 0 to 7 do
+             let m = Pnp_xkern.Msg.create stack.Stack.pool 4096 in
+             Pnp_xkern.Msg.fill_pattern m ~off:0 ~len:4096 ~stream_off:(i * 4096);
+             Pnp_proto.Tcp.send sess m
+           done;
+           Pnp_proto.Tcp.close sess));
+    Sim.run ~until:(Pnp_util.Units.sec 3.0) plat.Platform.sim;
+    Printf.printf
+      "Wire trace: TCP connect + 8 x 4KB + close over the in-memory driver\n\
+       (-> transmitted by the stack, <- injected by the simulated peer)\n\n";
+    let es = Sniffer.entries sniffer in
+    List.iteri
+      (fun i e -> if i < count then Format.printf "%a@." Sniffer.pp_entry e)
+      es;
+    if List.length es > count then
+      Printf.printf "... (%d more frames; rerun with -n)\n" (List.length es - count)
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Print an annotated wire trace of a small TCP session.")
+    Term.(const exec $ count)
+
+let main =
+  let doc =
+    "Reproduction of 'Performance Issues in Parallelized Network Protocols' (OSDI '94)"
+  in
+  Cmd.group (Cmd.info "repro" ~doc) [ list_cmd; fig_cmd; all_cmd; run_cmd; trace_cmd ]
+
+let () = exit (Cmd.eval main)

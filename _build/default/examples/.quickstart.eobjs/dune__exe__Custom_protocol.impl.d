@@ -1,0 +1,1 @@
+examples/custom_protocol.ml: Arch Fddi Int Ip Msg Platform Pnp_driver Pnp_engine Pnp_proto Pnp_util Pnp_xkern Printf Sim Stack Timewheel Xmap

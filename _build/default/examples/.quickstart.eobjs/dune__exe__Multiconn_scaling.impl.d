@@ -1,0 +1,1 @@
+examples/multiconn_scaling.ml: Config List Lock Pnp_engine Pnp_harness Pnp_util Printf Run

@@ -1,0 +1,1 @@
+examples/multiconn_scaling.mli:

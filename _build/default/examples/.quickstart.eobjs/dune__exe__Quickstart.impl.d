@@ -1,0 +1,1 @@
+examples/quickstart.ml: Arch Msg Option Platform Pnp_driver Pnp_engine Pnp_proto Pnp_util Pnp_xkern Printf Sim Stack Tcp Tcp_peer

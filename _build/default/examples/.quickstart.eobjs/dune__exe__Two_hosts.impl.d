@@ -1,0 +1,1 @@
+examples/two_hosts.ml: Arch Format Icmp Link List Platform Pnp_driver Pnp_engine Pnp_proto Pnp_util Printf Sim Sniffer Socket Stack String Units

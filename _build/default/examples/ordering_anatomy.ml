@@ -1,0 +1,38 @@
+(* The paper's headline result, reproduced in miniature: on the receive
+   side of a single TCP connection, non-FIFO mutexes reorder contending
+   threads — and therefore packets — which defeats TCP header prediction
+   and makes throughput *fall* as processors are added.  FIFO (MCS) queue
+   locks preserve order and recover the loss.
+
+   Run with: dune exec examples/ordering_anatomy.exe *)
+
+open Pnp_engine
+open Pnp_harness
+
+let run_point ~lock_disc ~assume_in_order procs =
+  Run.run
+    (Config.v ~protocol:Config.Tcp ~side:Config.Recv ~payload:4096 ~checksum:true
+       ~lock_disc ~assume_in_order ~procs
+       ~measure:(Pnp_util.Units.ms 400.0) ())
+
+let () =
+  Printf.printf
+    "TCP receive side, one connection, 4KB packets, checksumming on.\n\
+     Watch the mutex column: past ~4 CPUs, out-of-order arrivals (ooo%%)\n\
+     explode and throughput drops.  MCS locks keep packets in order.\n\n";
+  Printf.printf "%5s | %18s | %18s | %14s\n" "CPUs" "mutex Mb/s (ooo%)"
+    "MCS Mb/s (ooo%)" "in-order bound";
+  List.iter
+    (fun procs ->
+      let mutex = run_point ~lock_disc:Lock.Unfair ~assume_in_order:false procs in
+      let mcs = run_point ~lock_disc:Lock.Fifo ~assume_in_order:false procs in
+      let bound = run_point ~lock_disc:Lock.Unfair ~assume_in_order:true procs in
+      Printf.printf "%5d | %10.1f (%4.1f%%) | %10.1f (%4.1f%%) | %14.1f\n%!" procs
+        mutex.Run.throughput_mbps mutex.Run.ooo_pct mcs.Run.throughput_mbps
+        mcs.Run.ooo_pct bound.Run.throughput_mbps)
+    [ 1; 2; 4; 6; 8 ];
+  Printf.printf
+    "\nWhy: the header-prediction fast path fires only when a segment's\n\
+     sequence number is exactly the one expected; a reordered segment takes\n\
+     the slow path (reassembly queue, immediate duplicate ack) while every\n\
+     other processor waits on the connection-state lock.\n"

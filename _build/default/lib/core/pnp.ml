@@ -1,0 +1,89 @@
+(** Umbrella module: the whole system under one name.
+
+    {1 Layers}
+
+    - {!Sim}, {!Lock}, {!Gate}, {!Atomic_ctr}, {!Membus}, {!Arch},
+      {!Platform} — the simulated shared-memory multiprocessor.
+    - {!Mpool}, {!Msg}, {!Xmap}, {!Timewheel} — the x-kernel
+      infrastructure (message tool, map manager, event manager).
+    - {!Fddi}, {!Ip}, {!Udp}, {!Tcp} (+ {!Tcp_wire}, {!Tcp_seq},
+      {!Sockbuf}, {!Inet_cksum}) — the protocol stack.
+    - {!Stack}, {!Tcp_peer}, {!Tcp_source}, {!Udp_sink}, {!Udp_source} —
+      assembly and the in-memory drivers of the paper's Section 2.3.
+    - {!Config}, {!Run}, {!Report} — the experiment harness.
+    - {!Figures} — the generators for every figure and table in the paper.
+
+    {1 Thirty-second tour}
+
+    {[
+      let plat = Pnp.Platform.create Pnp.Arch.challenge_100 in
+      let cfg  = Pnp.Config.v ~procs:8 ~side:Pnp.Config.Recv () in
+      let r    = Pnp.Run.run cfg in
+      Printf.printf "%.1f Mbit/s, %.1f%% out of order\n"
+        r.Pnp.Run.throughput_mbps r.Pnp.Run.ooo_pct
+    ]} *)
+
+(* engine *)
+module Sim = Pnp_engine.Sim
+module Lock = Pnp_engine.Lock
+module Gate = Pnp_engine.Gate
+module Atomic_ctr = Pnp_engine.Atomic_ctr
+module Membus = Pnp_engine.Membus
+module Arch = Pnp_engine.Arch
+module Platform = Pnp_engine.Platform
+module Eventq = Pnp_engine.Eventq
+
+(* x-kernel infrastructure *)
+module Mpool = Pnp_xkern.Mpool
+module Msg = Pnp_xkern.Msg
+module Xmap = Pnp_xkern.Xmap
+module Timewheel = Pnp_xkern.Timewheel
+
+(* protocols *)
+module Inet_cksum = Pnp_proto.Inet_cksum
+module Costs = Pnp_proto.Costs
+module Fddi = Pnp_proto.Fddi
+module Ip = Pnp_proto.Ip
+module Udp = Pnp_proto.Udp
+module Icmp = Pnp_proto.Icmp
+module Tcp = Pnp_proto.Tcp
+module Tcp_wire = Pnp_proto.Tcp_wire
+module Tcp_seq = Pnp_proto.Tcp_seq
+module Sockbuf = Pnp_proto.Sockbuf
+module Pres = Pnp_proto.Pres
+module Socket = Pnp_proto.Socket
+
+(* drivers and stack assembly *)
+module Stack = Pnp_driver.Stack
+module Frame = Pnp_driver.Frame
+module Tcp_peer = Pnp_driver.Tcp_peer
+module Tcp_source = Pnp_driver.Tcp_source
+module Udp_sink = Pnp_driver.Udp_sink
+module Udp_source = Pnp_driver.Udp_source
+module Sniffer = Pnp_driver.Sniffer
+module Link = Pnp_driver.Link
+
+(* harness *)
+module Config = Pnp_harness.Config
+module Run = Pnp_harness.Run
+module Report = Pnp_harness.Report
+
+(* figure generators *)
+module Figures = struct
+  module Opts = Pnp_figures.Opts
+  module Baseline = Pnp_figures.Fig_baseline
+  module Ordering = Pnp_figures.Fig_ordering
+  module Multiconn = Pnp_figures.Fig_multiconn
+  module Locking = Pnp_figures.Fig_locking
+  module Atomics = Pnp_figures.Fig_atomics
+  module Caching = Pnp_figures.Fig_caching
+  module Archcmp = Pnp_figures.Fig_archcmp
+  module Micro = Pnp_figures.Fig_micro
+  module Extensions = Pnp_figures.Fig_extensions
+  module Registry = Pnp_figures.Registry
+end
+
+(* utilities *)
+module Units = Pnp_util.Units
+module Stats = Pnp_util.Stats
+module Prng = Pnp_util.Prng

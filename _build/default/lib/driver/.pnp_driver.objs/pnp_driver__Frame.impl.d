@@ -1,0 +1,1 @@
+lib/driver/frame.ml: Fddi Ip Msg Pnp_proto Pnp_xkern Tcp_wire Udp

@@ -1,0 +1,1 @@
+lib/driver/frame.mli: Pnp_proto Pnp_xkern

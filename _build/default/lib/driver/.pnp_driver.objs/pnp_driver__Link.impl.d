@@ -1,0 +1,1 @@
+lib/driver/link.ml: Fddi Msg Platform Pnp_engine Pnp_proto Pnp_util Pnp_xkern Prng Queue Sim Stack Units

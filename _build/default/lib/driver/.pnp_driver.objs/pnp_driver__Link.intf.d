@@ -1,0 +1,1 @@
+lib/driver/link.mli: Pnp_engine Pnp_util Stack

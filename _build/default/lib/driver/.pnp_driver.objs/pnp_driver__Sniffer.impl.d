@@ -1,0 +1,1 @@
+lib/driver/sniffer.ml: Fddi Format Frame Ip List Msg Platform Pnp_engine Pnp_proto Pnp_xkern Printf Sim Stack Tcp_wire Udp

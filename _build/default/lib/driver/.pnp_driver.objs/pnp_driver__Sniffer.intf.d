@@ -1,0 +1,1 @@
+lib/driver/sniffer.mli: Format Pnp_xkern Stack

@@ -1,0 +1,1 @@
+lib/driver/stack.ml: Fddi Icmp Ip Mpool Platform Pnp_engine Pnp_proto Pnp_xkern Tcp Timewheel Udp

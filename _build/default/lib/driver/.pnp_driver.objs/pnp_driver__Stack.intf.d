@@ -1,0 +1,1 @@
+lib/driver/stack.mli: Pnp_engine Pnp_proto Pnp_xkern

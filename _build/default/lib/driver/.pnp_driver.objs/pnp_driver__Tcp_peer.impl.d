@@ -1,0 +1,1 @@
+lib/driver/tcp_peer.ml: Costs Fddi Frame Hashtbl List Msg Platform Pnp_engine Pnp_proto Pnp_util Pnp_xkern Prng Sim Stack Tcp_seq Tcp_wire

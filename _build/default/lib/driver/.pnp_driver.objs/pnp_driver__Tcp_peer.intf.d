@@ -1,0 +1,1 @@
+lib/driver/tcp_peer.mli: Stack

@@ -1,0 +1,1 @@
+lib/driver/tcp_source.ml: Array Costs Fddi Frame Ip List Lock Msg Platform Pnp_engine Pnp_proto Pnp_util Pnp_xkern Printf Prng Sim Stack Tcp_seq Tcp_wire

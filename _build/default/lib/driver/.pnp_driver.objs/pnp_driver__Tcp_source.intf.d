@@ -1,0 +1,1 @@
+lib/driver/tcp_source.mli: Stack

@@ -1,0 +1,1 @@
+lib/driver/udp_sink.ml: Costs Fddi Ip Msg Pnp_proto Pnp_xkern Stack Udp

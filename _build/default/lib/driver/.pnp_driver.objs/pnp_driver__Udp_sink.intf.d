@@ -1,0 +1,1 @@
+lib/driver/udp_sink.mli: Stack

@@ -1,0 +1,1 @@
+lib/driver/udp_source.ml: Array Costs Fddi Frame List Lock Msg Platform Pnp_engine Pnp_proto Pnp_util Pnp_xkern Printf Prng Sim Stack

@@ -1,0 +1,1 @@
+lib/driver/udp_source.mli: Stack

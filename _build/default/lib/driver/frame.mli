@@ -1,0 +1,50 @@
+(** Host-side frame construction and inspection for the in-memory drivers.
+
+    Drivers play the role of the network hardware and the remote peer; per
+    the paper (Section 2.3) their packet fabrication is free of simulated
+    cost (templates are preconstructed), so everything here works directly
+    on message bytes without charging the clock. *)
+
+type tcp_view = {
+  sport : int;
+  dport : int;
+  seq : int;
+  ack : int;
+  flags : Pnp_proto.Tcp_wire.flags;
+  win : int;
+  payload_len : int;
+}
+
+val headers_len : int
+(** FDDI + IP + TCP header bytes. *)
+
+val parse_tcp : Pnp_xkern.Msg.t -> tcp_view option
+(** Inspect a full FDDI frame carrying a TCP segment; [None] if it is not
+    one. *)
+
+val build_tcp :
+  Pnp_xkern.Mpool.t ->
+  src:int ->
+  dst:int ->
+  sport:int ->
+  dport:int ->
+  seq:int ->
+  ack:int ->
+  flags:Pnp_proto.Tcp_wire.flags ->
+  win:int ->
+  payload:Pnp_xkern.Msg.t option ->
+  checksum:bool ->
+  Pnp_xkern.Msg.t
+(** A complete FDDI frame around a TCP segment with valid checksums (when
+    [checksum]); consumes [payload]. *)
+
+val build_udp :
+  Pnp_xkern.Mpool.t ->
+  src:int ->
+  dst:int ->
+  sport:int ->
+  dport:int ->
+  payload:Pnp_xkern.Msg.t ->
+  checksum:bool ->
+  Pnp_xkern.Msg.t
+(** A complete FDDI frame around a UDP datagram; consumes [payload]. *)

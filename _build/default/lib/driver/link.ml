@@ -1,0 +1,98 @@
+open Pnp_engine
+open Pnp_util
+open Pnp_xkern
+open Pnp_proto
+
+(* One direction of the link: a serialising transmitter feeding a receive
+   thread through a delivery queue. *)
+type direction = {
+  dest : Stack.t;
+  queue : Msg.t Queue.t;
+  mutable rx_wakeup : (int -> unit) option; (* receive thread parked here *)
+  mutable busy_until : int; (* transmitter serialisation horizon *)
+  mutable frames : int;
+}
+
+type t = {
+  plat : Platform.t;
+  latency : Units.ns;
+  bandwidth_mbps : float;
+  loss_rate : float;
+  rng : Prng.t;
+  ab : direction;
+  ba : direction;
+  mutable dropped : int;
+  mutable in_flight : int;
+}
+
+let serialisation_ns t bytes =
+  (* Mbit/s = 10^-3 bits/ns. *)
+  int_of_float (float_of_int (8 * bytes) /. (t.bandwidth_mbps /. 1000.0))
+
+(* The receive side: a daemon thread that sleeps until frames arrive and
+   pushes them up the destination stack. *)
+let start_rx t dir ~name ~cpu =
+  ignore
+    (Sim.spawn t.plat.Platform.sim ~cpu ~name (fun () ->
+         while true do
+           if Queue.is_empty dir.queue then
+             Sim.suspend t.plat.Platform.sim (fun resume -> dir.rx_wakeup <- Some resume)
+           else begin
+             let frame = Queue.pop dir.queue in
+             t.in_flight <- t.in_flight - 1;
+             Fddi.input dir.dest.Stack.fddi frame
+           end
+         done))
+
+let deliver t dir frame =
+  Queue.push frame dir.queue;
+  match dir.rx_wakeup with
+  | Some resume ->
+    dir.rx_wakeup <- None;
+    resume (Sim.now t.plat.Platform.sim)
+  | None -> ()
+
+(* The transmit side: drop or schedule arrival after serialisation +
+   propagation.  Runs in the sender's thread; only the arrival crosses
+   into the receive thread. *)
+let transmit t dir frame =
+  if t.loss_rate > 0.0 && Prng.float t.rng 1.0 < t.loss_rate then begin
+    t.dropped <- t.dropped + 1;
+    Msg.destroy frame
+  end
+  else begin
+    let now = Sim.now t.plat.Platform.sim in
+    let start = max now dir.busy_until in
+    let ser = serialisation_ns t (Msg.length frame) in
+    dir.busy_until <- start + ser;
+    dir.frames <- dir.frames + 1;
+    t.in_flight <- t.in_flight + 1;
+    Sim.at t.plat.Platform.sim (start + ser + t.latency) (fun () -> deliver t dir frame)
+  end
+
+let connect plat ?(latency = Units.us 50.0) ?(bandwidth_mbps = 100.0)
+    ?(loss_rate = 0.0) ~(a : Stack.t) ~(b : Stack.t) () =
+  let mk dest = { dest; queue = Queue.create (); rx_wakeup = None; busy_until = 0; frames = 0 } in
+  let t =
+    {
+      plat;
+      latency;
+      bandwidth_mbps;
+      loss_rate;
+      rng = Prng.split (Sim.prng plat.Platform.sim);
+      ab = mk b;
+      ba = mk a;
+      dropped = 0;
+      in_flight = 0;
+    }
+  in
+  Fddi.set_transmit a.Stack.fddi (fun frame -> transmit t t.ab frame);
+  Fddi.set_transmit b.Stack.fddi (fun frame -> transmit t t.ba frame);
+  start_rx t t.ab ~name:"link.rx.b" ~cpu:100;
+  start_rx t t.ba ~name:"link.rx.a" ~cpu:101;
+  t
+
+let frames_ab t = t.ab.frames
+let frames_ba t = t.ba.frames
+let dropped t = t.dropped
+let in_flight t = t.in_flight

@@ -1,0 +1,35 @@
+(** A simulated full-duplex point-to-point link between two complete
+    stacks.
+
+    Unlike the in-memory drivers of the paper's experiments (which play
+    the role of an infinitely fast peer), a link connects two {e real}
+    stacks: both ends run the full protocol machinery, the handshake and
+    every acknowledgement crosses the wire, and the link itself models
+    propagation latency, serialisation at a finite bandwidth, and random
+    loss.  This is the configuration a user of the library would deploy.
+
+    Frames are delivered to each end by a per-direction receive thread
+    (the "interrupt context"), so protocol input runs in a context that
+    may take locks. *)
+
+type t
+
+val connect :
+  Pnp_engine.Platform.t ->
+  ?latency:Pnp_util.Units.ns ->
+  ?bandwidth_mbps:float ->
+  ?loss_rate:float ->
+  a:Stack.t ->
+  b:Stack.t ->
+  unit ->
+  t
+(** Wire the two stacks together (replaces both FDDI transmit hooks).
+    Defaults: 50 us propagation latency, 100 Mbit/s serialisation, no
+    loss.  Both stacks must share [plat]'s simulation. *)
+
+val frames_ab : t -> int
+val frames_ba : t -> int
+val dropped : t -> int
+
+val in_flight : t -> int
+(** Frames queued or propagating in either direction. *)

@@ -1,0 +1,25 @@
+open Pnp_engine
+open Pnp_xkern
+open Pnp_proto
+
+type t = {
+  plat : Platform.t;
+  pool : Mpool.t;
+  wheel : Timewheel.t;
+  fddi : Fddi.t;
+  ip : Ip.t;
+  udp : Udp.t;
+  tcp : Tcp.t;
+  icmp : Icmp.t;
+  local_addr : int;
+}
+
+let create plat ?(tcp_config = Tcp.default_config) ?(udp_checksum = true) ~local_addr () =
+  let pool = Mpool.create plat in
+  let wheel = Timewheel.create plat ~name:"evmgr" () in
+  let fddi = Fddi.create plat ~local_mac:local_addr ~name:"fddi" in
+  let ip = Ip.create plat pool ~wheel ~fddi ~local_addr ~name:"ip" in
+  let udp = Udp.create plat ~ip ~checksum:udp_checksum ~name:"udp" in
+  let tcp = Tcp.create plat pool ~wheel ~ip tcp_config ~name:"tcp" in
+  let icmp = Icmp.create plat pool ~ip ~name:"icmp" in
+  { plat; pool; wheel; fddi; ip; udp; tcp; icmp; local_addr }

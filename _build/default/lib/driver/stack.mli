@@ -1,0 +1,28 @@
+(** Assembled protocol stack: FDDI / IP / {UDP, TCP} over one platform,
+    ready to have an in-memory device driver attached below FDDI.
+
+    This mirrors the paper's test configurations (Figure 1): a throughput
+    test sits on top, the protocol stack in the middle, and a simulated
+    driver below the media access layer. *)
+
+type t = {
+  plat : Pnp_engine.Platform.t;
+  pool : Pnp_xkern.Mpool.t;
+  wheel : Pnp_xkern.Timewheel.t;
+  fddi : Pnp_proto.Fddi.t;
+  ip : Pnp_proto.Ip.t;
+  udp : Pnp_proto.Udp.t;
+  tcp : Pnp_proto.Tcp.t;
+  icmp : Pnp_proto.Icmp.t;
+  local_addr : int;
+}
+
+val create :
+  Pnp_engine.Platform.t ->
+  ?tcp_config:Pnp_proto.Tcp.config ->
+  ?udp_checksum:bool ->
+  local_addr:int ->
+  unit ->
+  t
+(** Build the full stack.  [tcp_config] defaults to
+    {!Pnp_proto.Tcp.default_config}; [udp_checksum] defaults to [true]. *)

@@ -1,0 +1,217 @@
+open Pnp_engine
+open Pnp_util
+open Pnp_xkern
+open Pnp_proto
+
+type stream = {
+  drv_port : int;
+  rcv_port : int;
+  iss : int;
+  mutable snd_nxt : int;
+  mutable snd_una : int; (* last cumulative ack from the receiver *)
+  mutable peer_win : int;
+  mutable peer_ack : int; (* what we acknowledge of the receiver's seqs *)
+  mutable established : bool;
+  ring_lock : Lock.t;
+}
+
+type t = {
+  stack : Stack.t;
+  peer_addr : int;
+  payload : int;
+  checksum : bool;
+  jitter_mean_ns : float;
+  sequential_payload : bool;
+  payload_tmpl : Msg.t; (* preconstructed payload shared by all segments *)
+  payload_sum : int;
+  streams : stream array;
+  jitter : Prng.t;
+  mutable injected : int;
+  mutable stalls : int;
+}
+
+let plat t = t.stack.Stack.plat
+
+
+
+let find_stream t port =
+  let n = Array.length t.streams in
+  let rec go i =
+    if i >= n then None
+    else if t.streams.(i).drv_port = port then Some t.streams.(i)
+    else go (i + 1)
+  in
+  go 0
+
+(* Acks (and the SYN-ACK) from the real receiver arrive here. *)
+let handle t frame =
+  Costs.charge (plat t) Costs.driver_xmit;
+  (match Frame.parse_tcp frame with
+   | None -> ()
+   | Some v -> (
+     match find_stream t v.Frame.dport with
+     | None -> ()
+     | Some s ->
+       if v.Frame.flags.Tcp_wire.syn && v.Frame.flags.Tcp_wire.ack then begin
+         (* SYN-ACK of our handshake: finish it. *)
+         s.peer_ack <- Tcp_seq.add v.Frame.seq 1;
+         s.snd_una <- v.Frame.ack;
+         s.peer_win <- v.Frame.win;
+         s.established <- true;
+         let ack =
+           Frame.build_tcp t.stack.Stack.pool ~src:t.peer_addr
+             ~dst:t.stack.Stack.local_addr ~sport:s.drv_port ~dport:s.rcv_port
+             ~seq:s.snd_nxt ~ack:s.peer_ack ~flags:Tcp_wire.flag_ack
+             ~win:(1 lsl 20) ~payload:None ~checksum:t.checksum
+         in
+         Fddi.input t.stack.Stack.fddi ack
+       end
+       else begin
+         if v.Frame.flags.Tcp_wire.ack && Tcp_seq.gt v.Frame.ack s.snd_una then
+           s.snd_una <- v.Frame.ack;
+         s.peer_win <- v.Frame.win;
+         if v.Frame.flags.Tcp_wire.fin then
+           s.peer_ack <- Tcp_seq.add (Tcp_seq.add v.Frame.seq v.Frame.payload_len) 1
+       end));
+  Msg.destroy frame
+
+let attach stack ~peer_addr ~payload ~checksum ?(jitter_mean_ns = 8000.0)
+    ?(sequential_payload = false) ?(iss_base = 0x10000000) ~ports () =
+  let streams =
+    Array.of_list
+      (List.map
+         (fun (drv_port, rcv_port) ->
+           let iss = Pnp_proto.Tcp_seq.mask (iss_base + drv_port) in
+           {
+             drv_port;
+             rcv_port;
+             iss;
+             snd_nxt = iss;
+             snd_una = iss;
+             peer_win = 0;
+             peer_ack = 0;
+             established = false;
+             ring_lock =
+               Lock.create stack.Stack.plat.Platform.sim stack.Stack.plat.Platform.arch
+                 Lock.Unfair
+                 ~name:(Printf.sprintf "driver.ring.%d" drv_port);
+           })
+         ports)
+  in
+  let payload_tmpl = Msg.create stack.Stack.pool payload in
+  Msg.fill_pattern payload_tmpl ~off:0 ~len:payload ~stream_off:0;
+  let t =
+    {
+      stack;
+      peer_addr;
+      payload;
+      checksum;
+      jitter_mean_ns;
+      sequential_payload;
+      payload_tmpl;
+      payload_sum = Pnp_proto.Inet_cksum.sum_slices payload_tmpl;
+      streams;
+      jitter = Prng.split (Sim.prng stack.Stack.plat.Platform.sim);
+      injected = 0;
+      stalls = 0;
+    }
+  in
+  Fddi.set_transmit stack.Stack.fddi (fun frame -> handle t frame);
+  t
+
+let start t =
+  Array.iter
+    (fun s ->
+      let syn =
+        Frame.build_tcp t.stack.Stack.pool ~src:t.peer_addr ~dst:t.stack.Stack.local_addr
+          ~sport:s.drv_port ~dport:s.rcv_port ~seq:s.iss ~ack:0 ~flags:Tcp_wire.flag_syn
+          ~win:(1 lsl 20) ~payload:None ~checksum:t.checksum
+      in
+      s.snd_nxt <- Tcp_seq.add s.iss 1;
+      Fddi.input t.stack.Stack.fddi syn;
+      if not s.established then
+        failwith "Tcp_source.start: handshake did not complete synchronously")
+    t.streams
+
+let next t ~stream =
+  let s = t.streams.(stream) in
+  let p = plat t in
+  Lock.acquire s.ring_lock;
+  Costs.charge p Costs.driver_recv;
+  if not s.established then begin
+    Lock.release s.ring_lock;
+    false
+  end
+  else begin
+    let in_flight = Tcp_seq.diff s.snd_nxt s.snd_una in
+    if in_flight + t.payload > s.peer_win then begin
+      t.stalls <- t.stalls + 1;
+      Lock.release s.ring_lock;
+      false
+    end
+    else begin
+      let seq = s.snd_nxt in
+      s.snd_nxt <- Tcp_seq.add s.snd_nxt t.payload;
+      t.injected <- t.injected + 1;
+      Lock.release s.ring_lock;
+      (* Interrupt/DMA service variance hits each thread independently
+         after the in-order handout — the source of the residual
+         misordering Table 1 shows even under MCS locks. *)
+      Platform.charge p (int_of_float (Prng.exponential t.jitter ~mean:t.jitter_mean_ns));
+      (* Build from the template outside the ring lock: the thread carries
+         its own packet up the stack, as in the paper. *)
+      let frame =
+        if t.sequential_payload then begin
+          let payload = Msg.create t.stack.Stack.pool t.payload in
+          Msg.fill_pattern payload ~off:0 ~len:t.payload
+            ~stream_off:(Tcp_seq.diff seq (Tcp_seq.add s.iss 1));
+          Frame.build_tcp t.stack.Stack.pool ~src:t.peer_addr
+            ~dst:t.stack.Stack.local_addr ~sport:s.drv_port ~dport:s.rcv_port ~seq
+            ~ack:s.peer_ack ~flags:Tcp_wire.flag_ack ~win:(1 lsl 20)
+            ~payload:(Some payload) ~checksum:t.checksum
+        end
+        else begin
+          (* Template path: share the payload node; checksum updated
+             incrementally from the precomputed payload sum. *)
+          let seg = Msg.dup t.payload_tmpl in
+          Tcp_wire.encode seg
+            {
+              Tcp_wire.sport = s.drv_port;
+              dport = s.rcv_port;
+              seq;
+              ack = s.peer_ack;
+              flags = Tcp_wire.flag_ack;
+              win = 1 lsl 20;
+              cksum = 0;
+            };
+          if t.checksum then
+            Tcp_wire.store_checksum_incremental ~src:t.peer_addr
+              ~dst:t.stack.Stack.local_addr ~payload_sum:t.payload_sum seg
+          else Msg.set_u16 seg 18 0;
+          Ip.encap seg ~src:t.peer_addr ~dst:t.stack.Stack.local_addr
+            ~proto:Tcp_wire.protocol_number ~id:0;
+          Fddi.encap seg ~src_mac:t.peer_addr ~dst_mac:t.stack.Stack.local_addr
+            ~ethertype:Ip.ethertype;
+          seg
+        end
+      in
+      Fddi.input t.stack.Stack.fddi frame;
+      true
+    end
+  end
+
+let established t ~stream = t.streams.(stream).established
+let segments_injected t = t.injected
+let window_stalls t = t.stalls
+
+let finish t ~stream =
+  let s = t.streams.(stream) in
+  let fin =
+    Frame.build_tcp t.stack.Stack.pool ~src:t.peer_addr ~dst:t.stack.Stack.local_addr
+      ~sport:s.drv_port ~dport:s.rcv_port ~seq:s.snd_nxt ~ack:s.peer_ack
+      ~flags:Tcp_wire.flag_fin_ack ~win:(1 lsl 20) ~payload:None ~checksum:t.checksum
+  in
+  s.snd_nxt <- Tcp_seq.add s.snd_nxt 1;
+  Fddi.input t.stack.Stack.fddi fin
+
+let last_ack t ~stream = t.streams.(stream).snd_una

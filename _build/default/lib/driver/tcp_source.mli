@@ -1,0 +1,48 @@
+(** Receive-side in-memory driver: a simulated TCP {e sender} below FDDI.
+
+    It produces data segments in sequence order for consumption by the
+    real TCP receiver above, flow-controlling itself with the
+    acknowledgements and window information the receiver sends down
+    (Section 2.3).  Segments are fabricated from preconstructed payload
+    templates at no simulated cost beyond the per-packet driver charge; a
+    small exponential service jitter models interrupt/DMA variance, the
+    source of the residual misordering the paper observes even under MCS
+    locks (Table 1's MCS column). *)
+
+type t
+
+val attach :
+  Stack.t ->
+  peer_addr:int ->
+  payload:int ->
+  checksum:bool ->
+  ?jitter_mean_ns:float ->
+  ?sequential_payload:bool ->
+  ?iss_base:int ->
+  ports:(int * int) list ->
+  unit ->
+  t
+(** [ports] lists (driver port, receiver port) pairs — one stream per
+    connection.  The receiver must already be listening on each receiver
+    port when {!start} runs.  By default each segment carries the shared
+    preconstructed payload template; [sequential_payload] instead writes
+    the stream-offset pattern into every segment, so an application can
+    byte-verify the whole reassembled stream (used by correctness
+    tests). *)
+
+val start : t -> unit
+(** Perform the connection handshakes.  Call from a simulated thread. *)
+
+val next : t -> stream:int -> bool
+(** Produce one in-order segment on the given stream and push it up the
+    stack from the calling thread.  Returns [false] (without injecting)
+    when the receiver's advertised window is full. *)
+
+val established : t -> stream:int -> bool
+val segments_injected : t -> int
+val window_stalls : t -> int
+val finish : t -> stream:int -> unit
+(** Send FIN on the stream (for close-path tests). *)
+
+val last_ack : t -> stream:int -> int
+(** Highest acknowledgement number seen from the receiver. *)

@@ -1,0 +1,25 @@
+(** Receive-side in-memory driver for UDP tests: an infinite supply of
+    preconstructed datagrams.  Each call to {!next} hands the calling
+    thread one frame (a shared-template duplicate — the paper's drivers
+    use preconstructed templates and never checksum at run time) and
+    pushes it up the stack. *)
+
+type t
+
+val attach :
+  Stack.t ->
+  peer_addr:int ->
+  payload:int ->
+  checksum:bool ->
+  ?jitter_mean_ns:float ->
+  ports:(int * int) list ->
+  unit ->
+  t
+(** [ports] lists (driver port, receiver port) pairs, one per stream.
+    [jitter_mean_ns] is the per-packet exponential service jitter
+    (default 8 us). *)
+
+val next : t -> stream:int -> unit
+(** Produce one datagram on the stream and carry it up the stack. *)
+
+val frames_injected : t -> int

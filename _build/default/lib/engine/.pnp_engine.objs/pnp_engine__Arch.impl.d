@@ -1,0 +1,1 @@
+lib/engine/arch.ml: List

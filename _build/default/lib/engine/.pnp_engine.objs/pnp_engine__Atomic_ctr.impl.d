@@ -1,0 +1,1 @@
+lib/engine/atomic_ctr.ml: Arch Lock Sim

@@ -1,0 +1,1 @@
+lib/engine/atomic_ctr.mli: Arch Sim

@@ -1,0 +1,1 @@
+lib/engine/eventq.ml: Array

@@ -1,0 +1,1 @@
+lib/engine/gate.ml: Arch Hashtbl Printf Sim

@@ -1,0 +1,1 @@
+lib/engine/gate.mli: Arch Pnp_util Sim

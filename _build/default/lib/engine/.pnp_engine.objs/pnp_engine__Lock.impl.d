@@ -1,0 +1,1 @@
+lib/engine/lock.ml: Arch Fun List Pnp_util Printf Prng Sim

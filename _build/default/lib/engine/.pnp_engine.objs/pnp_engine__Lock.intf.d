@@ -1,0 +1,1 @@
+lib/engine/lock.mli: Arch Pnp_util Sim

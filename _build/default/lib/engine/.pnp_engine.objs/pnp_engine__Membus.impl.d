@@ -1,0 +1,1 @@
+lib/engine/membus.ml: Arch Float Fun Option Sim

@@ -1,0 +1,1 @@
+lib/engine/membus.mli: Arch Pnp_util Sim

@@ -1,0 +1,1 @@
+lib/engine/platform.ml: Arch Atomic_ctr Lock Membus Sim

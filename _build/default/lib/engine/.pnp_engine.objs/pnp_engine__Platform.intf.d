@@ -1,0 +1,1 @@
+lib/engine/platform.mli: Arch Atomic_ctr Lock Membus Pnp_util Sim

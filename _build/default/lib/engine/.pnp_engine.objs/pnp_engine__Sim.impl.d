@@ -1,0 +1,1 @@
+lib/engine/sim.ml: Effect Eventq Format Fun List Option Pnp_util Printf Prng

@@ -1,0 +1,48 @@
+type mode = Ll_sc | Locked
+
+type t = {
+  sim : Sim.t;
+  arch : Arch.t;
+  mode : mode;
+  lock : Lock.t option; (* present iff mode = Locked *)
+  mutable value : int;
+}
+
+let create sim arch mode ~name ~init =
+  let lock =
+    match mode with
+    | Ll_sc -> None
+    | Locked -> Some (Lock.create sim arch Lock.Unfair ~name:(name ^ ".lock"))
+  in
+  { sim; arch; mode; lock; value = init }
+
+(* The locked path pays the full lock round trip plus a procedure call
+   (Section 5.2: replacing it removes a layer of procedure call and turns
+   three memory writes into one). *)
+let procedure_call_instrs = 12
+
+let apply t d =
+  if not (Sim.in_thread t.sim) then begin
+    (* Setup code: mutate without charging simulated time. *)
+    t.value <- t.value + d;
+    t.value
+  end
+  else
+    match t.lock with
+    | None ->
+      Sim.delay t.sim t.arch.Arch.atomic_ns;
+      t.value <- t.value + d;
+      t.value
+    | Some lock ->
+      Sim.delay t.sim (Arch.instr_ns t.arch procedure_call_instrs);
+      Lock.acquire lock;
+      Sim.delay t.sim (Arch.instr_ns t.arch 2);
+      t.value <- t.value + d;
+      let v = t.value in
+      Lock.release lock;
+      v
+
+let incr t = apply t 1
+let decr t = apply t (-1)
+let get t = t.value
+let mode t = t.mode

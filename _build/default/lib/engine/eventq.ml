@@ -1,0 +1,75 @@
+(* Binary min-heap keyed by (time, seq).  The sequence number makes the
+   ordering total, so ties resolve in insertion order. *)
+
+type 'a entry = { time : int; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable len : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = [||]; len = 0; next_seq = 0 }
+
+let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t =
+  let cap = max 16 (2 * Array.length t.heap) in
+  let dummy = t.heap.(0) in
+  let heap = Array.make cap dummy in
+  Array.blit t.heap 0 heap 0 t.len;
+  t.heap <- heap
+
+let add t ~time payload =
+  let e = { time; seq = t.next_seq; payload } in
+  t.next_seq <- t.next_seq + 1;
+  if Array.length t.heap = 0 then t.heap <- Array.make 16 e
+  else if t.len = Array.length t.heap then grow t;
+  (* Sift up. *)
+  let i = ref t.len in
+  t.len <- t.len + 1;
+  t.heap.(!i) <- e;
+  let continue_ = ref true in
+  while !continue_ && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if less t.heap.(!i) t.heap.(parent) then begin
+      let tmp = t.heap.(parent) in
+      t.heap.(parent) <- t.heap.(!i);
+      t.heap.(!i) <- tmp;
+      i := parent
+    end
+    else continue_ := false
+  done
+
+let sift_down t =
+  let i = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < t.len && less t.heap.(l) t.heap.(!smallest) then smallest := l;
+    if r < t.len && less t.heap.(r) t.heap.(!smallest) then smallest := r;
+    if !smallest <> !i then begin
+      let tmp = t.heap.(!smallest) in
+      t.heap.(!smallest) <- t.heap.(!i);
+      t.heap.(!i) <- tmp;
+      i := !smallest
+    end
+    else continue_ := false
+  done
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let e = t.heap.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.heap.(0) <- t.heap.(t.len);
+      sift_down t
+    end;
+    Some (e.time, e.payload)
+  end
+
+let peek_time t = if t.len = 0 then None else Some t.heap.(0).time
+let size t = t.len
+let is_empty t = t.len = 0

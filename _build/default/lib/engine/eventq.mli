@@ -1,0 +1,21 @@
+(** Priority queue of timestamped simulator events.
+
+    Events at equal timestamps fire in insertion order (a monotone sequence
+    number breaks ties), which keeps every run of the simulator bit-for-bit
+    deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val add : 'a t -> time:int -> 'a -> unit
+(** Insert an event at the given absolute time. *)
+
+val pop : 'a t -> (int * 'a) option
+(** Remove and return the earliest event, or [None] if empty. *)
+
+val peek_time : 'a t -> int option
+(** Timestamp of the earliest event without removing it. *)
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool

@@ -1,0 +1,45 @@
+type t = {
+  sim : Sim.t;
+  arch : Arch.t;
+  name : string;
+  mutable next_ticket : int;
+  mutable serving : int;
+  waiting : (int, int -> unit) Hashtbl.t; (* ticket -> resume *)
+  mutable total_wait_ns : int;
+}
+
+let create sim arch ~name =
+  { sim; arch; name; next_ticket = 0; serving = 0; waiting = Hashtbl.create 16; total_wait_ns = 0 }
+
+let take t =
+  Sim.delay t.sim t.arch.Arch.atomic_ns;
+  let n = t.next_ticket in
+  t.next_ticket <- n + 1;
+  n
+
+let await t n =
+  if n < t.serving then
+    failwith (Printf.sprintf "Gate.await %S: ticket %d already served" t.name n);
+  if n > t.serving then begin
+    let enq = Sim.now t.sim in
+    Sim.suspend t.sim (fun resume ->
+        if Hashtbl.mem t.waiting n then
+          failwith (Printf.sprintf "Gate.await %S: duplicate ticket %d" t.name n);
+        Hashtbl.replace t.waiting n resume);
+    let waited = Sim.now t.sim - enq in
+    t.total_wait_ns <- t.total_wait_ns + waited;
+    Sim.note_wait (Sim.self t.sim) waited
+  end
+
+let advance t =
+  Sim.delay t.sim t.arch.Arch.atomic_ns;
+  t.serving <- t.serving + 1;
+  match Hashtbl.find_opt t.waiting t.serving with
+  | None -> ()
+  | Some resume ->
+    Hashtbl.remove t.waiting t.serving;
+    resume (Sim.now t.sim)
+
+let serving t = t.serving
+let tickets_issued t = t.next_ticket
+let total_wait_ns t = t.total_wait_ns

@@ -1,0 +1,68 @@
+(** Simulated locks with the two grant disciplines the paper compares.
+
+    [Unfair] models the raw IRIX mutex of Section 4.1: uncontended acquire
+    costs 0.7 us (on the Challenge), and when the holder releases, the lock
+    is granted to an {e arbitrary} waiter — the paper observes that these
+    locks are not FIFO, which is exactly what reorders packets inside TCP.
+
+    [Fifo] models the MCS queue lock (Mellor-Crummey & Scott): more
+    expensive uncontended (1.5 us) but contended grants happen in arrival
+    order, preserving packet order.
+
+    On [Coherency]-synchronised architectures (the Challenge), moving a
+    lock between CPUs additionally pays the cache-line migration penalty
+    [arch.coherency_ns]; the Power Series' synchronisation bus does not. *)
+
+type discipline =
+  | Unfair  (** IRIX mutex: grant to a random waiter *)
+  | Fifo    (** MCS queue lock: grant in arrival order *)
+  | Barging (** test-and-set spinlock where the most recent arrival wins
+                (LIFO) — an ablation point between Unfair and Fifo *)
+
+type t
+
+val create : Sim.t -> Arch.t -> discipline -> name:string -> t
+
+val discipline : t -> discipline
+val name : t -> string
+
+val acquire : t -> unit
+(** Block until the lock is held by the calling thread, charging the
+    discipline's acquire cost (plus handoff and coherency costs when
+    contended or migrating between CPUs). *)
+
+val release : t -> unit
+(** Release; if waiters exist, grant per the discipline.  Must be called by
+    the owner. *)
+
+val with_lock : t -> (unit -> 'a) -> 'a
+(** [with_lock t f] = acquire; run [f]; release — releasing on exceptions. *)
+
+val holding : t -> bool
+(** Whether the calling thread currently owns the lock. *)
+
+(** {2 Statistics} *)
+
+val acquisitions : t -> int
+val contended_acquisitions : t -> int
+val total_wait_ns : t -> Pnp_util.Units.ns
+val total_hold_ns : t -> Pnp_util.Units.ns
+val reset_stats : t -> unit
+
+(** {2 Recursive (counting) locks}
+
+    The x-kernel map manager can call itself through [mapForEach]; the
+    paper handles this with counting locks: a re-acquire by the owner just
+    increments a count (Section 2.1). *)
+
+module Counting : sig
+  type lock := t
+  type t
+
+  val create : Sim.t -> Arch.t -> discipline -> name:string -> t
+  val acquire : t -> unit
+  val release : t -> unit
+  val with_lock : t -> (unit -> 'a) -> 'a
+  val depth : t -> int
+  val underlying : t -> lock
+end

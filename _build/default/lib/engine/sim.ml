@@ -1,0 +1,169 @@
+open Pnp_util
+
+type thread = {
+  tid : int;
+  cpu : int;
+  name : string;
+  mutable finished : bool;
+  mutable runnable : bool; (* has a scheduled resumption (or is running) *)
+  mutable waited_ns : int;
+}
+
+type t = {
+  mutable now : int;
+  events : (unit -> unit) Eventq.t;
+  rng : Prng.t;
+  mutable next_tid : int;
+  mutable next_cpu : int;
+  mutable current : thread option;
+  mutable threads : thread list; (* newest first; for diagnostics *)
+  mutable stopping : bool;
+  mutable processed : int;
+}
+
+type _ Effect.t += Suspend : t * ((int -> unit) -> unit) -> unit Effect.t
+
+let create ?(seed = 42) () =
+  {
+    now = 0;
+    events = Eventq.create ();
+    rng = Prng.create seed;
+    next_tid = 0;
+    next_cpu = 0;
+    current = None;
+    threads = [];
+    stopping = false;
+    processed = 0;
+  }
+
+let now t = t.now
+let prng t = t.rng
+
+let at t time f =
+  if time < t.now then
+    invalid_arg
+      (Printf.sprintf "Sim.at: time %d is in the past (now %d)" time t.now);
+  Eventq.add t.events ~time f
+
+let after t d = at t (t.now + d)
+
+let self t =
+  match t.current with
+  | Some th -> th
+  | None -> failwith "Sim.self: not inside a simulated thread"
+
+(* Run [f] as the body of [th]: effects performed inside are handled here.
+   Each resumption of the thread's continuation happens from an event-loop
+   callback, so [t.current] is set for the duration of each burst of
+   execution and cleared when the thread suspends or finishes. *)
+let start_thread t th body =
+  let open Effect.Deep in
+  let run_burst k =
+    t.current <- Some th;
+    Fun.protect ~finally:(fun () -> t.current <- None) k
+  in
+  let handler =
+    {
+      retc = (fun () -> th.finished <- true);
+      exnc = raise;
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Suspend (owner, register) ->
+            if owner != t then None
+            else
+              Some
+                (fun (k : (a, _) continuation) ->
+                  let resumed = ref false in
+                  th.runnable <- false;
+                  let resume time =
+                    if !resumed then
+                      failwith
+                        (Printf.sprintf "Sim: thread %S resumed twice" th.name);
+                    resumed := true;
+                    th.runnable <- true;
+                    at t time (fun () -> run_burst (fun () -> continue k ()))
+                  in
+                  register resume)
+          | _ -> None);
+    }
+  in
+  run_burst (fun () -> match_with body () handler)
+
+let spawn t ?cpu ~name body =
+  let cpu =
+    match cpu with
+    | Some c -> c
+    | None ->
+      let c = t.next_cpu in
+      t.next_cpu <- t.next_cpu + 1;
+      c
+  in
+  let th =
+    { tid = t.next_tid; cpu; name; finished = false; runnable = true; waited_ns = 0 }
+  in
+  t.next_tid <- t.next_tid + 1;
+  t.threads <- th :: t.threads;
+  at t t.now (fun () -> start_thread t th body);
+  th
+
+let in_thread t = Option.is_some t.current
+
+let suspend t register = Effect.perform (Suspend (t, register))
+
+let delay t d =
+  if d < 0 then invalid_arg "Sim.delay: negative duration";
+  if d = 0 then ()
+  else
+    let deadline = t.now + d in
+    suspend t (fun resume -> resume deadline)
+
+let yield t = suspend t (fun resume -> resume t.now)
+
+let stop t = t.stopping <- true
+
+let run ?until t =
+  t.stopping <- false;
+  let continue_ = ref true in
+  while !continue_ && not t.stopping do
+    match Eventq.peek_time t.events with
+    | None -> continue_ := false
+    | Some time -> (
+      match until with
+      | Some limit when time > limit ->
+        t.now <- max t.now limit;
+        continue_ := false
+      | _ -> (
+        match Eventq.pop t.events with
+        | None -> continue_ := false
+        | Some (time, action) ->
+          assert (time >= t.now);
+          t.now <- time;
+          t.processed <- t.processed + 1;
+          action ()))
+  done;
+  match until with
+  | Some limit when not t.stopping -> t.now <- max t.now limit
+  | _ -> ()
+
+let blocked_threads t =
+  List.filter (fun th -> (not th.finished) && not th.runnable) t.threads
+
+let live_threads t = List.filter (fun th -> not th.finished) t.threads
+
+let pp_blocked fmt t =
+  match blocked_threads t with
+  | [] -> Format.fprintf fmt "no blocked threads"
+  | bs ->
+    Format.fprintf fmt "%d blocked thread(s):" (List.length bs);
+    List.iter
+      (fun th -> Format.fprintf fmt "@ [tid %d cpu %d %S]" th.tid th.cpu th.name)
+      bs
+
+let tid th = th.tid
+let cpu th = th.cpu
+let thread_name th = th.name
+let is_finished th = th.finished
+let note_wait th d = th.waited_ns <- th.waited_ns + d
+let wait_ns th = th.waited_ns
+let events_processed t = t.processed

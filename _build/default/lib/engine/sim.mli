@@ -1,0 +1,101 @@
+(** Deterministic discrete-event simulator with direct-style threads.
+
+    The simulator stands in for the paper's shared-memory multiprocessor:
+    each simulated thread is wired to a processor (exactly the paper's
+    one-thread-per-CPU configuration), and protocol code runs as ordinary
+    OCaml inside those threads, suspending on OCaml 5 effects whenever it
+    consumes simulated time or blocks on a synchronisation object.
+
+    The event loop is single-threaded at the host level; all concurrency is
+    simulated, which is what makes lock-grant order, packet misordering and
+    contention measurable and reproducible. *)
+
+type t
+(** A simulation world. *)
+
+type thread
+(** A simulated thread. *)
+
+val create : ?seed:int -> unit -> t
+(** Fresh world at time 0.  [seed] initialises the world's PRNG (used by
+    unfair lock grants and workload jitter). *)
+
+val now : t -> Pnp_util.Units.ns
+(** Current simulated time. *)
+
+val prng : t -> Pnp_util.Prng.t
+(** The world's deterministic random stream. *)
+
+val spawn : t -> ?cpu:int -> name:string -> (unit -> unit) -> thread
+(** [spawn t ~cpu ~name body] creates a thread wired to processor [cpu]
+    (default: a fresh CPU number) that starts running at the current time.
+    The body may call {!delay}, {!suspend} and the blocking operations of
+    {!Lock}, {!Gate} and {!Membus}. *)
+
+val at : t -> Pnp_util.Units.ns -> (unit -> unit) -> unit
+(** [at t time f] schedules the callback [f] at absolute [time].  Callbacks
+    run outside any thread and must not block. *)
+
+val after : t -> Pnp_util.Units.ns -> (unit -> unit) -> unit
+(** Relative variant of {!at}. *)
+
+val run : ?until:Pnp_util.Units.ns -> t -> unit
+(** Process events in time order.  With [until], stop as soon as the next
+    event would fire strictly after that time (the clock is then set to
+    [until]); without it, run until the event queue drains. *)
+
+val stop : t -> unit
+(** Ask {!run} to return after the current event. *)
+
+(** {2 Operations usable only inside a spawned thread} *)
+
+val self : t -> thread
+(** The currently running thread.  @raise Failure outside a thread. *)
+
+val in_thread : t -> bool
+(** Whether the caller is executing inside a simulated thread.  Setup code
+    (building packet templates, initialising state) runs outside and must
+    not be charged simulated time. *)
+
+val delay : t -> Pnp_util.Units.ns -> unit
+(** Consume simulated time: the calling thread resumes [d] later. *)
+
+val suspend : t -> ((Pnp_util.Units.ns -> unit) -> unit) -> unit
+(** [suspend t register] blocks the calling thread.  [register] receives a
+    one-shot [resume] function; whoever holds it may later call
+    [resume time] to schedule the thread to continue at absolute [time]. *)
+
+val yield : t -> unit
+(** Reschedule the calling thread at the current time, letting other
+    pending events at this instant run first. *)
+
+(** {2 Thread accessors} *)
+
+val tid : thread -> int
+val cpu : thread -> int
+val thread_name : thread -> string
+val is_finished : thread -> bool
+
+val note_wait : thread -> Pnp_util.Units.ns -> unit
+(** Attribute [d] of blocked time to the thread (locks call this; the
+    harness reads it back for the Section 3 lock-wait profile). *)
+
+val wait_ns : thread -> Pnp_util.Units.ns
+(** Total blocked time recorded with {!note_wait}. *)
+
+val events_processed : t -> int
+(** Number of events executed so far (observability / debugging). *)
+
+(** {2 Diagnostics}
+
+    When [run] returns with the event queue drained but threads still
+    blocked, something is deadlocked (or waiting on a resume that will
+    never come); these report the suspects. *)
+
+val blocked_threads : t -> thread list
+(** Threads that are suspended with no scheduled resumption. *)
+
+val live_threads : t -> thread list
+(** Threads that have not finished. *)
+
+val pp_blocked : Format.formatter -> t -> unit

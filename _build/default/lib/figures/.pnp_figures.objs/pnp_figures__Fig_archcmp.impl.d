@@ -1,0 +1,1 @@
+lib/figures/fig_archcmp.ml: Arch Config List Opts Pnp_engine Pnp_harness Printf Report

@@ -1,0 +1,1 @@
+lib/figures/fig_archcmp.mli: Opts Pnp_harness

@@ -1,0 +1,1 @@
+lib/figures/fig_atomics.ml: Atomic_ctr Config Opts Pnp_engine Pnp_harness Report

@@ -1,0 +1,1 @@
+lib/figures/fig_atomics.mli: Opts Pnp_harness

@@ -1,0 +1,1 @@
+lib/figures/fig_baseline.ml: Config List Opts Pnp_harness Printf Report

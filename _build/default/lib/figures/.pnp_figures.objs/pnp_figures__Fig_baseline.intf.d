@@ -1,0 +1,1 @@
+lib/figures/fig_baseline.mli: Opts Pnp_harness

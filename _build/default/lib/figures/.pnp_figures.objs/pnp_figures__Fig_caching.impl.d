@@ -1,0 +1,1 @@
+lib/figures/fig_caching.ml: Config Opts Pnp_harness Report

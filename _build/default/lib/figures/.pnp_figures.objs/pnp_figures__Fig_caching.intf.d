@@ -1,0 +1,1 @@
+lib/figures/fig_caching.mli: Opts Pnp_harness

@@ -1,0 +1,1 @@
+lib/figures/fig_extensions.ml: Arch Config List Lock Opts Pnp_engine Pnp_harness Pnp_util Printf Report Run Stats

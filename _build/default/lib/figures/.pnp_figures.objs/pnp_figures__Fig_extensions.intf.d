@@ -1,0 +1,1 @@
+lib/figures/fig_extensions.mli: Opts

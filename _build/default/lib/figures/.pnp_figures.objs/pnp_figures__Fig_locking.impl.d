@@ -1,0 +1,1 @@
+lib/figures/fig_locking.ml: Config List Lock Opts Pnp_engine Pnp_harness Pnp_proto Report Tcp

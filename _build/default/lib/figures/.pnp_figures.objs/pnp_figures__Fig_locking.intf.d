@@ -1,0 +1,1 @@
+lib/figures/fig_locking.mli: Opts Pnp_harness

@@ -1,0 +1,1 @@
+lib/figures/fig_micro.ml: Arch Config List Membus Opts Platform Pnp_engine Pnp_harness Pnp_util Printf Run Sim Stats Units

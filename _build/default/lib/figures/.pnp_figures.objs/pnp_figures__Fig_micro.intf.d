@@ -1,0 +1,1 @@
+lib/figures/fig_micro.mli: Opts

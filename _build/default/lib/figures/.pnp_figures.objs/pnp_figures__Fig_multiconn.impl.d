@@ -1,0 +1,1 @@
+lib/figures/fig_multiconn.ml: Config Lock Opts Pnp_engine Pnp_harness Report

@@ -1,0 +1,1 @@
+lib/figures/fig_multiconn.mli: Opts Pnp_harness

@@ -1,0 +1,1 @@
+lib/figures/fig_ordering.ml: Config Lock Opts Pnp_engine Pnp_harness Report Run

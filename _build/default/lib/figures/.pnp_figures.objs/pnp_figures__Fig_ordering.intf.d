@@ -1,0 +1,1 @@
+lib/figures/fig_ordering.mli: Opts Pnp_harness

@@ -1,0 +1,1 @@
+lib/figures/opts.ml: List Pnp_harness Pnp_util Units

@@ -1,0 +1,1 @@
+lib/figures/opts.mli: Pnp_harness Pnp_util

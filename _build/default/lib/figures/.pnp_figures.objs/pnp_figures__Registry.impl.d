@@ -1,0 +1,1 @@
+lib/figures/registry.ml: Fig_archcmp Fig_atomics Fig_baseline Fig_caching Fig_extensions Fig_locking Fig_micro Fig_multiconn Fig_ordering List Opts Printf

@@ -1,0 +1,1 @@
+lib/figures/registry.mli: Opts

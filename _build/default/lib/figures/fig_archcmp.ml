@@ -1,0 +1,37 @@
+open Pnp_engine
+open Pnp_harness
+
+let archs =
+  [
+    ("R4400/150", Arch.challenge_150);
+    ("R4400/100", Arch.challenge_100);
+    ("R3000/33", Arch.power_series_33);
+  ]
+
+let data opts =
+  List.concat_map
+    (fun (name, arch) ->
+      List.map
+        (fun checksum ->
+          let label =
+            Printf.sprintf "%s ck-%s" name (if checksum then "on" else "off")
+          in
+          let procs =
+            List.filter (fun p -> p <= arch.Arch.cpus) (Opts.procs opts)
+          in
+          Report.throughput_series ~label ~procs ~seeds:opts.Opts.seeds (fun procs ->
+              Opts.apply opts
+                (Config.v ~arch ~protocol:Config.Tcp ~side:Config.Recv ~payload:4096
+                   ~checksum ~procs ())))
+        [ false; true ])
+    archs
+
+let fig17_18 opts =
+  let series = data opts in
+  Report.print_table
+    ~title:"Figure 17: TCP Receive Throughputs across Architectures (4KB)"
+    ~unit_label:"Mbit/s" series;
+  Report.print_table
+    ~title:"Figure 18: TCP Receive Speedups across Architectures (4KB)"
+    ~unit_label:"x vs 1 CPU"
+    (List.map Report.speedup series)

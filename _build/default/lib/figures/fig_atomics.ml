@@ -1,0 +1,22 @@
+open Pnp_engine
+open Pnp_harness
+
+let data opts =
+  let series label ~side ~refcnt_mode =
+    Report.throughput_series ~label ~procs:(Opts.procs opts) ~seeds:opts.Opts.seeds
+      (fun procs ->
+        Opts.apply opts
+          (Config.v ~protocol:Config.Tcp ~side ~payload:4096 ~checksum:true ~refcnt_mode
+             ~procs ()))
+  in
+  [
+    series "recv atomic ops" ~side:Config.Recv ~refcnt_mode:Atomic_ctr.Ll_sc;
+    series "recv locked ops" ~side:Config.Recv ~refcnt_mode:Atomic_ctr.Locked;
+    series "send atomic ops" ~side:Config.Send ~refcnt_mode:Atomic_ctr.Ll_sc;
+    series "send locked ops" ~side:Config.Send ~refcnt_mode:Atomic_ctr.Locked;
+  ]
+
+let fig15 opts =
+  Report.print_table
+    ~title:"Figure 15: TCP Atomic Operations Impact (4KB, checksum on)"
+    ~unit_label:"Mbit/s" (data opts)

@@ -1,0 +1,5 @@
+(** Figure 15: LL/SC atomic increment/decrement vs lock-increment-unlock
+    for reference counts (Section 5.2). *)
+
+val data : Opts.t -> Pnp_harness.Report.series list
+val fig15 : Opts.t -> unit

@@ -1,0 +1,21 @@
+open Pnp_harness
+
+let data opts =
+  let series label ~side ~message_caching =
+    Report.throughput_series ~label ~procs:(Opts.procs opts) ~seeds:opts.Opts.seeds
+      (fun procs ->
+        Opts.apply opts
+          (Config.v ~protocol:Config.Tcp ~side ~payload:4096 ~checksum:true
+             ~message_caching ~procs ()))
+  in
+  [
+    series "recv cached" ~side:Config.Recv ~message_caching:true;
+    series "recv not cached" ~side:Config.Recv ~message_caching:false;
+    series "send cached" ~side:Config.Send ~message_caching:true;
+    series "send not cached" ~side:Config.Send ~message_caching:false;
+  ]
+
+let fig16 opts =
+  Report.print_table
+    ~title:"Figure 16: TCP Message Caching Impact (4KB, checksum on)"
+    ~unit_label:"Mbit/s" (data opts)

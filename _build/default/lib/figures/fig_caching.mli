@@ -1,0 +1,5 @@
+(** Figure 16: per-thread message (MNode) caching in the message tool
+    (Section 6). *)
+
+val data : Opts.t -> Pnp_harness.Report.series list
+val fig16 : Opts.t -> unit

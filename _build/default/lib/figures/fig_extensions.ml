@@ -1,0 +1,150 @@
+open Pnp_engine
+open Pnp_util
+open Pnp_harness
+
+let skews = [ 0.0; 0.5; 1.0; 1.5; 2.0 ]
+
+let clp_vs_plp_data opts =
+  let procs = opts.Opts.max_procs in
+  let conns = 2 * procs in
+  (* Offered load: comfortably above what one CPU can absorb on its own
+     connections but near the machine's aggregate capacity, so skew makes
+     the statically-placed hot connection's owner the bottleneck. *)
+  let offered = 90.0 *. float_of_int procs in
+  let tput placement skew =
+    (Run.throughput_summary
+       (Opts.apply opts
+          (Config.v ~protocol:Config.Tcp ~side:Config.Recv ~payload:4096 ~checksum:true
+             ~lock_disc:Lock.Fifo ~connections:conns ~placement ~skew
+             ~offered_mbps:offered ~procs ()))
+       ~seeds:opts.Opts.seeds)
+      .Stats.mean
+  in
+  List.map
+    (fun skew -> (skew, tput Config.Packet_level skew, tput Config.Connection_level skew))
+    skews
+
+let clp_vs_plp opts =
+  Printf.printf
+    "\n== Extension (Section 8 future work): connection-level vs packet-level \
+     parallelism ==\n";
+  Printf.printf
+    "TCP recv, %d CPUs, %d connections, MCS locks; offered load %.0f Mbit/s split\n\
+     over the connections by Zipf(skew) arrival rates.\n"
+    opts.Opts.max_procs (2 * opts.Opts.max_procs)
+    (90.0 *. float_of_int opts.Opts.max_procs);
+  Printf.printf "%-6s %18s %22s %10s\n" "skew" "packet-level Mb/s" "connection-level Mb/s"
+    "CLP/PLP";
+  List.iter
+    (fun (skew, plp, clp) ->
+      Printf.printf "%-6.1f %18.1f %22.1f %10.2f\n" skew plp clp (clp /. plp))
+    (clp_vs_plp_data opts);
+  Printf.printf
+    "Connection-level placement avoids state-lock sharing but cannot balance a\n\
+     skewed load; packet-level placement balances but contends on hot connections.\n";
+  flush stdout
+
+let recv_cfg opts ?(lock_disc = Lock.Unfair) ?(arch = Arch.challenge_100)
+    ?(driver_jitter_ns = 8000.0) ?(cksum_under_lock = false) procs =
+  Opts.apply opts
+    (Config.v ~arch ~protocol:Config.Tcp ~side:Config.Recv ~payload:4096 ~checksum:true
+       ~lock_disc ~driver_jitter_ns ~cksum_under_lock ~procs ())
+
+let grant_policy opts =
+  let series label disc =
+    Report.metric_series ~label ~procs:(Opts.procs opts) ~seeds:opts.Opts.seeds
+      ~metric:(fun r -> r.Run.ooo_pct)
+      (fun p -> recv_cfg opts ~lock_disc:disc p)
+  in
+  Report.print_table
+    ~title:"Ablation: lock grant policy vs out-of-order rate (recv, 4KB, ck-on)"
+    ~unit_label:"% out-of-order"
+    [
+      series "random (mutex)" Lock.Unfair;
+      series "barging (LIFO)" Lock.Barging;
+      series "FIFO (MCS)" Lock.Fifo;
+    ]
+
+let coherency opts =
+  (* UDP receive is where the migration penalty shows: the demux and ring
+     locks ping-pong between CPUs on every packet, which is what produces
+     the 2-CPU dip the paper sees on the Challenges but not on the
+     synchronisation-bus Power Series. *)
+  let series label coherency_ns =
+    let arch = { Arch.challenge_100 with Arch.coherency_ns } in
+    Report.throughput_series ~label ~procs:(Opts.procs opts) ~seeds:opts.Opts.seeds
+      (fun procs ->
+        Opts.apply opts
+          (Config.v ~arch ~protocol:Config.Udp ~side:Config.Recv ~payload:4096
+             ~checksum:false ~procs ()))
+  in
+  let series_list =
+    [
+      series "no penalty (sync bus-like)" 0;
+      series "1300 ns (Challenge)" 1300;
+      series "2600 ns" 2600;
+      series "5200 ns" 5200;
+    ]
+  in
+  Report.print_table
+    ~title:"Ablation: cache-line migration penalty (UDP recv, 4KB, ck-off)"
+    ~unit_label:"Mbit/s" series_list;
+  Report.print_table
+    ~title:"Ablation: the same, as speedup (watch the low-CPU efficiency)"
+    ~unit_label:"x vs 1 CPU"
+    (List.map Report.speedup series_list)
+
+let jitter opts =
+  let series label driver_jitter_ns =
+    Report.metric_series ~label ~procs:(Opts.procs opts) ~seeds:opts.Opts.seeds
+      ~metric:(fun r -> r.Run.ooo_pct)
+      (fun p -> recv_cfg opts ~lock_disc:Lock.Fifo ~driver_jitter_ns p)
+  in
+  Report.print_table
+    ~title:"Ablation: driver service jitter vs MCS out-of-order rate (Table 1's MCS column)"
+    ~unit_label:"% out-of-order"
+    [
+      series "no jitter" 0.0;
+      series "2 us" 2000.0;
+      series "8 us (default)" 8000.0;
+      series "16 us" 16000.0;
+    ]
+
+let presentation opts =
+  let series label ~presentation =
+    let data =
+      Report.throughput_series ~label ~procs:(Opts.procs opts) ~seeds:opts.Opts.seeds
+        (fun procs ->
+          Opts.apply opts
+            (Config.v ~protocol:Config.Udp ~side:Config.Recv ~payload:4096 ~checksum:true
+               ~presentation ~procs ()))
+    in
+    data
+  in
+  let series_list =
+    [
+      series "checksum only" ~presentation:false;
+      series "+ presentation conversion" ~presentation:true;
+    ]
+  in
+  Report.print_table
+    ~title:
+      "Extension: presentation-layer conversion (UDP recv, 4KB, ck-on; the Goldberg        et al. workload of Section 3.2)"
+    ~unit_label:"Mbit/s" series_list;
+  Report.print_table ~title:"The same, as speedup (heavier data-touching scales better)"
+    ~unit_label:"x vs 1 CPU"
+    (List.map Report.speedup series_list)
+
+let cksum_placement opts =
+  let series label cksum_under_lock =
+    Report.throughput_series ~label ~procs:(Opts.procs opts) ~seeds:opts.Opts.seeds
+      (fun p -> recv_cfg opts ~lock_disc:Lock.Fifo ~cksum_under_lock p)
+  in
+  Report.print_table
+    ~title:
+      "Ablation: checksum inside vs outside the connection lock (TCP-1 recv, 4KB, MCS)"
+    ~unit_label:"Mbit/s"
+    [
+      series "outside locks (restructured)" false;
+      series "under the state lock" true;
+    ]

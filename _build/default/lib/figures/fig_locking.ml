@@ -1,0 +1,35 @@
+open Pnp_engine
+open Pnp_proto
+open Pnp_harness
+
+let variants =
+  [
+    ("TCP-1 4KB", Tcp.One, 4096);
+    ("TCP-2 4KB", Tcp.Two, 4096);
+    ("TCP-6 4KB", Tcp.Six, 4096);
+    ("TCP-1 1KB", Tcp.One, 1024);
+    ("TCP-2 1KB", Tcp.Two, 1024);
+    ("TCP-6 1KB", Tcp.Six, 1024);
+  ]
+
+let data opts ~side =
+  List.map
+    (fun (label, tcp_locking, payload) ->
+      Report.throughput_series ~label ~procs:(Opts.procs opts) ~seeds:opts.Opts.seeds
+        (fun procs ->
+          Opts.apply opts
+            (Config.v ~protocol:Config.Tcp ~side ~payload ~checksum:true
+               ~lock_disc:Lock.Fifo ~tcp_locking ~procs ())))
+    variants
+
+let fig13 opts =
+  Report.print_table
+    ~title:"Figure 13: TCP Send-Side Locking Comparison (checksum on, MCS)"
+    ~unit_label:"Mbit/s"
+    (data opts ~side:Config.Send)
+
+let fig14 opts =
+  Report.print_table
+    ~title:"Figure 14: TCP Receive-Side Locking Comparison (checksum on, MCS)"
+    ~unit_label:"Mbit/s"
+    (data opts ~side:Config.Recv)

@@ -1,0 +1,14 @@
+(** Figures 13 and 14: locking granularity in TCP (Section 5.1).
+
+    TCP-1 (one state lock), TCP-2 (send + receive locks) and TCP-6 (the
+    SICS six-lock style, checksumming under the header locks), each with
+    1 KB and 4 KB packets, checksumming on, MCS locks. *)
+
+val data :
+  Opts.t -> side:Pnp_harness.Config.side -> Pnp_harness.Report.series list
+
+val fig13 : Opts.t -> unit
+(** Send side. *)
+
+val fig14 : Opts.t -> unit
+(** Receive side. *)

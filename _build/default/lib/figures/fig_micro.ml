@@ -1,0 +1,82 @@
+open Pnp_engine
+open Pnp_util
+open Pnp_harness
+
+(* Pure checksum load: threads stream cold data through the bus. *)
+let checksum_bandwidth_data opts =
+  let chunk = 65536 in
+  List.map
+    (fun procs ->
+      let plat = Platform.create ~seed:7 Arch.challenge_100 in
+      let done_bytes = ref 0 in
+      for i = 0 to procs - 1 do
+        ignore
+          (Sim.spawn plat.Platform.sim ~cpu:i ~name:(Printf.sprintf "ck%d" i) (fun () ->
+               while true do
+                 Membus.consume plat.Platform.bus ~bytes:chunk;
+                 done_bytes := !done_bytes + chunk
+               done))
+      done;
+      let horizon = opts.Opts.measure in
+      Sim.run ~until:horizon plat.Platform.sim;
+      let mb_per_s = float_of_int !done_bytes /. 1e6 /. Units.ns_to_sec horizon in
+      (procs, mb_per_s))
+    (Opts.procs opts)
+
+let checksum_bandwidth opts =
+  Printf.printf
+    "\n== Section 3.2 micro-benchmark: checksum bandwidth (cold data) ==\n";
+  Printf.printf "%-6s %14s %14s\n" "procs" "aggregate MB/s" "per-CPU MB/s";
+  List.iter
+    (fun (p, mb) -> Printf.printf "%-6d %14.1f %14.1f\n" p mb (mb /. float_of_int p))
+    (checksum_bandwidth_data opts);
+  let arch = Arch.challenge_100 in
+  Printf.printf
+    "bus %.0f MB/s / %.0f MB/s per CPU => supports ~%.0f checksumming CPUs (paper: 38)\n"
+    arch.Arch.bus_mb_per_s arch.Arch.cksum_mb_per_s
+    (arch.Arch.bus_mb_per_s /. arch.Arch.cksum_mb_per_s);
+  flush stdout
+
+let udp_recv_cfg opts ~map_locking procs =
+  Opts.apply opts
+    (Config.v ~protocol:Config.Udp ~side:Config.Recv ~payload:4096 ~checksum:true
+       ~map_locking ~procs ())
+
+let map_locking_data opts =
+  let p = opts.Opts.max_procs in
+  let tput ml =
+    (Run.throughput_summary (udp_recv_cfg opts ~map_locking:ml p) ~seeds:opts.Opts.seeds)
+      .Stats.mean
+  in
+  (tput true, tput false)
+
+let map_locking opts =
+  let locked, unlocked = map_locking_data opts in
+  Printf.printf
+    "\n== Section 3.1 aside: demultiplexing map locks (UDP recv, %d CPUs) ==\n"
+    opts.Opts.max_procs;
+  Printf.printf "maps locked:   %8.1f Mbit/s\n" locked;
+  Printf.printf "maps unlocked: %8.1f Mbit/s  (+%.1f%%; paper: ~10%%)\n" unlocked
+    (100.0 *. (unlocked -. locked) /. locked);
+  flush stdout
+
+let lock_profile_data opts =
+  let p = opts.Opts.max_procs in
+  let wait side =
+    let cfg =
+      Opts.apply opts
+        (Config.v ~protocol:Config.Tcp ~side ~payload:4096 ~checksum:true ~procs:p ())
+    in
+    let results = Run.run_seeds cfg ~seeds:opts.Opts.seeds in
+    Pnp_util.Stats.mean (List.map (fun r -> r.Run.lock_wait_pct) results)
+  in
+  (wait Config.Recv, wait Config.Send)
+
+let lock_profile opts =
+  let recv, send = lock_profile_data opts in
+  Printf.printf
+    "\n== Section 3 profile: time waiting on the TCP connection-state lock (%d CPUs) ==\n"
+    opts.Opts.max_procs;
+  Printf.printf "receive side: %5.1f%% of thread time  (paper: 90%%)\n" recv;
+  Printf.printf "send side:    %5.1f%% of thread time  (paper: 85%%)\n" send;
+  flush stdout

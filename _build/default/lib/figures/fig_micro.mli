@@ -1,0 +1,25 @@
+(** The smaller measurements quoted in the text.
+
+    - Section 3.2's checksum micro-benchmark: each CPU checksums
+      cache-missing data at ~32 MB/s against a 1.2 GB/s bus, so about 38
+      processors could do nothing but checksum.
+    - Section 3.1's aside: running the receive test without locking the
+      demultiplexing maps buys about 10%.
+    - Section 3's profile: at 8 CPUs, 90% (receive) / 85% (send) of time
+      is spent waiting for the TCP connection-state lock. *)
+
+val checksum_bandwidth_data : Opts.t -> (int * float) list
+(** (processors, aggregate MB/s) for pure checksumming. *)
+
+val checksum_bandwidth : Opts.t -> unit
+
+val map_locking_data : Opts.t -> float * float
+(** UDP receive throughput at [max_procs] with map locking on and off. *)
+
+val map_locking : Opts.t -> unit
+
+val lock_profile_data : Opts.t -> float * float
+(** (recv, send) percentage of thread time spent waiting on the TCP
+    connection-state lock at [max_procs] CPUs. *)
+
+val lock_profile : Opts.t -> unit

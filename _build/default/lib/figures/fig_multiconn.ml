@@ -1,0 +1,24 @@
+open Pnp_engine
+open Pnp_harness
+
+let data opts =
+  let series label ~side ~checksum =
+    Report.throughput_series ~label ~procs:(Opts.procs opts) ~seeds:opts.Opts.seeds
+      (fun procs ->
+        Opts.apply opts
+          (Config.v ~protocol:Config.Tcp ~side ~payload:4096 ~checksum
+             ~lock_disc:Lock.Fifo ~connections:procs
+             ~placement:Config.Connection_level ~procs ()))
+  in
+  [
+    series "recv ck-off" ~side:Config.Recv ~checksum:false;
+    series "recv ck-on" ~side:Config.Recv ~checksum:true;
+    series "send ck-off" ~side:Config.Send ~checksum:false;
+    series "send ck-on" ~side:Config.Send ~checksum:true;
+  ]
+
+let fig12 opts =
+  Report.print_table
+    ~title:
+      "Figure 12: TCP with Multiple Connections (4KB, MCS, no ticketing, one conn/CPU)"
+    ~unit_label:"Mbit/s" (data opts)

@@ -1,0 +1,19 @@
+(** Section 4: ordering effects.
+
+    Figure 10 compares baseline TCP-1 under raw mutexes, under MCS FIFO
+    locks, and a modified TCP that assumes every packet is in order (the
+    upper bound).  Table 1 gives the percentage of out-of-order packets
+    under both lock types.  Figure 11 measures the cost of preserving
+    order above TCP with the ticketing scheme, and Section 4.1's aside
+    measures send-side misordering below TCP (< 1%). *)
+
+val fig10_data : Opts.t -> Pnp_harness.Report.series list
+val fig10 : Opts.t -> unit
+
+val table1_data : Opts.t -> Pnp_harness.Report.series list
+val table1 : Opts.t -> unit
+
+val fig11 : Opts.t -> unit
+
+val send_side_misordering_data : Opts.t -> Pnp_harness.Report.series
+val send_side_misordering : Opts.t -> unit

@@ -1,0 +1,11 @@
+open Pnp_util
+
+type t = { max_procs : int; seeds : int; warmup : Units.ns; measure : Units.ns }
+
+let default = { max_procs = 8; seeds = 3; warmup = Units.ms 200.0; measure = Units.ms 500.0 }
+let quick = { default with seeds = 2; measure = Units.ms 250.0 }
+
+let procs t = List.init t.max_procs (fun i -> i + 1)
+
+let apply t cfg =
+  { cfg with Pnp_harness.Config.warmup = t.warmup; measure = t.measure }

@@ -1,0 +1,20 @@
+(** Sweep options shared by all figure generators. *)
+
+type t = {
+  max_procs : int;              (** sweep 1..max_procs (capped per machine) *)
+  seeds : int;                  (** runs averaged per data point *)
+  warmup : Pnp_util.Units.ns;
+  measure : Pnp_util.Units.ns;
+}
+
+val default : t
+(** 8 processors, 3 seeds, 200 ms + 500 ms — a full sweep in minutes. *)
+
+val quick : t
+(** 2 seeds, 250 ms measurement — for smoke tests. *)
+
+val procs : t -> int list
+(** [1; 2; ...; max_procs]. *)
+
+val apply : t -> Pnp_harness.Config.t -> Pnp_harness.Config.t
+(** Overwrite the config's warmup/measure with the sweep's. *)

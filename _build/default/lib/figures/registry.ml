@@ -1,0 +1,77 @@
+type entry = { id : string; title : string; run : Opts.t -> unit }
+
+let all =
+  [
+    { id = "fig2-3"; title = "UDP send throughput & speedup"; run = Fig_baseline.fig2_3 };
+    { id = "fig4-5"; title = "UDP receive throughput & speedup"; run = Fig_baseline.fig4_5 };
+    { id = "fig6-7"; title = "TCP send throughput & speedup"; run = Fig_baseline.fig6_7 };
+    { id = "fig8-9"; title = "TCP receive throughput & speedup"; run = Fig_baseline.fig8_9 };
+    { id = "fig10"; title = "Ordering effects in TCP"; run = Fig_ordering.fig10 };
+    { id = "table1"; title = "% packets out-of-order, mutex vs MCS"; run = Fig_ordering.table1 };
+    { id = "fig11"; title = "Ticketing effects in TCP"; run = Fig_ordering.fig11 };
+    {
+      id = "send-ooo";
+      title = "Send-side misordering below TCP (Section 4.1)";
+      run = Fig_ordering.send_side_misordering;
+    };
+    { id = "fig12"; title = "TCP with multiple connections"; run = Fig_multiconn.fig12 };
+    { id = "fig13"; title = "TCP send-side locking comparison"; run = Fig_locking.fig13 };
+    { id = "fig14"; title = "TCP receive-side locking comparison"; run = Fig_locking.fig14 };
+    { id = "fig15"; title = "Atomic operations impact"; run = Fig_atomics.fig15 };
+    { id = "fig16"; title = "Message caching impact"; run = Fig_caching.fig16 };
+    { id = "fig17-18"; title = "TCP across architectures"; run = Fig_archcmp.fig17_18 };
+    {
+      id = "micro-cksum";
+      title = "Checksum bandwidth micro-benchmark (Section 3.2)";
+      run = Fig_micro.checksum_bandwidth;
+    };
+    {
+      id = "micro-maps";
+      title = "Demux map locking aside (Section 3.1)";
+      run = Fig_micro.map_locking;
+    };
+    {
+      id = "micro-lockwait";
+      title = "Connection-lock wait profile (Section 3)";
+      run = Fig_micro.lock_profile;
+    };
+    {
+      id = "ext-clp";
+      title = "Future work (Section 8): connection-level vs packet-level parallelism";
+      run = Fig_extensions.clp_vs_plp;
+    };
+    {
+      id = "ext-grant";
+      title = "Ablation: lock grant policy vs misordering";
+      run = Fig_extensions.grant_policy;
+    };
+    {
+      id = "ext-coherency";
+      title = "Ablation: cache-line migration penalty";
+      run = Fig_extensions.coherency;
+    };
+    {
+      id = "ext-jitter";
+      title = "Ablation: driver jitter vs MCS misordering";
+      run = Fig_extensions.jitter;
+    };
+    {
+      id = "ext-pres";
+      title = "Extension: presentation-layer conversion vs speedup (Section 3.2 contrast)";
+      run = Fig_extensions.presentation;
+    };
+    {
+      id = "ext-cksum-lock";
+      title = "Ablation: checksum placement relative to the state lock";
+      run = Fig_extensions.cksum_placement;
+    };
+  ]
+
+let find id = List.find_opt (fun e -> e.id = id) all
+
+let run_all opts =
+  List.iter
+    (fun e ->
+      Printf.printf "\n###### %s: %s ######\n%!" e.id e.title;
+      e.run opts)
+    all

@@ -1,0 +1,14 @@
+(** Index of every reproducible figure and table. *)
+
+type entry = {
+  id : string;          (** e.g. "fig8", "table1", "micro-cksum" *)
+  title : string;
+  run : Opts.t -> unit;
+}
+
+val all : entry list
+
+val find : string -> entry option
+
+val run_all : Opts.t -> unit
+(** Regenerate every figure and table in order. *)

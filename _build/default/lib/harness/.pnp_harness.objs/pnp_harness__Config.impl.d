@@ -1,0 +1,1 @@
+lib/harness/config.ml: Arch Atomic_ctr Lock Pnp_engine Pnp_proto Pnp_util Printf Units

@@ -1,0 +1,1 @@
+lib/harness/config.mli: Pnp_engine Pnp_proto Pnp_util

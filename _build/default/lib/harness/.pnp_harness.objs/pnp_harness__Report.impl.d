@@ -1,0 +1,1 @@
+lib/harness/report.ml: List Pnp_util Printf Run Stats String

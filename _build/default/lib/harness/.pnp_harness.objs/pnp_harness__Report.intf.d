@@ -1,0 +1,1 @@
+lib/harness/report.mli: Config Run

@@ -1,0 +1,1 @@
+lib/harness/run.mli: Config Pnp_util

@@ -1,0 +1,112 @@
+open Pnp_engine
+open Pnp_util
+
+type side = Send | Recv
+type protocol = Udp | Tcp
+type placement = Connection_level | Packet_level
+
+type t = {
+  arch : Arch.t;
+  procs : int;
+  side : side;
+  protocol : protocol;
+  payload : int;
+  checksum : bool;
+  lock_disc : Lock.discipline;
+  map_disc : Lock.discipline;
+  tcp_locking : Pnp_proto.Tcp.locking;
+  assume_in_order : bool;
+  ticketing : bool;
+  refcnt_mode : Atomic_ctr.mode;
+  message_caching : bool;
+  map_locking : bool;
+  connections : int;
+  placement : placement;
+  skew : float;
+  driver_jitter_ns : float;
+  offered_mbps : float option;
+  cksum_under_lock : bool;
+  presentation : bool;
+  warmup : Units.ns;
+  measure : Units.ns;
+  seed : int;
+}
+
+let baseline =
+  {
+    arch = Arch.challenge_100;
+    procs = 1;
+    side = Send;
+    protocol = Tcp;
+    payload = 4096;
+    checksum = true;
+    lock_disc = Lock.Unfair;
+    map_disc = Lock.Unfair;
+    tcp_locking = Pnp_proto.Tcp.One;
+    assume_in_order = false;
+    ticketing = false;
+    refcnt_mode = Atomic_ctr.Ll_sc;
+    message_caching = true;
+    map_locking = true;
+    connections = 1;
+    placement = Packet_level;
+    skew = 0.0;
+    driver_jitter_ns = 8000.0;
+    offered_mbps = None;
+    cksum_under_lock = false;
+    presentation = false;
+    warmup = Units.ms 200.0;
+    measure = Units.sec 1.0;
+    seed = 1;
+  }
+
+let v ?(arch = baseline.arch) ?(procs = baseline.procs) ?(side = baseline.side)
+    ?(protocol = baseline.protocol) ?(payload = baseline.payload)
+    ?(checksum = baseline.checksum) ?(lock_disc = baseline.lock_disc)
+    ?(map_disc = baseline.map_disc) ?(tcp_locking = baseline.tcp_locking)
+    ?(assume_in_order = baseline.assume_in_order) ?(ticketing = baseline.ticketing)
+    ?(refcnt_mode = baseline.refcnt_mode) ?(message_caching = baseline.message_caching)
+    ?(map_locking = baseline.map_locking) ?(connections = baseline.connections)
+    ?(placement = baseline.placement) ?(skew = baseline.skew)
+    ?(driver_jitter_ns = baseline.driver_jitter_ns) ?offered_mbps
+    ?(cksum_under_lock = baseline.cksum_under_lock)
+    ?(presentation = baseline.presentation)
+    ?(warmup = baseline.warmup) ?(measure = baseline.measure) ?(seed = baseline.seed) () =
+  {
+    arch;
+    procs;
+    side;
+    protocol;
+    payload;
+    checksum;
+    lock_disc;
+    map_disc;
+    tcp_locking;
+    assume_in_order;
+    ticketing;
+    refcnt_mode;
+    message_caching;
+    map_locking;
+    connections;
+    placement;
+    skew;
+    driver_jitter_ns;
+    offered_mbps;
+    cksum_under_lock;
+    presentation;
+    warmup;
+    measure;
+    seed;
+  }
+
+let side_to_string = function Send -> "send" | Recv -> "recv"
+let protocol_to_string = function Udp -> "UDP" | Tcp -> "TCP"
+
+let describe t =
+  Printf.sprintf "%s %s-side %dB cksum=%b procs=%d conns=%d locks=%s"
+    (protocol_to_string t.protocol) (side_to_string t.side) t.payload t.checksum t.procs
+    t.connections
+    (match t.lock_disc with
+     | Lock.Unfair -> "mutex"
+     | Lock.Fifo -> "mcs"
+     | Lock.Barging -> "barging")

@@ -1,0 +1,63 @@
+open Pnp_util
+
+type point = { procs : int; mean : float; ci90 : float }
+type series = { label : string; points : point list }
+
+let metric_series ~label ~procs ~seeds ~metric cfg_of_procs =
+  let points =
+    List.map
+      (fun p ->
+        let cfg = cfg_of_procs p in
+        let results = Run.run_seeds cfg ~seeds in
+        let s = Stats.summary (List.map metric results) in
+        { procs = p; mean = s.Stats.mean; ci90 = s.Stats.ci90 })
+      procs
+  in
+  { label; points }
+
+let throughput_series ~label ~procs ~seeds cfg_of_procs =
+  metric_series ~label ~procs ~seeds ~metric:(fun r -> r.Run.throughput_mbps) cfg_of_procs
+
+let speedup s =
+  match s.points with
+  | [] -> s
+  | first :: _ ->
+    let base = first.mean in
+    if base <= 0.0 then s
+    else
+      {
+        s with
+        points =
+          List.map
+            (fun p -> { p with mean = p.mean /. base; ci90 = p.ci90 /. base })
+            s.points;
+      }
+
+let print_table ~title ~unit_label series =
+  Printf.printf "\n== %s ==\n" title;
+  let width = List.fold_left (fun w s -> max w (String.length s.label)) 14 series in
+  let width = width + 2 in
+  Printf.printf "%-6s" "procs";
+  List.iter (fun s -> Printf.printf "%*s" width s.label) series;
+  Printf.printf "   (%s)\n" unit_label;
+  let all_procs =
+    List.sort_uniq compare
+      (List.concat_map (fun s -> List.map (fun p -> p.procs) s.points) series)
+  in
+  List.iter
+    (fun procs ->
+      Printf.printf "%-6d" procs;
+      List.iter
+        (fun s ->
+          match List.find_opt (fun p -> p.procs = procs) s.points with
+          | Some p -> Printf.printf "%*s" width (Printf.sprintf "%.1f ±%.1f" p.mean p.ci90)
+          | None -> Printf.printf "%*s" width "-")
+        series;
+      print_newline ())
+    all_procs;
+  flush stdout
+
+let value_at s procs =
+  match List.find_opt (fun p -> p.procs = procs) s.points with
+  | Some p -> p.mean
+  | None -> raise Not_found

@@ -1,0 +1,32 @@
+(** Paper-style result tables.
+
+    Each figure in the paper is a set of series over processor counts;
+    this module runs the sweeps, attaches 90% confidence intervals (the
+    paper's error bars) and prints fixed-width tables. *)
+
+type point = { procs : int; mean : float; ci90 : float }
+type series = { label : string; points : point list }
+
+val throughput_series :
+  label:string -> procs:int list -> seeds:int -> (int -> Config.t) -> series
+(** [throughput_series ~label ~procs ~seeds cfg_of_procs] measures
+    throughput at each processor count. *)
+
+val metric_series :
+  label:string ->
+  procs:int list ->
+  seeds:int ->
+  metric:(Run.result -> float) ->
+  (int -> Config.t) ->
+  series
+(** Like {!throughput_series} for any [Run.result] field. *)
+
+val speedup : series -> series
+(** Normalise to the 1-processor mean, as the paper's speedup figures do
+    (each curve relative to its own uniprocessor throughput). *)
+
+val print_table : title:string -> unit_label:string -> series list -> unit
+(** Aligned table: one row per processor count, one column per series. *)
+
+val value_at : series -> int -> float
+(** Mean at the given processor count.  @raise Not_found if absent. *)

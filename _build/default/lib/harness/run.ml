@@ -1,0 +1,449 @@
+open Pnp_engine
+open Pnp_util
+open Pnp_xkern
+open Pnp_proto
+open Pnp_driver
+
+type result = {
+  throughput_mbps : float;
+  packets : int;
+  ooo_pct : float;
+  wire_misorder_pct : float;
+  pred_miss_pct : float;
+  lock_wait_pct : float;
+  cache_hit_pct : float;
+  gate_wait_ns : int;
+}
+
+let sender_addr = 0x0a000001
+let receiver_addr = 0x0a000002
+
+type probe = {
+  bytes : unit -> int;              (* payload bytes forwarded so far *)
+  packets : unit -> int;
+  ooo : unit -> int * int;          (* (ooo segments, data segments) *)
+  wire : unit -> int * int;         (* (misordered, data segments) on the wire *)
+  pred : unit -> int * int;         (* (misses, hits+misses) *)
+  lock_wait : unit -> int;
+  cache : unit -> int * int;        (* (cache hits, allocations) *)
+  gate_wait : unit -> int;
+}
+
+let pct num den = if den <= 0 then 0.0 else 100.0 *. float_of_int num /. float_of_int den
+
+let percent_between f0 f1 =
+  let n0, d0 = f0 and n1, d1 = f1 in
+  pct (n1 - n0) (d1 - d0)
+
+(* Sum a per-session statistic over all TCP sessions. *)
+let sum_sessions tcp f = List.fold_left (fun acc s -> acc + f s) 0 (Tcp.sessions tcp)
+
+let tcp_data_segs st = st.Tcp.segs_in - st.Tcp.acks_in
+
+let make_tcp_probe stack ~app_bytes ~app_packets ~peer ~gates =
+  let tcp = stack.Stack.tcp in
+  {
+    bytes = app_bytes;
+    packets = app_packets;
+    ooo =
+      (fun () ->
+        ( sum_sessions tcp (fun s -> (Tcp.stats s).Tcp.ooo_segs),
+          sum_sessions tcp (fun s -> tcp_data_segs (Tcp.stats s)) ));
+    wire =
+      (fun () ->
+        match peer with
+        | Some p -> (Tcp_peer.wire_misorders p, Tcp_peer.data_segments p)
+        | None -> (0, 0));
+    pred =
+      (fun () ->
+        ( sum_sessions tcp (fun s -> (Tcp.stats s).Tcp.pred_misses),
+          sum_sessions tcp (fun s ->
+              let st = Tcp.stats s in
+              st.Tcp.pred_hits + st.Tcp.pred_misses) ));
+    lock_wait = (fun () -> sum_sessions tcp Tcp.lock_wait_ns);
+    cache = (fun () -> (Mpool.cache_hits stack.Stack.pool, Mpool.allocations stack.Stack.pool));
+    gate_wait = (fun () -> List.fold_left (fun acc g -> acc + Gate.total_wait_ns g) 0 gates);
+  }
+
+type snapshot = {
+  s_bytes : int;
+  s_packets : int;
+  s_ooo : int * int;
+  s_wire : int * int;
+  s_pred : int * int;
+  s_lock_wait : int;
+  s_cache : int * int;
+  s_gate : int;
+}
+
+let take probe =
+  {
+    s_bytes = probe.bytes ();
+    s_packets = probe.packets ();
+    s_ooo = probe.ooo ();
+    s_wire = probe.wire ();
+    s_pred = probe.pred ();
+    s_lock_wait = probe.lock_wait ();
+    s_cache = probe.cache ();
+    s_gate = probe.gate_wait ();
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Workload assembly                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let tcp_config (cfg : Config.t) =
+  {
+    Tcp.locking = cfg.Config.tcp_locking;
+    checksum = cfg.Config.checksum;
+    cksum_under_lock = cfg.Config.cksum_under_lock;
+    assume_in_order = cfg.Config.assume_in_order;
+    ticketing = cfg.Config.ticketing;
+    nodelay = false;
+    mss = cfg.Config.payload;
+    rcv_wnd = 1 lsl 20;
+    snd_buf = 1 lsl 20;
+  }
+
+let make_platform (cfg : Config.t) =
+  Platform.create ~seed:cfg.Config.seed ~lock_disc:cfg.Config.lock_disc
+    ~map_disc:cfg.Config.map_disc ~refcnt_mode:cfg.Config.refcnt_mode
+    ~message_caching:cfg.Config.message_caching ~map_locking:cfg.Config.map_locking
+    cfg.Config.arch
+
+(* The per-connection application endpoint: counts packets under its own
+   small lock (the paper's lock-increment-unlock critical section), honouring
+   tickets when ordering is required. *)
+type app = {
+  app_lock : Lock.t;
+  mutable app_bytes : int;
+  mutable app_packets : int;
+}
+
+let make_app plat j =
+  {
+    app_lock =
+      Lock.create plat.Platform.sim plat.Platform.arch Lock.Unfair
+        ~name:(Printf.sprintf "app.%d" j);
+    app_bytes = 0;
+    app_packets = 0;
+  }
+
+(* The per-connection application step: the paper's lock-increment-unlock
+   critical section.  When ticketing is on, TCP already serialises this
+   upcall in packet order.  With [presentation], the application first
+   unmarshals the payload — a compute-bound per-byte pass. *)
+let app_receive (cfg : Config.t) plat pool app msg =
+  let msg = if cfg.Config.presentation then Pres.decode plat pool msg else msg in
+  Costs.charge plat Costs.app_recv;
+  Lock.acquire app.app_lock;
+  app.app_bytes <- app.app_bytes + Msg.length msg;
+  app.app_packets <- app.app_packets + 1;
+  Lock.release app.app_lock;
+  Msg.destroy msg
+
+(* How receive workers choose which connection's next packet to carry up.
+
+   Placement: Connection_level statically partitions the connections over
+   the workers (the paper's Figure 12 setup and its Section 8 future-work
+   strategy); Packet_level lets any worker take any connection's packet.
+
+   Load: per-connection weights follow Zipf(skew).  With [offered_mbps]
+   unset the drivers saturate (a packet is always ready); with it set,
+   arrivals on stream j are paced at the stream's share of the offered
+   rate, so a worker whose streams have no backlog idles — which is what
+   exposes load imbalance under connection-level placement. *)
+
+type feed =
+  | Now of int     (* carry stream j's next packet up *)
+  | Wait of int    (* no backlog; next arrival in this many ns *)
+
+let zipf_weights (cfg : Config.t) =
+  Array.init cfg.Config.connections (fun j ->
+      1.0 /. (float_of_int (j + 1) ** cfg.Config.skew))
+
+(* Shared pacing state: arrivals accrued per stream since time 0. *)
+type pacing = { intervals : float array; consumed : int array }
+
+let make_pacing (cfg : Config.t) =
+  match cfg.Config.offered_mbps with
+  | None -> None
+  | Some rate ->
+    let ws = zipf_weights cfg in
+    let total_w = Array.fold_left ( +. ) 0.0 ws in
+    let bits = float_of_int (8 * cfg.Config.payload) in
+    let intervals =
+      Array.map
+        (fun w ->
+          let rate_j_mbps = rate *. w /. total_w in
+          (* Mbit/s = 10^6 bits/s = 10^-3 bits/ns *)
+          bits /. (rate_j_mbps /. 1000.0))
+        ws
+    in
+    Some { intervals; consumed = Array.make cfg.Config.connections 0 }
+
+let make_feeder (cfg : Config.t) plat pacing ~worker =
+  let conns = cfg.Config.connections in
+  let procs = cfg.Config.procs in
+  let mine =
+    match cfg.Config.placement with
+    | Config.Connection_level ->
+      List.filter (fun j -> j mod procs = worker) (List.init conns Fun.id)
+    | Config.Packet_level -> List.init conns Fun.id
+  in
+  match mine with
+  | [] -> None
+  | js -> (
+    let js = Array.of_list js in
+    match pacing with
+    | Some pace ->
+      (* Arrival-limited: serve the most backlogged owned stream. *)
+      Some
+        (fun () ->
+          let now = float_of_int (Sim.now plat.Platform.sim) in
+          let best = ref (-1) and best_backlog = ref 0 in
+          let soonest = ref infinity in
+          Array.iter
+            (fun j ->
+              let arrived = int_of_float (now /. pace.intervals.(j)) in
+              let backlog = arrived - pace.consumed.(j) in
+              if backlog > !best_backlog then begin
+                best := j;
+                best_backlog := backlog
+              end;
+              let next_arrival = float_of_int (pace.consumed.(j) + 1) *. pace.intervals.(j) in
+              if next_arrival -. now < !soonest then soonest := next_arrival -. now)
+            js;
+          if !best >= 0 then begin
+            pace.consumed.(!best) <- pace.consumed.(!best) + 1;
+            Now !best
+          end
+          else Wait (max 1_000 (int_of_float !soonest)))
+    | None ->
+      (* Saturating: weighted random pick (uniform when skew = 0). *)
+      if Array.length js = 1 then Some (fun () -> Now js.(0))
+      else begin
+        let ws_all = zipf_weights cfg in
+        let ws = Array.map (fun j -> ws_all.(j)) js in
+        let total = Array.fold_left ( +. ) 0.0 ws in
+        let rng = Prng.split (Sim.prng plat.Platform.sim) in
+        Some
+          (fun () ->
+            let x = Prng.float rng total in
+            let rec go i acc =
+              if i >= Array.length js - 1 then js.(i)
+              else if acc +. ws.(i) > x then js.(i)
+              else go (i + 1) (acc +. ws.(i))
+            in
+            Now (go 0 0.0))
+      end)
+
+(* Build stack + drivers + worker threads; return the probe. *)
+let setup (cfg : Config.t) plat =
+  let procs = cfg.Config.procs in
+  let conns = cfg.Config.connections in
+  assert (procs >= 1 && conns >= 1);
+  match (cfg.Config.protocol, cfg.Config.side) with
+  | Config.Udp, Config.Send ->
+    let stack = Stack.create plat ~udp_checksum:cfg.Config.checksum ~local_addr:sender_addr () in
+    let sink = Udp_sink.attach stack in
+    let sessions =
+      Array.init conns (fun j ->
+          Udp.open_session stack.Stack.udp ~local_port:(5000 + j)
+            ~remote_addr:receiver_addr ~remote_port:(80 + j)
+            ~recv:(fun m -> Msg.destroy m))
+    in
+    for i = 0 to procs - 1 do
+      let sess = sessions.(i mod conns) in
+      let rng = Prng.split (Sim.prng plat.Platform.sim) in
+      ignore
+        (Sim.spawn plat.Platform.sim ~cpu:i ~name:(Printf.sprintf "udp-send.%d" i)
+           (fun () ->
+             while true do
+               Costs.charge plat Costs.app_send;
+               (* small application service jitter; keeps the system off
+                  artificial deterministic phase-locks *)
+               Platform.charge plat (int_of_float (Prng.exponential rng ~mean:1000.0));
+               let m = Msg.create stack.Stack.pool cfg.Config.payload in
+               Costs.fill_payload plat m ~off:0 ~len:cfg.Config.payload ~stream_off:0;
+               let m =
+                 if cfg.Config.presentation then Pres.encode plat stack.Stack.pool m
+                 else m
+               in
+               Udp.send sess m
+             done))
+    done;
+    {
+      bytes = (fun () -> Udp_sink.bytes_received sink);
+      packets = (fun () -> Udp_sink.frames_received sink);
+      ooo = (fun () -> (0, 0));
+      wire = (fun () -> (0, 0));
+      pred = (fun () -> (0, 0));
+      lock_wait = (fun () -> 0);
+      cache = (fun () -> (Mpool.cache_hits stack.Stack.pool, Mpool.allocations stack.Stack.pool));
+      gate_wait = (fun () -> 0);
+    }
+  | Config.Udp, Config.Recv ->
+    let stack =
+      Stack.create plat ~udp_checksum:cfg.Config.checksum ~local_addr:receiver_addr ()
+    in
+    let ports = List.init conns (fun j -> (2000 + j, 4000 + j)) in
+    let src =
+      let jitter =
+        cfg.Config.driver_jitter_ns *. (1.0 +. (0.12 *. float_of_int (procs - 1)))
+      in
+      Udp_source.attach stack ~peer_addr:sender_addr ~payload:cfg.Config.payload
+        ~checksum:cfg.Config.checksum ~jitter_mean_ns:jitter ~ports ()
+    in
+    let apps = Array.init conns (fun j -> make_app plat j) in
+    List.iteri
+      (fun j (_, rcv_port) ->
+        ignore
+          (Udp.open_session stack.Stack.udp ~local_port:rcv_port ~remote_addr:sender_addr
+             ~remote_port:(2000 + j)
+             ~recv:(fun m -> app_receive cfg plat stack.Stack.pool apps.(j) m)))
+      ports;
+    let pacing = make_pacing cfg in
+    for i = 0 to procs - 1 do
+      match make_feeder cfg plat pacing ~worker:i with
+      | None -> () (* more workers than owned connections *)
+      | Some feed ->
+        ignore
+          (Sim.spawn plat.Platform.sim ~cpu:i ~name:(Printf.sprintf "udp-recv.%d" i)
+             (fun () ->
+               while true do
+                 match feed () with
+                 | Now stream -> Udp_source.next src ~stream
+                 | Wait d -> Sim.delay plat.Platform.sim d
+               done))
+    done;
+    {
+      bytes = (fun () -> Array.fold_left (fun acc a -> acc + a.app_bytes) 0 apps);
+      packets = (fun () -> Array.fold_left (fun acc a -> acc + a.app_packets) 0 apps);
+      ooo = (fun () -> (0, 0));
+      wire = (fun () -> (0, 0));
+      pred = (fun () -> (0, 0));
+      lock_wait = (fun () -> 0);
+      cache = (fun () -> (Mpool.cache_hits stack.Stack.pool, Mpool.allocations stack.Stack.pool));
+      gate_wait = (fun () -> 0);
+    }
+  | Config.Tcp, Config.Send ->
+    let stack =
+      Stack.create plat ~tcp_config:(tcp_config cfg) ~local_addr:sender_addr ()
+    in
+    let peer =
+      Tcp_peer.attach stack ~peer_addr:receiver_addr ~ack_window:(1 lsl 20)
+        ~checksum:cfg.Config.checksum ()
+    in
+    let sessions = Array.make conns None in
+    ignore
+      (Sim.spawn plat.Platform.sim ~cpu:0 ~name:"tcp-connector" (fun () ->
+           for j = 0 to conns - 1 do
+             sessions.(j) <-
+               Some
+                 (Tcp.connect stack.Stack.tcp ~local_port:(5000 + j)
+                    ~remote_addr:receiver_addr ~remote_port:(80 + j))
+           done));
+    for i = 0 to procs - 1 do
+      let j = i mod conns in
+      let rng = Prng.split (Sim.prng plat.Platform.sim) in
+      ignore
+        (Sim.spawn plat.Platform.sim ~cpu:i ~name:(Printf.sprintf "tcp-send.%d" i)
+           (fun () ->
+             (* wait for the connector to finish our session *)
+             while sessions.(j) = None do
+               Sim.delay plat.Platform.sim (Units.us 20.0)
+             done;
+             let sess = Option.get sessions.(j) in
+             while true do
+               Costs.charge plat Costs.app_send;
+               (* small application service jitter; keeps the system off
+                  artificial deterministic phase-locks *)
+               Platform.charge plat (int_of_float (Prng.exponential rng ~mean:1000.0));
+               let m = Msg.create stack.Stack.pool cfg.Config.payload in
+               Costs.fill_payload plat m ~off:0 ~len:cfg.Config.payload ~stream_off:0;
+               let m =
+                 if cfg.Config.presentation then Pres.encode plat stack.Stack.pool m
+                 else m
+               in
+               Tcp.send sess m
+             done))
+    done;
+    make_tcp_probe stack
+      ~app_bytes:(fun () -> Tcp_peer.bytes_received peer)
+      ~app_packets:(fun () -> Tcp_peer.data_segments peer)
+      ~peer:(Some peer) ~gates:[]
+  | Config.Tcp, Config.Recv ->
+    let stack =
+      Stack.create plat ~tcp_config:(tcp_config cfg) ~local_addr:receiver_addr ()
+    in
+    let ports = List.init conns (fun j -> (2000 + j, 4000 + j)) in
+    let src =
+      (* Interrupt/DMA service variance grows with the number of CPUs
+         hammering the bus; Table 1's MCS column is its footprint. *)
+      let jitter =
+        cfg.Config.driver_jitter_ns *. (1.0 +. (0.12 *. float_of_int (procs - 1)))
+      in
+      Tcp_source.attach stack ~peer_addr:sender_addr ~payload:cfg.Config.payload
+        ~checksum:cfg.Config.checksum ~jitter_mean_ns:jitter ~ports ()
+    in
+    let apps = Array.init conns (fun j -> make_app plat j) in
+    let gates = ref [] in
+    List.iteri
+      (fun j (_, rcv_port) ->
+        Tcp.listen stack.Stack.tcp ~local_port:rcv_port ~accept:(fun sess ->
+            gates := Tcp.ticket_gate sess :: !gates;
+            Tcp.set_receiver sess (fun m -> app_receive cfg plat stack.Stack.pool apps.(j) m)))
+      ports;
+    ignore
+      (Sim.spawn plat.Platform.sim ~cpu:0 ~name:"tcp-handshaker" (fun () ->
+           Tcp_source.start src));
+    let pacing = make_pacing cfg in
+    for i = 0 to procs - 1 do
+      match make_feeder cfg plat pacing ~worker:i with
+      | None -> ()
+      | Some feed ->
+        ignore
+          (Sim.spawn plat.Platform.sim ~cpu:i ~name:(Printf.sprintf "tcp-recv.%d" i)
+             (fun () ->
+               while true do
+                 match feed () with
+                 | Now stream ->
+                   if not (Tcp_source.next src ~stream) then
+                     Sim.delay plat.Platform.sim (Units.us 20.0)
+                 | Wait d -> Sim.delay plat.Platform.sim d
+               done))
+    done;
+    make_tcp_probe stack
+      ~app_bytes:(fun () -> Array.fold_left (fun acc a -> acc + a.app_bytes) 0 apps)
+      ~app_packets:(fun () -> Array.fold_left (fun acc a -> acc + a.app_packets) 0 apps)
+      ~peer:None
+      ~gates:!gates
+
+let run (cfg : Config.t) =
+  let plat = make_platform cfg in
+  let probe = setup cfg plat in
+  let s0 = ref None in
+  Sim.at plat.Platform.sim cfg.Config.warmup (fun () -> s0 := Some (take probe));
+  Sim.run ~until:(cfg.Config.warmup + cfg.Config.measure) plat.Platform.sim;
+  let s0 = match !s0 with Some s -> s | None -> failwith "Run.run: warmup never fired" in
+  let s1 = take probe in
+  let duration = cfg.Config.measure in
+  {
+    throughput_mbps =
+      Units.mbits_per_sec ~bytes_transferred:(s1.s_bytes - s0.s_bytes) ~duration;
+    packets = s1.s_packets - s0.s_packets;
+    ooo_pct = percent_between s0.s_ooo s1.s_ooo;
+    wire_misorder_pct = percent_between s0.s_wire s1.s_wire;
+    pred_miss_pct = percent_between s0.s_pred s1.s_pred;
+    lock_wait_pct =
+      pct (s1.s_lock_wait - s0.s_lock_wait) (cfg.Config.procs * duration);
+    cache_hit_pct = percent_between s0.s_cache s1.s_cache;
+    gate_wait_ns = s1.s_gate - s0.s_gate;
+  }
+
+let run_seeds cfg ~seeds =
+  List.init seeds (fun i -> run { cfg with Config.seed = cfg.Config.seed + i })
+
+let throughput_summary cfg ~seeds =
+  Stats.summary (List.map (fun r -> r.throughput_mbps) (run_seeds cfg ~seeds))

@@ -1,0 +1,28 @@
+(** Execute one experiment configuration and measure steady state.
+
+    Mirrors the paper's methodology: spawn one wired thread per processor,
+    let the system warm up, then measure throughput over a steady-state
+    window (Section 3: 30 s warmup + 30 s measurement on real hardware; the
+    simulator reaches steady state within a few thousand packets, so the
+    defaults are shorter and configurable). *)
+
+type result = {
+  throughput_mbps : float;   (** user payload over the measurement window *)
+  packets : int;             (** payload-carrying packets in the window *)
+  ooo_pct : float;           (** TCP data segments arriving out of order, % *)
+  wire_misorder_pct : float; (** send side: segments passed below TCP, % *)
+  pred_miss_pct : float;     (** header-prediction misses among data segments, % *)
+  lock_wait_pct : float;     (** share of thread time blocked on connection locks, % *)
+  cache_hit_pct : float;     (** MNode allocations served by per-thread caches, % *)
+  gate_wait_ns : int;        (** total ticketing wait in the window *)
+}
+
+val run : Config.t -> result
+(** Build the platform, stack, drivers and workers for the configuration,
+    simulate warmup + measurement, and report the steady-state window. *)
+
+val run_seeds : Config.t -> seeds:int -> result list
+(** [run] repeated with seeds [cfg.seed .. cfg.seed+seeds-1]. *)
+
+val throughput_summary : Config.t -> seeds:int -> Pnp_util.Stats.summary
+(** Summary (mean, 90% CI) of throughput across seeds. *)

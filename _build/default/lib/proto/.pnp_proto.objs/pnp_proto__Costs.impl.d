@@ -1,0 +1,1 @@
+lib/proto/costs.ml: Arch Membus Msg Platform Pnp_engine Pnp_xkern Sim

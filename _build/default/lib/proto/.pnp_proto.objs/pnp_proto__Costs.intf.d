@@ -1,0 +1,1 @@
+lib/proto/costs.mli: Pnp_engine Pnp_xkern

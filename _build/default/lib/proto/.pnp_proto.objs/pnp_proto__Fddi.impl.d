@@ -1,0 +1,1 @@
+lib/proto/fddi.ml: Atomic_ctr Costs Int Msg Platform Pnp_engine Pnp_xkern Printf Xmap

@@ -1,0 +1,1 @@
+lib/proto/fddi.mli: Pnp_engine Pnp_xkern

@@ -1,0 +1,1 @@
+lib/proto/icmp.ml: Costs Inet_cksum Ip Mpool Msg Platform Pnp_engine Pnp_xkern Sim Xmap

@@ -1,0 +1,1 @@
+lib/proto/icmp.mli: Ip Pnp_engine Pnp_xkern

@@ -1,0 +1,1 @@
+lib/proto/inet_cksum.ml: Bytes Char Membus Msg Platform Pnp_engine Pnp_xkern Sim

@@ -1,0 +1,1 @@
+lib/proto/inet_cksum.mli: Bytes Pnp_engine Pnp_xkern

@@ -1,0 +1,1 @@
+lib/proto/ip.ml: Arch Atomic_ctr Costs Fddi Inet_cksum Int List Lock Membus Mpool Msg Platform Pnp_engine Pnp_util Pnp_xkern Sim Timewheel Xmap

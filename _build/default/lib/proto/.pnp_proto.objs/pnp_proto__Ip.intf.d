@@ -1,0 +1,1 @@
+lib/proto/ip.mli: Fddi Pnp_engine Pnp_xkern

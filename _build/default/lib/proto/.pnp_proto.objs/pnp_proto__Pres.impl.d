@@ -1,0 +1,1 @@
+lib/proto/pres.ml: Bytes Char Msg Platform Pnp_engine Pnp_xkern

@@ -1,0 +1,1 @@
+lib/proto/pres.mli: Pnp_engine Pnp_xkern

@@ -1,0 +1,1 @@
+lib/proto/sockbuf.ml: List Mpool Msg Pnp_xkern

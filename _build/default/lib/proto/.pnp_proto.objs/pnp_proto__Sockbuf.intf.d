@@ -1,0 +1,1 @@
+lib/proto/sockbuf.mli: Pnp_xkern

@@ -1,0 +1,1 @@
+lib/proto/socket.ml: Buffer Mpool Msg Platform Pnp_engine Pnp_xkern Queue Sim String Tcp

@@ -1,0 +1,1 @@
+lib/proto/socket.mli: Pnp_engine Pnp_xkern Tcp

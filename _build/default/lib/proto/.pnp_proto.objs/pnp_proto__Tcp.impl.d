@@ -1,0 +1,1 @@
+lib/proto/tcp.ml: Atomic_ctr Costs Gate Ip List Lock Membus Mpool Msg Platform Pnp_engine Pnp_util Pnp_xkern Printf Sim Sockbuf Tcp_seq Tcp_wire Timewheel Xmap

@@ -1,0 +1,1 @@
+lib/proto/tcp.mli: Ip Pnp_engine Pnp_util Pnp_xkern

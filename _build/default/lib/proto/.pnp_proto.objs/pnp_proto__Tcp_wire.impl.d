@@ -1,0 +1,1 @@
+lib/proto/tcp_wire.ml: Buffer Inet_cksum Msg Pnp_xkern Tcp_seq

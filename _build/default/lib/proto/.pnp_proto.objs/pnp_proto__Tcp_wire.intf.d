@@ -1,0 +1,1 @@
+lib/proto/tcp_wire.mli: Pnp_engine Pnp_xkern

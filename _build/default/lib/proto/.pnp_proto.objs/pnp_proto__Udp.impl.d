@@ -1,0 +1,1 @@
+lib/proto/udp.ml: Atomic_ctr Costs Inet_cksum Int Ip Lock Msg Platform Pnp_engine Pnp_xkern Printf Sim Xmap

@@ -1,0 +1,1 @@
+lib/proto/udp.mli: Ip Pnp_engine Pnp_xkern

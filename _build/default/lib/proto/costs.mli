@@ -1,0 +1,69 @@
+(** Per-layer protocol processing budgets.
+
+    Each budget is an instruction count plus (implicitly, through the
+    allocator, maps, locks, reference counters, and checksum) the memory
+    and synchronisation operations the code actually performs.  The
+    instruction counts are the calibration points of the model; they are
+    chosen so the Challenge-100 baseline lands near the paper's absolute
+    Section 3 numbers (UDP 4 KB send around 190 Mbit/s at one CPU, TCP send
+    saturating near 215 Mbit/s, TCP receive peaking above 350 Mbit/s).
+    EXPERIMENTS.md records the resulting curves against the paper's. *)
+
+val charge : Pnp_engine.Platform.t -> int -> unit
+(** Charge an instruction budget on the platform's architecture. *)
+
+val fill_payload :
+  Pnp_engine.Platform.t -> Pnp_xkern.Msg.t -> off:int -> len:int -> stream_off:int -> unit
+(** Write the payload pattern and charge the bytes at the architecture's
+    bulk-copy bandwidth through the shared bus. *)
+
+(** {2 Instruction budgets} *)
+
+val app_send : int
+val app_recv : int
+val driver_xmit : int
+val driver_recv : int
+
+val fddi_output : int
+val fddi_input : int
+
+val ip_output : int
+val ip_input : int
+val ip_frag_per_fragment : int
+val ip_reass_per_fragment : int
+
+val udp_output : int
+val udp_input : int
+
+val tcp_demux : int
+(** Locating the connection from the port/address tuple (map manager). *)
+
+val tcp_output_locked : int
+(** tcp_output under the connection-state lock: window calculations,
+    sequence-number assignment, socket-buffer bookkeeping, header fill. *)
+
+val tcp_output_unlocked : int
+(** The part the paper moved outside the lock (excluding the checksum,
+    which is charged separately through the bus). *)
+
+val tcp_input_unlocked : int
+(** Receive-path work done before taking connection locks: header parse,
+    sanity checks, option processing, PCB bookkeeping. *)
+
+val tcp_input_pred_locked : int
+(** Header-prediction fast path under the lock. *)
+
+val tcp_input_slow_locked : int
+(** Slow path: full input processing without reassembly costs. *)
+
+val tcp_reass_insert : int
+(** Inserting one out-of-order segment into the reassembly queue. *)
+
+val tcp_reass_drain_per_seg : int
+(** Handing one queued segment to the application once the gap fills. *)
+
+val tcp_ack_locked : int
+(** Building an ACK (tcp_output for a dataless segment) under the lock. *)
+
+val tcp_conn_setup : int
+(** Non-steady-state connection processing (SYN/FIN handling). *)

@@ -1,0 +1,104 @@
+open Pnp_engine
+open Pnp_xkern
+
+let header_bytes = 21
+let mtu = 4352
+
+module Type_map = Xmap.Make (struct
+  type t = int
+
+  let hash x = x * 0x9e3779b1
+  let equal = Int.equal
+end)
+
+type t = {
+  plat : Platform.t;
+  local_mac : int;
+  obj_ref : Atomic_ctr.t; (* protocol object reference count (Section 5.2) *)
+  mutable transmit : Msg.t -> unit;
+  mutable tap : (dir:[ `Out | `In ] -> Msg.t -> unit) option;
+  upper : (Msg.t -> unit) Type_map.t;
+  mutable frames_out : int;
+  mutable frames_in : int;
+  mutable dropped : int;
+}
+
+let create plat ~local_mac ~name =
+  {
+    plat;
+    local_mac;
+    obj_ref = Platform.refcnt plat ~name:(name ^ ".ref") ~init:1;
+    transmit = (fun _ -> failwith "Fddi: no driver attached");
+    tap = None;
+    upper = Type_map.create plat ~name:(name ^ ".demux") ();
+    frames_out = 0;
+    frames_in = 0;
+    dropped = 0;
+  }
+
+let set_transmit t f = t.transmit <- f
+let set_tap t f = t.tap <- Some f
+let run_tap t ~dir msg = match t.tap with None -> () | Some f -> f ~dir msg
+
+let register t ~ethertype handler = Type_map.insert t.upper ethertype handler
+
+(* Frame layout: FC(1) dst(6) src(6) DSAP(1) SSAP(1) ctrl(1) OUI(3)
+   ethertype(2).  MACs are 48-bit, carried here in an int. *)
+let set_mac msg off mac =
+  Msg.set_u16 msg off (mac lsr 32);
+  Msg.set_u32 msg (off + 2) (mac land 0xffffffff)
+
+let get_mac msg off = (Msg.get_u16 msg off lsl 32) lor Msg.get_u32 msg (off + 2)
+
+let fc_llc = 0x50
+let dsap_snap = 0xaa
+
+let encap msg ~src_mac ~dst_mac ~ethertype =
+  Msg.push msg header_bytes;
+  Msg.set_u8 msg 0 fc_llc;
+  set_mac msg 1 dst_mac;
+  set_mac msg 7 src_mac;
+  Msg.set_u8 msg 13 dsap_snap;
+  Msg.set_u8 msg 14 dsap_snap;
+  Msg.set_u8 msg 15 0x03;
+  Msg.set_u8 msg 16 0;
+  Msg.set_u16 msg 17 0;
+  Msg.set_u16 msg 19 ethertype
+
+let output t ~ethertype ~dst_mac msg =
+  if Msg.length msg > mtu then
+    invalid_arg
+      (Printf.sprintf "Fddi.output: payload %d exceeds MTU %d" (Msg.length msg) mtu);
+  Costs.charge t.plat Costs.fddi_output;
+  encap msg ~src_mac:t.local_mac ~dst_mac ~ethertype;
+  t.frames_out <- t.frames_out + 1;
+  run_tap t ~dir:`Out msg;
+  t.transmit msg
+
+let input t msg =
+  run_tap t ~dir:`In msg;
+  Costs.charge t.plat Costs.fddi_input;
+  if Msg.length msg < header_bytes then begin
+    t.dropped <- t.dropped + 1;
+    Msg.destroy msg
+  end
+  else begin
+    let ethertype = Msg.get_u16 msg 19 in
+    ignore (get_mac msg 1);
+    Msg.pop msg header_bytes;
+    t.frames_in <- t.frames_in + 1;
+    match Type_map.lookup t.upper ethertype with
+    | Some handler ->
+      (* The x-kernel pins objects across the upcall with reference
+         counts: two counter operations per layer on the fast path. *)
+      ignore (Atomic_ctr.incr t.obj_ref);
+      handler msg;
+      ignore (Atomic_ctr.decr t.obj_ref)
+    | None ->
+      t.dropped <- t.dropped + 1;
+      Msg.destroy msg
+  end
+
+let frames_out t = t.frames_out
+let frames_in t = t.frames_in
+let frames_dropped t = t.dropped

@@ -1,0 +1,47 @@
+open Pnp_engine
+open Pnp_xkern
+
+let fold s =
+  let s = (s land 0xffff) + (s lsr 16) in
+  (s land 0xffff) + (s lsr 16)
+
+let add a b = fold (a + b)
+
+let sum_bytes b off len =
+  let s = ref 0 in
+  let i = ref off in
+  let stop = off + len - 1 in
+  while !i < stop do
+    s := !s + (Char.code (Bytes.unsafe_get b !i) lsl 8) + Char.code (Bytes.unsafe_get b (!i + 1));
+    i := !i + 2
+  done;
+  if !i = stop then s := !s + (Char.code (Bytes.unsafe_get b !i) lsl 8);
+  fold !s
+
+(* Summing a multi-slice message must respect byte positions: a slice of
+   odd length shifts the parity of every following byte.  We track the
+   global offset and add odd-positioned slices byte-swapped, the standard
+   technique for scattered data. *)
+let sum_slices msg =
+  let total = ref 0 in
+  let pos = ref 0 in
+  Msg.iter_slices msg (fun b off len ->
+      let s = sum_bytes b off len in
+      let s = if !pos land 1 = 0 then s else ((s land 0xff) lsl 8) lor (s lsr 8) in
+      total := add !total s;
+      pos := !pos + len);
+  !total
+
+let finish s = lnot (fold s) land 0xffff
+
+let charge plat msg =
+  if Sim.in_thread plat.Platform.sim then
+    Membus.consume plat.Platform.bus ~bytes:(Msg.length msg)
+
+let compute plat msg ~extra =
+  charge plat msg;
+  finish (add (sum_slices msg) extra)
+
+let verify plat msg ~extra =
+  charge plat msg;
+  fold (add (sum_slices msg) extra) = 0xffff

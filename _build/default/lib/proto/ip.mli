@@ -1,0 +1,45 @@
+(** Internet Protocol layer.
+
+    Structured like FDDI but with more state (Section 2.2): on the send
+    side a datagram identifier that must be incremented atomically
+    per-datagram, and on the receive side a fragment table that must be
+    locked to serialise lookups and updates.  Fragmentation occurs when a
+    datagram exceeds the interface MTU; reassembled fragments are
+    timed out through the event manager. *)
+
+type t
+
+val header_bytes : int
+(** Standard 20-byte IPv4 header (no options). *)
+
+val ethertype : int
+(** The ethertype under which IP registers with the MAC layer. *)
+
+val create :
+  Pnp_engine.Platform.t ->
+  Pnp_xkern.Mpool.t ->
+  wheel:Pnp_xkern.Timewheel.t ->
+  fddi:Fddi.t ->
+  local_addr:int ->
+  name:string ->
+  t
+
+val register : t -> proto:int -> (src:int -> dst:int -> Pnp_xkern.Msg.t -> unit) -> unit
+(** Install a transport protocol's input handler. *)
+
+val output : t -> proto:int -> dst:int -> Pnp_xkern.Msg.t -> unit
+(** Send a datagram, fragmenting if needed.  The destination is resolved
+    to a MAC address trivially (the simulated network is a single ring). *)
+
+val local_addr : t -> int
+
+val encap : Pnp_xkern.Msg.t -> src:int -> dst:int -> proto:int -> id:int -> unit
+(** Prepend an unfragmented IP header (valid header checksum) without a
+    layer instance — used by the in-memory drivers. *)
+
+val datagrams_out : t -> int
+val fragments_out : t -> int
+val datagrams_in : t -> int
+val reassemblies : t -> int
+val datagrams_dropped : t -> int
+(** Bad header checksum, unknown protocol, or reassembly timeout. *)

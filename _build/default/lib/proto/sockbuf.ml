@@ -1,0 +1,70 @@
+open Pnp_xkern
+
+type t = {
+  pool : Mpool.t;
+  max : int;
+  mutable segs : Msg.t list; (* front first; kept short, so list suffices *)
+  mutable cc : int;
+}
+
+let create pool ~max = { pool; max; segs = []; cc = 0 }
+
+let cc t = t.cc
+let space t = t.max - t.cc
+let max_size t = t.max
+
+let append t msg =
+  let len = Msg.length msg in
+  if len > space t then invalid_arg "Sockbuf.append: no space";
+  t.segs <- t.segs @ [ msg ];
+  t.cc <- t.cc + len
+
+let peek t ~off ~len =
+  if off < 0 || len < 0 || off + len > t.cc then invalid_arg "Sockbuf.peek: out of range";
+  (* Collect the covered ranges as shared (dup'd) views and splice them
+     into one message. *)
+  let rec gather segs off len acc =
+    if len = 0 then List.rev acc
+    else
+      match segs with
+      | [] -> assert false
+      | m :: rest ->
+        let mlen = Msg.length m in
+        if off >= mlen then gather rest (off - mlen) len acc
+        else begin
+          let take = min (mlen - off) len in
+          let view = Msg.dup m in
+          Msg.pop view off;
+          Msg.truncate view take;
+          gather rest 0 (len - take) (view :: acc)
+        end
+  in
+  let views = gather t.segs off len [] in
+  match views with
+  | [] -> Msg.create t.pool 0
+  | first :: rest ->
+    List.iter (fun v -> Msg.append first v) rest;
+    first
+
+let drop t n =
+  if n < 0 || n > t.cc then invalid_arg "Sockbuf.drop: out of range";
+  let rec go n =
+    if n > 0 then
+      match t.segs with
+      | [] -> assert false
+      | m :: rest ->
+        let mlen = Msg.length m in
+        if mlen <= n then begin
+          Msg.destroy m;
+          t.segs <- rest;
+          go (n - mlen)
+        end
+        else Msg.pop m n
+  in
+  go n;
+  t.cc <- t.cc - n
+
+let clear t =
+  List.iter Msg.destroy t.segs;
+  t.segs <- [];
+  t.cc <- 0

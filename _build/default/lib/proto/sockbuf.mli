@@ -1,0 +1,32 @@
+(** Send socket buffer.
+
+    Holds the unacknowledged byte stream, exactly as in BSD: data stays in
+    the buffer until acknowledged, and retransmission re-reads it from the
+    front — this is the "retransmission queue" of the paper.  Reads share
+    the underlying MNodes (no copies). *)
+
+type t
+
+val create : Pnp_xkern.Mpool.t -> max:int -> t
+
+val cc : t -> int
+(** Bytes currently buffered. *)
+
+val space : t -> int
+(** Bytes that may still be appended. *)
+
+val max_size : t -> int
+
+val append : t -> Pnp_xkern.Msg.t -> unit
+(** Take ownership of the message's bytes at the tail.
+    @raise Invalid_argument if it does not fit. *)
+
+val peek : t -> off:int -> len:int -> Pnp_xkern.Msg.t
+(** A new message viewing bytes [off, off+len) of the buffered stream
+    (reference counts bumped, nothing copied).
+    @raise Invalid_argument when out of range. *)
+
+val drop : t -> int -> unit
+(** Discard acknowledged bytes from the front. *)
+
+val clear : t -> unit

@@ -1,0 +1,1210 @@
+open Pnp_engine
+open Pnp_xkern
+
+type locking = One | Two | Six
+
+type config = {
+  locking : locking;
+  checksum : bool;
+  cksum_under_lock : bool;
+  assume_in_order : bool;
+  ticketing : bool;
+  nodelay : bool;
+  mss : int;
+  rcv_wnd : int;
+  snd_buf : int;
+}
+
+let default_config =
+  {
+    locking = One;
+    checksum = true;
+    cksum_under_lock = false;
+    assume_in_order = false;
+    ticketing = false;
+    nodelay = false;
+    mss = 4096;
+    rcv_wnd = 1 lsl 20;
+    snd_buf = 1 lsl 20;
+  }
+
+type stats = {
+  mutable segs_in : int;
+  mutable segs_out : int;
+  mutable acks_in : int;
+  mutable acks_out : int;
+  mutable bytes_in : int;
+  mutable bytes_out : int;
+  mutable ooo_segs : int;
+  mutable pred_hits : int;
+  mutable pred_misses : int;
+  mutable rexmits : int;
+  mutable dup_acks : int;
+  mutable reass_inserts : int;
+  mutable persist_probes : int;
+}
+
+let fresh_stats () =
+  {
+    segs_in = 0;
+    segs_out = 0;
+    acks_in = 0;
+    acks_out = 0;
+    bytes_in = 0;
+    bytes_out = 0;
+    ooo_segs = 0;
+    pred_hits = 0;
+    pred_misses = 0;
+    rexmits = 0;
+    dup_acks = 0;
+    reass_inserts = 0;
+    persist_probes = 0;
+  }
+
+type state =
+  | Closed
+  | Listen
+  | Syn_sent
+  | Syn_received
+  | Established
+  | Fin_wait_1
+  | Fin_wait_2
+  | Close_wait
+  | Closing
+  | Last_ack
+  | Time_wait
+
+let state_to_string = function
+  | Closed -> "CLOSED"
+  | Listen -> "LISTEN"
+  | Syn_sent -> "SYN_SENT"
+  | Syn_received -> "SYN_RCVD"
+  | Established -> "ESTABLISHED"
+  | Fin_wait_1 -> "FIN_WAIT_1"
+  | Fin_wait_2 -> "FIN_WAIT_2"
+  | Close_wait -> "CLOSE_WAIT"
+  | Closing -> "CLOSING"
+  | Last_ack -> "LAST_ACK"
+  | Time_wait -> "TIME_WAIT"
+
+type locks =
+  | L_one of Lock.t
+  | L_two of { snd : Lock.t; rcv : Lock.t }
+  | L_six of {
+      reass : Lock.t;
+      rexmt : Lock.t;
+      hdr_prep : Lock.t;
+      hdr_rem : Lock.t;
+      snd_wnd : Lock.t;
+      rcv_wnd : Lock.t;
+    }
+
+(* BSD timer scale: the slow timeout runs every 500 ms. *)
+let slowtimo_ns = Pnp_util.Units.ms 500.0
+let fasttimo_ns = Pnp_util.Units.ms 200.0
+let rto_min_ns = Pnp_util.Units.ms 100.0
+let rto_max_ns = Pnp_util.Units.sec 64.0
+let msl_ticks = 60 (* 30 s at 500 ms ticks *)
+let max_rxtshift = 12
+
+type tcb = {
+  mutable state : state;
+  (* send sequence space *)
+  mutable iss : int;
+  mutable snd_una : int;
+  mutable snd_nxt : int;
+  mutable snd_max : int;
+  mutable snd_wnd : int; (* peer's advertised window *)
+  mutable snd_cwnd : int;
+  mutable snd_ssthresh : int;
+  sb : Sockbuf.t;
+  mutable fin_queued : bool; (* close requested; FIN follows the buffered data *)
+  mutable fin_sent : bool;
+  (* receive sequence space *)
+  mutable irs : int;
+  mutable rcv_nxt : int;
+  rcv_adv_wnd : int; (* what we advertise *)
+  mutable reass : (int * Msg.t) list; (* (seq, payload), ascending *)
+  mutable rcv_fin_seq : int option; (* sequence number of a queued FIN *)
+  (* ack strategy *)
+  mutable delack_pending : bool;
+  (* timers, in 500 ms ticks; 0 = disarmed *)
+  mutable t_rexmt : int;
+  mutable t_persist : int;
+  mutable t_2msl : int;
+  mutable rxtshift : int;
+  mutable persist_shift : int;
+  (* rtt estimation (ns) *)
+  mutable t_rtttime : int; (* 0 = no segment being timed *)
+  mutable t_rtseq : int;
+  mutable srtt : int;
+  mutable rttvar : int;
+  mutable rto : int;
+  mutable dupacks : int;
+  mutable open_waiter : (int -> unit) option; (* connect() blocked here *)
+  mutable sb_waiters : (int -> unit) list; (* send() blocked on buffer space *)
+}
+
+module Conn_key = struct
+  type t = { lport : int; raddr : int; rport : int }
+
+  let hash k = (k.lport * 40503) lxor (k.raddr * 2654435761) lxor (k.rport * 97)
+  let equal a b = a.lport = b.lport && a.raddr = b.raddr && a.rport = b.rport
+end
+
+module Conn_map = Xmap.Make (Conn_key)
+
+type t = {
+  plat : Platform.t;
+  pool : Mpool.t;
+  wheel : Timewheel.t;
+  ip : Ip.t;
+  cfg : config;
+  name : string;
+  obj_ref : Atomic_ctr.t;
+  iss_source : Atomic_ctr.t;
+  conns : session Conn_map.t;
+  create_lock : Lock.t;
+  mutable all_sessions : session list;
+  mutable accepting : (Conn_key.t * (session -> unit)) list; (* listen ports *)
+  mutable timers_running : bool;
+  mutable shutdown : bool;
+}
+
+and session = {
+  proto : t;
+  key : Conn_key.t;
+  tcb : tcb;
+  locks : locks;
+  gate : Gate.t;
+  sess_ref : Atomic_ctr.t;
+  mutable receiver : Msg.t -> unit;
+  mutable on_fin : unit -> unit; (* upcall once the peer's FIN is in order *)
+  st : stats;
+}
+
+(* A segment built under connection locks, transmitted after they drop.
+   [cksummed] is true when the Six discipline already computed it under
+   the header-prepend lock. *)
+type pending = { seg : Msg.t; cksummed : bool }
+
+(* ------------------------------------------------------------------ *)
+(* Locking disciplines                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let make_locks plat disc ~name = function
+  | One -> L_one (Lock.create plat.Platform.sim plat.Platform.arch disc ~name)
+  | Two ->
+    L_two
+      {
+        snd = Lock.create plat.Platform.sim plat.Platform.arch disc ~name:(name ^ ".snd");
+        rcv = Lock.create plat.Platform.sim plat.Platform.arch disc ~name:(name ^ ".rcv");
+      }
+  | Six ->
+    let mk suffix =
+      Lock.create plat.Platform.sim plat.Platform.arch disc ~name:(name ^ suffix)
+    in
+    L_six
+      {
+        reass = mk ".reass";
+        rexmt = mk ".rexmt";
+        hdr_prep = mk ".hprep";
+        hdr_rem = mk ".hrem";
+        snd_wnd = mk ".swnd";
+        rcv_wnd = mk ".rwnd";
+      }
+
+let all_locks sess =
+  match sess.locks with
+  | L_one l -> [ l ]
+  | L_two { snd; rcv } -> [ snd; rcv ]
+  | L_six { reass; rexmt; hdr_prep; hdr_rem; snd_wnd; rcv_wnd } ->
+    [ reass; rexmt; hdr_prep; hdr_rem; snd_wnd; rcv_wnd ]
+
+(* The lock(s) guarding the receive path's serialisation point.  Header
+   prediction manipulates send-side state on the receive path (the Net/2
+   structure), so Two and Six must take both window locks — exactly the
+   redundancy Section 5.1 observes makes fine-grained locking lose. *)
+let input_acquire sess =
+  match sess.locks with
+  | L_one l -> Lock.acquire l
+  | L_two { snd; rcv } ->
+    Lock.acquire snd;
+    Lock.acquire rcv
+  | L_six { snd_wnd; rcv_wnd; _ } ->
+    Lock.acquire snd_wnd;
+    Lock.acquire rcv_wnd
+
+let input_release sess =
+  match sess.locks with
+  | L_one l -> Lock.release l
+  | L_two { snd; rcv } ->
+    Lock.release rcv;
+    Lock.release snd
+  | L_six { snd_wnd; rcv_wnd; _ } ->
+    Lock.release rcv_wnd;
+    Lock.release snd_wnd
+
+(* The lock(s) guarding the send path. *)
+let output_acquire sess =
+  match sess.locks with
+  | L_one l -> Lock.acquire l
+  | L_two { snd; _ } -> Lock.acquire snd
+  | L_six { snd_wnd; _ } -> Lock.acquire snd_wnd
+
+let output_release sess =
+  match sess.locks with
+  | L_one l -> Lock.release l
+  | L_two { snd; _ } -> Lock.release snd
+  | L_six { snd_wnd; _ } -> Lock.release snd_wnd
+
+(* Six-only scoped sections; no-ops for One/Two (already covered by the
+   coarser lock). *)
+let with_reass_lock sess f =
+  match sess.locks with L_six { reass; _ } -> Lock.with_lock reass f | _ -> f ()
+
+let with_rexmt_lock sess f =
+  match sess.locks with L_six { rexmt; _ } -> Lock.with_lock rexmt f | _ -> f ()
+
+(* Ack processing on the receive path touches send state; under every
+   discipline the necessary locks are already held by input_acquire. *)
+let with_send_state _sess f = f ()
+
+let with_hdr_prep sess f =
+  match sess.locks with L_six { hdr_prep; _ } -> Lock.with_lock hdr_prep f | _ -> f ()
+
+let with_hdr_rem sess f =
+  match sess.locks with L_six { hdr_rem; _ } -> Lock.with_lock hdr_rem f | _ -> f ()
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_tcb t =
+  {
+    state = Closed;
+    iss = 0;
+    snd_una = 0;
+    snd_nxt = 0;
+    snd_max = 0;
+    snd_wnd = 0;
+    snd_cwnd = t.cfg.mss;
+    snd_ssthresh = 1 lsl 30;
+    sb = Sockbuf.create t.pool ~max:t.cfg.snd_buf;
+    fin_queued = false;
+    fin_sent = false;
+    irs = 0;
+    rcv_nxt = 0;
+    rcv_adv_wnd = t.cfg.rcv_wnd;
+    reass = [];
+    rcv_fin_seq = None;
+    delack_pending = false;
+    t_rexmt = 0;
+    t_persist = 0;
+    t_2msl = 0;
+    rxtshift = 0;
+    persist_shift = 0;
+    t_rtttime = 0;
+    t_rtseq = 0;
+    srtt = 0;
+    rttvar = 0;
+    rto = Pnp_util.Units.sec 1.0;
+    dupacks = 0;
+    open_waiter = None;
+    sb_waiters = [];
+  }
+
+let fresh_session t key =
+  {
+    proto = t;
+    key;
+    tcb = fresh_tcb t;
+    locks =
+      make_locks t.plat t.plat.Platform.lock_disc
+        ~name:
+          (Printf.sprintf "%s.conn:%d-%x:%d" t.name key.Conn_key.lport key.Conn_key.raddr
+             key.Conn_key.rport)
+        t.cfg.locking;
+    gate = Gate.create t.plat.Platform.sim t.plat.Platform.arch ~name:"tcp.order";
+    sess_ref = Platform.refcnt t.plat ~name:"tcp.sess" ~init:1;
+    receiver = (fun msg -> Msg.destroy msg);
+    on_fin = (fun () -> ());
+    st = fresh_stats ();
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Segment emission                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let advertised_window tcb = tcb.rcv_adv_wnd
+
+(* Build a segment. Caller holds the locks its discipline requires for the
+   snd-state it read; Six additionally wraps the header work (and, per the
+   SICS code, the checksum) in the header-prepend lock. *)
+let emit sess ~flags ~seq ~payload acc =
+  let t = sess.proto in
+  let tcb = sess.tcb in
+  let msg = match payload with Some m -> m | None -> Msg.create t.pool 0 in
+  let hdr =
+    {
+      Tcp_wire.sport = sess.key.Conn_key.lport;
+      dport = sess.key.Conn_key.rport;
+      seq;
+      ack = tcb.rcv_nxt;
+      flags;
+      win = advertised_window tcb;
+      cksum = 0;
+    }
+  in
+  let cksummed = ref false in
+  with_hdr_prep sess (fun () ->
+      Tcp_wire.encode msg hdr;
+      match sess.locks with
+      | L_six _ when t.cfg.checksum ->
+        (* SICS-style: checksum while the header lock is held. *)
+        Tcp_wire.store_checksum t.plat ~src:(Ip.local_addr t.ip)
+          ~dst:sess.key.Conn_key.raddr msg;
+        cksummed := true
+      | (L_one _ | L_two _) when t.cfg.checksum && t.cfg.cksum_under_lock ->
+        (* Ablation: the unrestructured placement, checksum inside the
+           connection-state lock the caller holds. *)
+        Tcp_wire.store_checksum t.plat ~src:(Ip.local_addr t.ip)
+          ~dst:sess.key.Conn_key.raddr msg;
+        cksummed := true
+      | _ -> ());
+  sess.st.segs_out <- sess.st.segs_out + 1;
+  if Msg.length msg = Tcp_wire.header_bytes && not flags.Tcp_wire.syn then
+    sess.st.acks_out <- sess.st.acks_out + 1;
+  { seg = msg; cksummed = !cksummed } :: acc
+
+let emit_ack sess acc =
+  let tcb = sess.tcb in
+  Costs.charge sess.proto.plat Costs.tcp_ack_locked;
+  tcb.delack_pending <- false;
+  emit sess ~flags:Tcp_wire.flag_ack ~seq:tcb.snd_nxt ~payload:None acc
+
+(* Transmit segments built under the locks.  For One/Two the payload
+   checksum pass was charged before the lock was taken (the Section 5.1
+   restructuring: data is summed outside any connection-state lock and the
+   header folded in incrementally here), so only the header fold is
+   charged now. *)
+let transmit sess pendings =
+  let t = sess.proto in
+  List.iter
+    (fun p ->
+      if t.cfg.checksum && not p.cksummed then begin
+        Tcp_wire.store_checksum_free ~src:(Ip.local_addr t.ip)
+          ~dst:sess.key.Conn_key.raddr p.seg;
+        Costs.charge t.plat 40 (* fold the header into the data sum *)
+      end
+      else if not t.cfg.checksum then begin
+        (* Zero checksum field: receivers skip verification too. *)
+        Msg.set_u16 p.seg 18 0
+      end;
+      Costs.charge t.plat Costs.tcp_output_unlocked;
+      Ip.output t.ip ~proto:Tcp_wire.protocol_number ~dst:sess.key.Conn_key.raddr p.seg)
+    (List.rev pendings)
+
+
+let set_rexmt_timer tcb =
+  (* BSD floors the retransmit timer at 2 ticks: with one tick a restart
+     just before a slow-timeout boundary would fire spuriously while acks
+     are still flowing. *)
+  let ticks = (tcb.rto + slowtimo_ns - 1) / slowtimo_ns in
+  let ticks = max 2 ticks in
+  tcb.t_rexmt <- ticks lsl min tcb.rxtshift 6
+
+(* Build at most ONE new segment (or the FIN).  Caller holds the
+   send-state lock(s); Six takes rexmt/header locks inside.  One segment
+   per lock hold is the BSD tcp_output structure, and it is what keeps
+   send-side wire order: sequence numbers are assigned at least a locked
+   section apart, which exceeds the post-lock flight time to the driver
+   (Section 4.1 measures <1% send-side misordering). *)
+let build_one sess =
+  let t = sess.proto in
+  let tcb = sess.tcb in
+  let in_flight = Tcp_seq.diff tcb.snd_nxt tcb.snd_una in
+  let wnd = min tcb.snd_wnd tcb.snd_cwnd in
+  let off = in_flight in
+  let unsent = Sockbuf.cc tcb.sb - off in
+  let len = min t.cfg.mss (min unsent (wnd - in_flight)) in
+  (* Nagle (RFC 896, as in Net/2): hold a small segment while earlier data
+     is unacknowledged, unless it is all we will ever have (FIN queued) or
+     the window itself is what made it small. *)
+  let nagle_holds =
+    (not t.cfg.nodelay) && len > 0 && len < t.cfg.mss && in_flight > 0
+    && unsent <= len && not tcb.fin_queued
+  in
+  if len > 0 && not nagle_holds then begin
+    Costs.charge t.plat Costs.tcp_output_locked;
+    let payload = with_rexmt_lock sess (fun () -> Sockbuf.peek tcb.sb ~off ~len) in
+    let seq = tcb.snd_nxt in
+    tcb.snd_nxt <- Tcp_seq.add tcb.snd_nxt len;
+    tcb.snd_max <- Tcp_seq.max tcb.snd_max tcb.snd_nxt;
+    (* Time one segment per window for RTT estimation. *)
+    if tcb.t_rtttime = 0 then begin
+      tcb.t_rtttime <- Sim.now t.plat.Platform.sim;
+      tcb.t_rtseq <- seq
+    end;
+    if tcb.t_rexmt = 0 then set_rexmt_timer tcb;
+    tcb.delack_pending <- false;
+    emit sess ~flags:Tcp_wire.flag_ack ~seq ~payload:(Some payload) []
+  end
+  else if
+    unsent > 0 && wnd - in_flight <= 0 && in_flight = 0
+    && tcb.t_rexmt = 0 && tcb.t_persist = 0
+  then begin
+    (* Zero window with nothing in flight: nothing will ever ack; arm the
+       persist timer so we probe the window (BSD tcp_setpersist). *)
+    let ticks = max 2 ((tcb.rto + slowtimo_ns - 1) / slowtimo_ns) in
+    tcb.t_persist <- ticks lsl min tcb.persist_shift 6;
+    []
+  end
+  else if tcb.fin_queued && (not tcb.fin_sent) && unsent <= 0 then begin
+    Costs.charge t.plat Costs.tcp_conn_setup;
+    let seq = tcb.snd_nxt in
+    tcb.snd_nxt <- Tcp_seq.add tcb.snd_nxt 1;
+    tcb.snd_max <- Tcp_seq.max tcb.snd_max tcb.snd_nxt;
+    tcb.fin_sent <- true;
+    if tcb.t_rexmt = 0 then set_rexmt_timer tcb;
+    emit sess ~flags:Tcp_wire.flag_fin_ack ~seq ~payload:None []
+  end
+  else []
+
+(* Drain permitted data: one segment per lock hold (see build_one). *)
+let rec pump sess =
+  output_acquire sess;
+  let segs = build_one sess in
+  output_release sess;
+  match segs with
+  | [] -> ()
+  | _ ->
+    transmit sess segs;
+    pump sess
+
+(* ------------------------------------------------------------------ *)
+(* Input processing                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let wake_sb_waiters sess =
+  let tcb = sess.tcb in
+  let ws = tcb.sb_waiters in
+  tcb.sb_waiters <- [];
+  let now = Sim.now sess.proto.plat.Platform.sim in
+  List.iter (fun resume -> resume now) ws
+
+let update_rtt tcb ~now =
+  let delta = now - tcb.t_rtttime in
+  tcb.t_rtttime <- 0;
+  if tcb.srtt = 0 then begin
+    tcb.srtt <- delta;
+    tcb.rttvar <- delta / 2
+  end
+  else begin
+    let err = delta - tcb.srtt in
+    tcb.srtt <- tcb.srtt + (err / 8);
+    tcb.rttvar <- tcb.rttvar + ((abs err - tcb.rttvar) / 4)
+  end;
+  tcb.rto <- min rto_max_ns (max rto_min_ns (tcb.srtt + (4 * tcb.rttvar)));
+  tcb.rxtshift <- 0
+
+(* Process an acceptable ack: drop acknowledged bytes, advance windows,
+   grow the congestion window.  Caller holds send-state locks. *)
+let process_ack sess ~ack ~now acc =
+  let tcb = sess.tcb in
+  let t = sess.proto in
+  let acked = Tcp_seq.diff ack tcb.snd_una in
+  if acked <= 0 then acc
+  else begin
+    if tcb.t_rtttime <> 0 && Tcp_seq.gt ack tcb.t_rtseq then update_rtt tcb ~now;
+    (* Congestion window growth (Tahoe). *)
+    let incr_ =
+      if tcb.snd_cwnd <= tcb.snd_ssthresh then t.cfg.mss
+      else max 1 (t.cfg.mss * t.cfg.mss / tcb.snd_cwnd)
+    in
+    tcb.snd_cwnd <- min (tcb.snd_cwnd + incr_) (1 lsl 30);
+    let fin_acked =
+      tcb.fin_sent && Tcp_seq.geq ack tcb.snd_max
+      && Tcp_seq.diff tcb.snd_max tcb.snd_una = Sockbuf.cc tcb.sb + 1
+    in
+    let data_acked = min acked (Sockbuf.cc tcb.sb) in
+    with_rexmt_lock sess (fun () -> if data_acked > 0 then Sockbuf.drop tcb.sb data_acked);
+    tcb.snd_una <- ack;
+    if Tcp_seq.lt tcb.snd_nxt tcb.snd_una then tcb.snd_nxt <- tcb.snd_una;
+    tcb.dupacks <- 0;
+    (* Restart or stop the retransmission timer. *)
+    if Tcp_seq.geq tcb.snd_una tcb.snd_max then tcb.t_rexmt <- 0 else set_rexmt_timer tcb;
+    wake_sb_waiters sess;
+    (* FIN-related state advances. *)
+    (match tcb.state with
+     | Fin_wait_1 when fin_acked -> tcb.state <- Fin_wait_2
+     | Closing when fin_acked ->
+       tcb.state <- Time_wait;
+       tcb.t_2msl <- msl_ticks
+     | Last_ack when fin_acked -> tcb.state <- Closed
+     | _ -> ());
+    acc
+  end
+
+(* Retransmit one segment from the front of the window (timeout or fast
+   retransmit).  Caller holds send-state locks. *)
+let retransmit sess acc =
+  let t = sess.proto in
+  let tcb = sess.tcb in
+  sess.st.rexmits <- sess.st.rexmits + 1;
+  Costs.charge t.plat Costs.tcp_output_locked;
+  let len = min t.cfg.mss (Sockbuf.cc tcb.sb) in
+  tcb.snd_nxt <- Tcp_seq.max tcb.snd_nxt (Tcp_seq.add tcb.snd_una len);
+  if len > 0 then begin
+    let payload = with_rexmt_lock sess (fun () -> Sockbuf.peek tcb.sb ~off:0 ~len) in
+    emit sess ~flags:Tcp_wire.flag_ack ~seq:tcb.snd_una ~payload:(Some payload) acc
+  end
+  else if tcb.fin_sent then
+    emit sess ~flags:Tcp_wire.flag_fin_ack ~seq:tcb.snd_una ~payload:None acc
+  else acc
+
+(* Insert an out-of-order segment into the reassembly queue (no overlap
+   merging: overlapping duplicates were trimmed by the caller, and our
+   peers never send overlapping runs). *)
+let reass_insert sess seq msg =
+  let tcb = sess.tcb in
+  sess.st.reass_inserts <- sess.st.reass_inserts + 1;
+  Costs.charge sess.proto.plat Costs.tcp_reass_insert;
+  with_reass_lock sess (fun () ->
+      let rec ins = function
+        | [] -> [ (seq, msg) ]
+        | (s, m) :: rest as all ->
+          if Tcp_seq.lt seq s then (seq, msg) :: all
+          else if seq = s then begin
+            (* exact duplicate *)
+            Msg.destroy msg;
+            all
+          end
+          else (s, m) :: ins rest
+      in
+      tcb.reass <- ins tcb.reass)
+
+(* Drain now-contiguous segments from the reassembly queue. *)
+let reass_drain sess deliveries =
+  let tcb = sess.tcb in
+  let rec go acc =
+    match tcb.reass with
+    | (s, m) :: rest when s = tcb.rcv_nxt ->
+      Costs.charge sess.proto.plat Costs.tcp_reass_drain_per_seg;
+      tcb.reass <- rest;
+      tcb.rcv_nxt <- Tcp_seq.add tcb.rcv_nxt (Msg.length m);
+      go (m :: acc)
+    | (s, m) :: rest when Tcp_seq.lt s tcb.rcv_nxt ->
+      (* stale duplicate that got queued *)
+      Msg.destroy m;
+      tcb.reass <- rest;
+      go acc
+    | _ -> List.rev acc
+  in
+  let msgs = go [] in
+  List.fold_left
+    (fun dels m ->
+      sess.st.bytes_in <- sess.st.bytes_in + Msg.length m;
+      m :: dels)
+    deliveries msgs
+
+(* Deliver one in-order payload (fast path). *)
+let deliver_in_order sess msg deliveries =
+  sess.st.bytes_in <- sess.st.bytes_in + Msg.length msg;
+  msg :: deliveries
+
+(* The full (slow-path) segment processing for an established-ish state.
+   Returns (to_send, deliveries) accumulated. *)
+let slow_path sess (hdr : Tcp_wire.header) msg ~now acc deliveries =
+  let t = sess.proto in
+  let tcb = sess.tcb in
+  Costs.charge t.plat Costs.tcp_input_slow_locked;
+  sess.st.pred_misses <- sess.st.pred_misses + 1;
+  let acc = ref acc and deliveries = ref deliveries in
+  let seq = ref hdr.seq in
+  let ack_now = ref false in
+  (* Trim data we already received. *)
+  let overlap = Tcp_seq.diff tcb.rcv_nxt !seq in
+  if overlap > 0 then begin
+    let len = Msg.length msg in
+    if overlap >= len && not hdr.flags.Tcp_wire.syn then begin
+      (* complete duplicate: ack it again *)
+      Msg.truncate msg 0;
+      ack_now := true;
+      seq := tcb.rcv_nxt
+    end
+    else if overlap <= len then begin
+      Msg.pop msg (min overlap len);
+      seq := tcb.rcv_nxt
+    end
+  end;
+  (* Window update. *)
+  if hdr.flags.Tcp_wire.ack then begin
+    tcb.snd_wnd <- hdr.win;
+    if hdr.win > 0 then begin
+      tcb.t_persist <- 0;
+      tcb.persist_shift <- 0
+    end;
+    (* Ack processing (may include duplicate-ack fast retransmit). *)
+    with_send_state sess (fun () ->
+        if Tcp_seq.gt hdr.ack tcb.snd_una && Tcp_seq.leq hdr.ack tcb.snd_max then
+          acc := process_ack sess ~ack:hdr.ack ~now !acc
+        else if
+          Msg.length msg = 0 && hdr.ack = tcb.snd_una
+          && Tcp_seq.gt tcb.snd_max tcb.snd_una
+        then begin
+          sess.st.dup_acks <- sess.st.dup_acks + 1;
+          tcb.dupacks <- tcb.dupacks + 1;
+          if tcb.dupacks = 3 then begin
+            (* Tahoe fast retransmit *)
+            let flight = min tcb.snd_wnd tcb.snd_cwnd in
+            tcb.snd_ssthresh <- max (2 * t.cfg.mss) (flight / 2);
+            tcb.snd_cwnd <- t.cfg.mss;
+            tcb.snd_nxt <- tcb.snd_una;
+            acc := retransmit sess !acc
+          end
+        end)
+  end;
+  (* Data. *)
+  let len = Msg.length msg in
+  if len > 0 then begin
+    if !seq = tcb.rcv_nxt then begin
+      tcb.rcv_nxt <- Tcp_seq.add tcb.rcv_nxt len;
+      deliveries := deliver_in_order sess msg !deliveries;
+      deliveries := reass_drain sess !deliveries;
+      if tcb.delack_pending then ack_now := true else tcb.delack_pending <- true
+    end
+    else begin
+      (* Out of order: queue it and ack immediately (duplicate ack). *)
+      reass_insert sess !seq msg;
+      ack_now := true
+    end
+  end
+  else if len = 0 && not (hdr.flags.Tcp_wire.fin || hdr.flags.Tcp_wire.syn) then
+    Msg.destroy msg;
+  (* FIN handling. *)
+  if hdr.flags.Tcp_wire.fin then begin
+    let fin_seq = Tcp_seq.add !seq len in
+    if fin_seq = tcb.rcv_nxt then begin
+      tcb.rcv_nxt <- Tcp_seq.add tcb.rcv_nxt 1;
+      ack_now := true;
+      if len = 0 then Msg.destroy msg;
+      (match tcb.state with
+       | Established -> tcb.state <- Close_wait
+       | Fin_wait_1 ->
+         (* our FIN not yet acked: simultaneous close *)
+         tcb.state <- Closing
+       | Fin_wait_2 ->
+         tcb.state <- Time_wait;
+         tcb.t_2msl <- msl_ticks
+       | _ -> ())
+    end
+    else begin
+      tcb.rcv_fin_seq <- Some fin_seq;
+      if len = 0 then Msg.destroy msg;
+      ack_now := true
+    end
+  end;
+  (* A queued FIN may have become in-order after reassembly drain. *)
+  (match tcb.rcv_fin_seq with
+   | Some fs when fs = tcb.rcv_nxt ->
+     tcb.rcv_fin_seq <- None;
+     tcb.rcv_nxt <- Tcp_seq.add tcb.rcv_nxt 1;
+     ack_now := true;
+     (match tcb.state with
+      | Established -> tcb.state <- Close_wait
+      | Fin_wait_1 -> tcb.state <- Closing
+      | Fin_wait_2 ->
+        tcb.state <- Time_wait;
+        tcb.t_2msl <- msl_ticks
+      | _ -> ())
+   | _ -> ());
+  (* New data permitted by the ack is sent by the caller (pump) after the
+     input locks drop; here only emit an explicit ack if required. *)
+  if !ack_now then acc := emit_ack sess !acc;
+  (!acc, !deliveries)
+
+(* Header prediction, Net/2 style (Section 4.1 depends on this fast path
+   being order-sensitive). *)
+let established_input sess (hdr : Tcp_wire.header) msg ~now acc deliveries =
+  let t = sess.proto in
+  let tcb = sess.tcb in
+  let len = Msg.length msg in
+  (* The Figure 10 "assumed in-order" upper bound: pretend every data
+     segment landed exactly on rcv_nxt. *)
+  let hdr =
+    if t.cfg.assume_in_order && len > 0 && hdr.flags.Tcp_wire.ack && not hdr.flags.Tcp_wire.fin
+    then { hdr with Tcp_wire.seq = tcb.rcv_nxt; ack = tcb.snd_una }
+    else hdr
+  in
+  if len > 0 && hdr.seq <> tcb.rcv_nxt then sess.st.ooo_segs <- sess.st.ooo_segs + 1;
+  let f = hdr.flags in
+  if f.Tcp_wire.rst then begin
+    (* A reset tears the connection down immediately (no challenge-ack
+       subtleties; the simulated network cannot spoof). *)
+    tcb.state <- Closed;
+    tcb.t_rexmt <- 0;
+    tcb.t_persist <- 0;
+    Msg.destroy msg;
+    (acc, deliveries)
+  end
+  else
+  let predictable =
+    tcb.state = Established && f.Tcp_wire.ack
+    && (not (f.Tcp_wire.syn || f.Tcp_wire.fin || f.Tcp_wire.rst))
+    && hdr.win = tcb.snd_wnd
+    && tcb.snd_nxt = tcb.snd_max
+    && hdr.seq = tcb.rcv_nxt
+  in
+  if predictable && len = 0 && Tcp_seq.gt hdr.ack tcb.snd_una
+     && Tcp_seq.leq hdr.ack tcb.snd_max
+     && tcb.snd_cwnd >= tcb.snd_wnd
+  then begin
+    (* Fast path 1: pure ack advancing snd_una. *)
+    Costs.charge t.plat Costs.tcp_input_pred_locked;
+    sess.st.pred_hits <- sess.st.pred_hits + 1;
+    Msg.destroy msg;
+    let acc = with_send_state sess (fun () -> process_ack sess ~ack:hdr.ack ~now acc) in
+    (acc, deliveries)
+  end
+  else if predictable && len > 0 && hdr.ack = tcb.snd_una && tcb.reass = [] then begin
+    (* Fast path 2: pure in-order data. *)
+    Costs.charge t.plat Costs.tcp_input_pred_locked;
+    sess.st.pred_hits <- sess.st.pred_hits + 1;
+    tcb.rcv_nxt <- Tcp_seq.add tcb.rcv_nxt len;
+    let deliveries = deliver_in_order sess msg deliveries in
+    (* Net/2 acks every other segment: the first leaves a delayed ack
+       pending, the second forces it out. *)
+    let acc =
+      if tcb.delack_pending then emit_ack sess acc
+      else begin
+        tcb.delack_pending <- true;
+        acc
+      end
+    in
+    (acc, deliveries)
+  end
+  else slow_path sess hdr msg ~now acc deliveries
+
+(* Non-established states: the connection machinery. *)
+let opening_input sess (hdr : Tcp_wire.header) msg ~now acc deliveries =
+  let t = sess.proto in
+  let tcb = sess.tcb in
+  Costs.charge t.plat Costs.tcp_conn_setup;
+  let f = hdr.flags in
+  match tcb.state with
+  | Syn_sent when f.Tcp_wire.syn && f.Tcp_wire.ack && hdr.ack = Tcp_seq.add tcb.iss 1 ->
+    tcb.irs <- hdr.seq;
+    tcb.rcv_nxt <- Tcp_seq.add hdr.seq 1;
+    tcb.snd_una <- hdr.ack;
+    tcb.snd_wnd <- hdr.win;
+    tcb.state <- Established;
+    tcb.t_rexmt <- 0;
+    Msg.destroy msg;
+    (match tcb.open_waiter with
+     | Some resume ->
+       tcb.open_waiter <- None;
+       (* Resume at the current instant, not the segment's arrival time:
+          input processing has consumed simulated time since then. *)
+       resume (Sim.now t.plat.Platform.sim)
+     | None -> ());
+    (emit_ack sess acc, deliveries)
+  | Syn_received when f.Tcp_wire.ack && hdr.ack = Tcp_seq.add tcb.iss 1 ->
+    tcb.snd_una <- hdr.ack;
+    tcb.snd_wnd <- hdr.win;
+    tcb.state <- Established;
+    tcb.t_rexmt <- 0;
+    if Msg.length msg > 0 then
+      (* data arrived with the handshake ack *)
+      established_input sess { hdr with Tcp_wire.flags = Tcp_wire.flag_ack } msg ~now acc
+        deliveries
+    else begin
+      Msg.destroy msg;
+      (acc, deliveries)
+    end
+  | Time_wait when f.Tcp_wire.fin ->
+    (* peer retransmitted its FIN: re-ack *)
+    Msg.destroy msg;
+    (emit_ack sess acc, deliveries)
+  | _ when f.Tcp_wire.rst ->
+    tcb.state <- Closed;
+    Msg.destroy msg;
+    (acc, deliveries)
+  | Established | Fin_wait_1 | Fin_wait_2 | Close_wait | Closing | Last_ack ->
+    established_input sess hdr msg ~now acc deliveries
+  | _ ->
+    (* Drop everything else. *)
+    Msg.destroy msg;
+    (acc, deliveries)
+
+let segment_arrives sess (hdr : Tcp_wire.header) msg =
+  let t = sess.proto in
+  let now = Sim.now t.plat.Platform.sim in
+  (* Input work that needs no connection state: parsing, validation. *)
+  Costs.charge t.plat Costs.tcp_input_unlocked;
+  sess.st.segs_in <- sess.st.segs_in + 1;
+  if Msg.length msg = 0 && hdr.flags.Tcp_wire.ack && not hdr.flags.Tcp_wire.syn then
+    sess.st.acks_in <- sess.st.acks_in + 1;
+  let is_data = Msg.length msg > 0 in
+  input_acquire sess;
+  (* Ablation: verification charged while the state locks are held. *)
+  if t.cfg.checksum && t.cfg.cksum_under_lock then
+    Membus.consume t.plat.Platform.bus ~bytes:(Msg.length msg + Tcp_wire.header_bytes);
+  (* The SICS six-lock structure serialises the reassembly and
+     retransmission queues together with the window state on every packet
+     — locking the paper calls "either redundant or unnecessary"
+     (Section 5.1).  The cost is what makes TCP-6 lose. *)
+  (match sess.locks with
+   | L_six { reass; rexmt; _ } ->
+     Lock.acquire reass;
+     Lock.acquire rexmt;
+     Costs.charge t.plat 200;
+     Lock.release rexmt;
+     Lock.release reass
+   | L_one _ | L_two _ -> ());
+  let acc, deliveries =
+    match sess.tcb.state with
+    | Established -> established_input sess hdr msg ~now [] []
+    | _ -> opening_input sess hdr msg ~now [] []
+  in
+  (* Section 4.2: before releasing the connection-state lock, a receiving
+     thread acquires an up-ticket for the next higher layer; above TCP it
+     waits for its ticket to be called.  Every data segment's thread goes
+     through the gate — even one whose segment only joined the reassembly
+     queue — which is what restricts order and limits performance. *)
+  let ticket =
+    if t.cfg.ticketing && is_data && sess.tcb.state <> Listen then
+      Some (Gate.take sess.gate)
+    else None
+  in
+  input_release sess;
+  transmit sess acc;
+  (* Send whatever the ack (or window update) made possible. *)
+  pump sess;
+  (* Upcalls happen outside all connection locks — exactly the point where
+     ordering can be lost without ticketing (Section 4.2). *)
+  (match ticket with
+   | Some k ->
+     Gate.await sess.gate k;
+     List.iter (fun m -> sess.receiver m) (List.rev deliveries);
+     Gate.advance sess.gate
+   | None -> List.iter (fun m -> sess.receiver m) (List.rev deliveries));
+  (* Tell the application about an in-order FIN (idempotent upcall). *)
+  if
+    hdr.flags.Tcp_wire.fin
+    && (match sess.tcb.state with
+        | Close_wait | Closing | Last_ack | Time_wait | Closed -> true
+        | _ -> false)
+  then sess.on_fin ()
+
+(* ------------------------------------------------------------------ *)
+(* Demultiplexing                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let lookup_session t ~lport ~raddr ~rport =
+  match Conn_map.lookup t.conns { Conn_key.lport; raddr; rport } with
+  | Some s -> Some s
+  | None -> Conn_map.lookup t.conns { Conn_key.lport; raddr = 0; rport = 0 }
+
+let handshake_syn t listener_key accept (hdr : Tcp_wire.header) ~src =
+  (* Passive open: make the child session and send SYN-ACK. *)
+  let key = { Conn_key.lport = listener_key.Conn_key.lport; raddr = src; rport = hdr.sport } in
+  let sess = fresh_session t key in
+  let tcb = sess.tcb in
+  tcb.state <- Syn_received;
+  tcb.irs <- hdr.seq;
+  tcb.rcv_nxt <- Tcp_seq.add hdr.seq 1;
+  tcb.iss <- Tcp_seq.mask ((Atomic_ctr.incr t.iss_source * 64021) + (Ip.local_addr t.ip * 7919));
+  tcb.snd_una <- tcb.iss;
+  tcb.snd_nxt <- Tcp_seq.add tcb.iss 1;
+  tcb.snd_max <- tcb.snd_nxt;
+  tcb.snd_wnd <- hdr.win;
+  (if Sim.in_thread t.plat.Platform.sim then Lock.with_lock t.create_lock else fun f -> f ())
+    (fun () ->
+      Conn_map.insert t.conns key sess;
+      t.all_sessions <- sess :: t.all_sessions);
+  (* Let the application attach its receiver before any data can race in. *)
+  accept sess;
+  let acc = emit sess ~flags:Tcp_wire.flag_syn_ack ~seq:tcb.iss ~payload:None [] in
+  transmit sess acc
+
+let input t ~src ~dst msg =
+  Costs.charge t.plat Costs.tcp_demux;
+  match Tcp_wire.decode msg with
+  | None -> Msg.destroy msg
+  | Some hdr ->
+    let cksum_ok =
+      match t.cfg.locking with
+      | (One | Two) when not t.cfg.cksum_under_lock ->
+        (* Checksum outside any connection-state lock. *)
+        (not t.cfg.checksum) || hdr.cksum = 0
+        || Tcp_wire.verify_checksum t.plat ~src ~dst msg
+      | One | Two | Six -> true (* verified under locks below *)
+    in
+    if not cksum_ok then Msg.destroy msg
+    else begin
+      match lookup_session t ~lport:hdr.dport ~raddr:src ~rport:hdr.sport with
+      | None -> Msg.destroy msg
+      | Some sess ->
+        ignore (Atomic_ctr.incr sess.sess_ref);
+        let proceed = ref true in
+        with_hdr_rem sess (fun () ->
+            (match t.cfg.locking with
+             | Six
+               when t.cfg.checksum && hdr.cksum <> 0
+                    && not (Tcp_wire.verify_checksum t.plat ~src ~dst msg) ->
+               proceed := false
+             | One | Two | Six -> ());
+            if !proceed then Tcp_wire.strip msg);
+        (if not !proceed then Msg.destroy msg
+         else
+           match (sess.tcb.state, hdr.flags.Tcp_wire.syn) with
+           | Listen, true -> (
+             (* find the accept callback for this port *)
+             match List.find_opt (fun (k, _) -> Conn_key.equal k sess.key) t.accepting with
+             | Some (k, accept) ->
+               Msg.destroy msg;
+               handshake_syn t k accept hdr ~src
+             | None -> Msg.destroy msg)
+           | _ -> segment_arrives sess hdr msg);
+        ignore (Atomic_ctr.decr sess.sess_ref)
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Timers                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let fasttimo t =
+  List.iter
+    (fun sess ->
+      if sess.tcb.delack_pending then begin
+        input_acquire sess;
+        let acc = if sess.tcb.delack_pending then emit_ack sess [] else [] in
+        input_release sess;
+        transmit sess acc
+      end)
+    t.all_sessions
+
+let rexmt_timeout sess =
+  let t = sess.proto in
+  let tcb = sess.tcb in
+  output_acquire sess;
+  let acc =
+    if Tcp_seq.gt tcb.snd_max tcb.snd_una && tcb.state <> Closed then begin
+      tcb.rxtshift <- min (tcb.rxtshift + 1) max_rxtshift;
+      let flight = min tcb.snd_wnd tcb.snd_cwnd in
+      tcb.snd_ssthresh <- max (2 * t.cfg.mss) (flight / 2);
+      tcb.snd_cwnd <- t.cfg.mss;
+      tcb.t_rtttime <- 0;
+      tcb.snd_nxt <- tcb.snd_una;
+      set_rexmt_timer tcb;
+      retransmit sess []
+    end
+    else begin
+      tcb.t_rexmt <- 0;
+      []
+    end
+  in
+  output_release sess;
+  transmit sess acc
+
+(* Window probe: force one byte past the closed window (BSD TF_FORCE). *)
+let persist_timeout sess =
+  let t = sess.proto in
+  let tcb = sess.tcb in
+  output_acquire sess;
+  let acc =
+    let in_flight = Tcp_seq.diff tcb.snd_nxt tcb.snd_una in
+    let unsent = Sockbuf.cc tcb.sb - in_flight in
+    if unsent > 0 && tcb.snd_wnd = 0 && tcb.state = Established then begin
+      sess.st.persist_probes <- sess.st.persist_probes + 1;
+      Costs.charge t.plat Costs.tcp_output_locked;
+      let payload = with_rexmt_lock sess (fun () -> Sockbuf.peek tcb.sb ~off:in_flight ~len:1) in
+      let seq = tcb.snd_nxt in
+      tcb.snd_nxt <- Tcp_seq.add tcb.snd_nxt 1;
+      tcb.snd_max <- Tcp_seq.max tcb.snd_max tcb.snd_nxt;
+      tcb.persist_shift <- min (tcb.persist_shift + 1) max_rxtshift;
+      let ticks = max 2 ((tcb.rto + slowtimo_ns - 1) / slowtimo_ns) in
+      tcb.t_persist <- ticks lsl min tcb.persist_shift 6;
+      emit sess ~flags:Tcp_wire.flag_ack ~seq ~payload:(Some payload) []
+    end
+    else begin
+      tcb.t_persist <- 0;
+      []
+    end
+  in
+  output_release sess;
+  transmit sess acc
+
+let slowtimo t =
+  List.iter
+    (fun sess ->
+      let tcb = sess.tcb in
+      if tcb.t_rexmt > 0 then begin
+        tcb.t_rexmt <- tcb.t_rexmt - 1;
+        if tcb.t_rexmt = 0 then rexmt_timeout sess
+      end;
+      if tcb.t_persist > 0 then begin
+        tcb.t_persist <- tcb.t_persist - 1;
+        if tcb.t_persist = 0 then persist_timeout sess
+      end;
+      if tcb.t_2msl > 0 then begin
+        tcb.t_2msl <- tcb.t_2msl - 1;
+        if tcb.t_2msl = 0 && tcb.state = Time_wait then tcb.state <- Closed
+      end)
+    t.all_sessions
+
+let rec arm_fasttimo t =
+  if not t.shutdown then
+    ignore
+      (Timewheel.schedule t.wheel ~after:fasttimo_ns (fun () ->
+           fasttimo t;
+           arm_fasttimo t))
+
+let rec arm_slowtimo t =
+  if not t.shutdown then
+    ignore
+      (Timewheel.schedule t.wheel ~after:slowtimo_ns (fun () ->
+           slowtimo t;
+           arm_slowtimo t))
+
+let start_timers t =
+  if not t.timers_running then begin
+    t.timers_running <- true;
+    arm_fasttimo t;
+    arm_slowtimo t
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Public API                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let create plat pool ~wheel ~ip cfg ~name =
+  let t =
+    {
+      plat;
+      pool;
+      wheel;
+      ip;
+      cfg;
+      name;
+      obj_ref = Platform.refcnt plat ~name:(name ^ ".ref") ~init:1;
+      iss_source = Platform.refcnt plat ~name:(name ^ ".iss") ~init:1;
+      conns = Conn_map.create plat ~name:(name ^ ".demux") ();
+      create_lock =
+        Lock.create plat.Platform.sim plat.Platform.arch Lock.Unfair
+          ~name:(name ^ ".create");
+      all_sessions = [];
+      accepting = [];
+      timers_running = false;
+      shutdown = false;
+    }
+  in
+  Ip.register ip ~proto:Tcp_wire.protocol_number (fun ~src ~dst msg ->
+      ignore (Atomic_ctr.incr t.obj_ref);
+      input t ~src ~dst msg;
+      ignore (Atomic_ctr.decr t.obj_ref));
+  t
+
+let shutdown t = t.shutdown <- true
+
+let locked_create t f =
+  if Sim.in_thread t.plat.Platform.sim then Lock.with_lock t.create_lock f else f ()
+
+let connect ?iss t ~local_port ~remote_addr ~remote_port =
+  let key = { Conn_key.lport = local_port; raddr = remote_addr; rport = remote_port } in
+  let sess = fresh_session t key in
+  let tcb = sess.tcb in
+  (tcb.iss <-
+     match iss with
+     | Some s -> Tcp_seq.mask s
+     | None ->
+       (* derived from the host address too, so two stacks in one world
+          do not pick identical initial sequence numbers *)
+       Tcp_seq.mask ((Atomic_ctr.incr t.iss_source * 64021) + (Ip.local_addr t.ip * 7919)));
+  tcb.snd_una <- tcb.iss;
+  tcb.snd_nxt <- Tcp_seq.add tcb.iss 1;
+  tcb.snd_max <- tcb.snd_nxt;
+  tcb.state <- Syn_sent;
+  locked_create t (fun () ->
+      Conn_map.insert t.conns key sess;
+      t.all_sessions <- sess :: t.all_sessions);
+  start_timers t;
+  Costs.charge t.plat Costs.tcp_conn_setup;
+  let acc = emit sess ~flags:Tcp_wire.flag_syn ~seq:tcb.iss ~payload:None [] in
+  set_rexmt_timer tcb;
+  transmit sess acc;
+  (* The in-memory peer may have answered synchronously on this stack. *)
+  if tcb.state <> Established then
+    Sim.suspend t.plat.Platform.sim (fun resume -> tcb.open_waiter <- Some resume);
+  sess
+
+let listen t ~local_port ~accept =
+  let key = { Conn_key.lport = local_port; raddr = 0; rport = 0 } in
+  let sess = fresh_session t key in
+  sess.tcb.state <- Listen;
+  locked_create t (fun () ->
+      Conn_map.insert t.conns key sess;
+      t.accepting <- (key, accept) :: t.accepting);
+  start_timers t
+
+let set_receiver sess f = sess.receiver <- f
+let set_fin_handler sess f = sess.on_fin <- f
+let ticket_gate sess = sess.gate
+
+let send sess msg =
+  let t = sess.proto in
+  let tcb = sess.tcb in
+  let len = Msg.length msg in
+  if len > Sockbuf.max_size tcb.sb then
+    invalid_arg "Tcp.send: message larger than the send buffer";
+  output_acquire sess;
+  (* Wait for socket-buffer space (so_snd blocking semantics). *)
+  while Sockbuf.space tcb.sb < len do
+    let registered = ref false in
+    Sim.suspend t.plat.Platform.sim (fun resume ->
+        tcb.sb_waiters <- resume :: tcb.sb_waiters;
+        registered := true;
+        output_release sess);
+    assert !registered;
+    output_acquire sess
+  done;
+  sess.st.bytes_out <- sess.st.bytes_out + len;
+  with_rexmt_lock sess (fun () -> Sockbuf.append tcb.sb msg);
+  output_release sess;
+  (* The data checksum pass runs here, outside every connection-state lock
+     (Section 5.1); the header is folded in at transmit time.  The Six
+     discipline instead checksums under its header lock (SICS style). *)
+  (match t.cfg.locking with
+   | One | Two ->
+     if t.cfg.checksum && not t.cfg.cksum_under_lock then
+       Membus.consume t.plat.Platform.bus ~bytes:len
+   | Six -> ());
+  pump sess
+
+let close sess =
+  let tcb = sess.tcb in
+  output_acquire sess;
+  (match tcb.state with
+   | Established -> tcb.state <- Fin_wait_1
+   | Close_wait -> tcb.state <- Last_ack
+   | _ -> ());
+  tcb.fin_queued <- true;
+  output_release sess;
+  pump sess
+
+let state_name sess = state_to_string sess.tcb.state
+let stats sess = sess.st
+let config t = t.cfg
+let sessions t = t.all_sessions
+
+let lock_wait_ns sess =
+  List.fold_left (fun acc l -> acc + Lock.total_wait_ns l) 0 (all_locks sess)
+
+let lock_hold_ns sess =
+  List.fold_left (fun acc l -> acc + Lock.total_hold_ns l) 0 (all_locks sess)
+
+let snd_nxt sess = sess.tcb.snd_nxt
+let rcv_nxt sess = sess.tcb.rcv_nxt
+let cwnd sess = sess.tcb.snd_cwnd
+let initial_seqs sess = (sess.tcb.iss, sess.tcb.irs)

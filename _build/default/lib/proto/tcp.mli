@@ -1,0 +1,133 @@
+(** Parallelised TCP, after the paper's Net/2-derived implementation.
+
+    The protocol machinery is real: 32-bit sequence arithmetic, header
+    prediction, a reassembly queue for out-of-order segments, the send
+    socket buffer doubling as the retransmission queue, slow start and
+    congestion avoidance, Jacobson RTT estimation, and BSD-style fast
+    (200 ms) and slow (500 ms) timers driven by the timing wheel.
+
+    Three locking disciplines for per-connection state are provided
+    (Section 5.1):
+
+    - [One]: a single lock protects all connection state (the baseline,
+      and the paper's winner).
+    - [Two]: one lock for send-side state, one for receive-side state;
+      header prediction must take both.
+    - [Six]: the SICS MP-TCP style — separate locks for the reassembly
+      queue, the retransmission buffer, header prepend, header remove,
+      send window and receive window; checksums are computed while the
+      header locks are held, as in that implementation.
+
+    Segment checksums for [One]/[Two] are computed {e outside} any
+    connection-state lock, the restructuring Section 5.1 describes.
+
+    When [ticketing] is enabled, a receiving thread takes an up-ticket for
+    the layer above before releasing connection state and waits for its
+    turn before making the application upcall (Section 4.2), so the
+    application sees packets in order at the cost of serialising the
+    upcall path.
+
+    [assume_in_order] reproduces the Figure 10 upper bound: every arriving
+    data segment is treated as if its sequence number were the expected
+    one. *)
+
+type locking = One | Two | Six
+
+type config = {
+  locking : locking;
+  checksum : bool;
+  cksum_under_lock : bool;
+      (** ablation: checksum while holding the connection-state lock(s),
+          the placement Section 5.1's restructuring removed *)
+  assume_in_order : bool;
+  ticketing : bool;
+  nodelay : bool;
+      (** disable Nagle's algorithm (small segments sent immediately even
+          with data in flight) *)
+  mss : int;            (** maximum segment payload *)
+  rcv_wnd : int;        (** advertised receive window (32-bit, Section 2.2) *)
+  snd_buf : int;        (** send socket buffer limit *)
+}
+
+val default_config : config
+(** TCP-1, checksum on, 4096-byte MSS, 1 MB windows, no ticketing. *)
+
+type t
+type session
+
+type stats = {
+  mutable segs_in : int;
+  mutable segs_out : int;
+  mutable acks_in : int;        (** dataless segments carrying only an ACK *)
+  mutable acks_out : int;
+  mutable bytes_in : int;       (** payload bytes delivered to the application *)
+  mutable bytes_out : int;      (** payload bytes accepted from the application *)
+  mutable ooo_segs : int;       (** data segments arriving with seq <> rcv_nxt *)
+  mutable pred_hits : int;
+  mutable pred_misses : int;
+  mutable rexmits : int;
+  mutable dup_acks : int;
+  mutable reass_inserts : int;
+  mutable persist_probes : int; (** zero-window probes sent by the persist timer *)
+}
+
+val create :
+  Pnp_engine.Platform.t ->
+  Pnp_xkern.Mpool.t ->
+  wheel:Pnp_xkern.Timewheel.t ->
+  ip:Ip.t ->
+  config ->
+  name:string ->
+  t
+
+val shutdown : t -> unit
+(** Stop rescheduling the protocol timers (lets a simulation drain). *)
+
+val connect :
+  ?iss:int -> t -> local_port:int -> remote_addr:int -> remote_port:int -> session
+(** Active open.  Blocks the calling thread until the connection is
+    established.  Must be called from a simulated thread.  [iss] overrides
+    the initial send sequence number (tests use it to exercise 32-bit
+    wraparound). *)
+
+val listen : t -> local_port:int -> accept:(session -> unit) -> unit
+(** Passive open.  [accept] is called (from the thread processing the SYN,
+    with no connection locks held... before the SYN-ACK is sent) for each
+    new connection, so the receiver can be attached before data arrives. *)
+
+val set_receiver : session -> (Pnp_xkern.Msg.t -> unit) -> unit
+(** Attach the application upcall for payload delivery.  The upcall owns
+    the message.  With [ticketing] the upcall runs inside the session's
+    ordering gate. *)
+
+val set_fin_handler : session -> (unit -> unit) -> unit
+(** Upcall invoked (outside connection locks) when the peer's FIN has been
+    received in order — i.e. end of the inbound stream.  May fire more
+    than once if the FIN is retransmitted. *)
+
+val ticket_gate : session -> Pnp_engine.Gate.t
+(** The session's ordering gate (wait statistics, tickets issued). *)
+
+val send : session -> Pnp_xkern.Msg.t -> unit
+(** Queue payload and transmit as the window allows; blocks while the send
+    buffer is full.  Takes ownership of the message. *)
+
+val close : session -> unit
+(** Send FIN.  Does not block for the full close handshake. *)
+
+val state_name : session -> string
+val stats : session -> stats
+val config : t -> config
+val sessions : t -> session list
+
+val lock_wait_ns : session -> Pnp_util.Units.ns
+(** Total time threads spent waiting on this session's state lock(s) — the
+    paper's Pixie observation (85-90% of time at 8 CPUs). *)
+
+val lock_hold_ns : session -> Pnp_util.Units.ns
+val snd_nxt : session -> int
+val rcv_nxt : session -> int
+val cwnd : session -> int
+
+val initial_seqs : session -> int * int
+(** (iss, irs) — initial send and receive sequence numbers. *)

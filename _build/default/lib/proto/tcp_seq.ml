@@ -1,0 +1,16 @@
+let modulus = 1 lsl 32
+
+let mask x = x land (modulus - 1)
+
+let add a n = mask (a + n)
+
+let diff a b =
+  let d = mask (a - b) in
+  if d >= modulus / 2 then d - modulus else d
+
+let lt a b = diff a b < 0
+let leq a b = diff a b <= 0
+let gt a b = diff a b > 0
+let geq a b = diff a b >= 0
+
+let max a b = if geq a b then a else b

@@ -1,0 +1,19 @@
+(** 32-bit TCP sequence-number arithmetic (wraparound-safe). *)
+
+val mask : int -> int
+(** Reduce to 32 bits. *)
+
+val add : int -> int -> int
+(** [add seq n] modulo 2^32. *)
+
+val diff : int -> int -> int
+(** [diff a b] is the signed distance from [b] to [a]; positive when [a]
+    is ahead of [b] in sequence space. *)
+
+val lt : int -> int -> bool
+val leq : int -> int -> bool
+val gt : int -> int -> bool
+val geq : int -> int -> bool
+
+val max : int -> int -> int
+(** The later of two sequence numbers. *)

@@ -1,0 +1,113 @@
+open Pnp_xkern
+
+type flags = { fin : bool; syn : bool; rst : bool; psh : bool; ack : bool }
+
+let no_flags = { fin = false; syn = false; rst = false; psh = false; ack = false }
+let flag_ack = { no_flags with ack = true }
+let flag_syn = { no_flags with syn = true }
+let flag_syn_ack = { no_flags with syn = true; ack = true }
+let flag_fin_ack = { no_flags with fin = true; ack = true }
+let flag_rst = { no_flags with rst = true }
+
+type header = {
+  sport : int;
+  dport : int;
+  seq : int;
+  ack : int;
+  flags : flags;
+  win : int;
+  cksum : int;
+}
+
+let header_bytes = 24
+let protocol_number = 6
+
+let flags_to_int f =
+  (if f.fin then 1 else 0)
+  lor (if f.syn then 2 else 0)
+  lor (if f.rst then 4 else 0)
+  lor (if f.psh then 8 else 0)
+  lor if f.ack then 16 else 0
+
+let flags_of_int i =
+  {
+    fin = i land 1 <> 0;
+    syn = i land 2 <> 0;
+    rst = i land 4 <> 0;
+    psh = i land 8 <> 0;
+    ack = i land 16 <> 0;
+  }
+
+let encode msg h =
+  Msg.push msg header_bytes;
+  Msg.set_u16 msg 0 h.sport;
+  Msg.set_u16 msg 2 h.dport;
+  Msg.set_u32 msg 4 (Tcp_seq.mask h.seq);
+  Msg.set_u32 msg 8 (Tcp_seq.mask h.ack);
+  (* data offset in 32-bit words (6) in the high nibble, flags low. *)
+  Msg.set_u16 msg 12 ((6 lsl 12) lor flags_to_int h.flags);
+  Msg.set_u32 msg 14 h.win;
+  Msg.set_u16 msg 18 h.cksum;
+  Msg.set_u16 msg 20 0;
+  Msg.set_u16 msg 22 0
+
+let decode msg =
+  if Msg.length msg < header_bytes then None
+  else
+    Some
+      {
+        sport = Msg.get_u16 msg 0;
+        dport = Msg.get_u16 msg 2;
+        seq = Msg.get_u32 msg 4;
+        ack = Msg.get_u32 msg 8;
+        flags = flags_of_int (Msg.get_u16 msg 12 land 0x3f);
+        win = Msg.get_u32 msg 14;
+        cksum = Msg.get_u16 msg 18;
+      }
+
+let strip msg = Msg.pop msg header_bytes
+
+let pseudo_sum ~src ~dst ~len =
+  let open Inet_cksum in
+  let s = add (src lsr 16) (src land 0xffff) in
+  let s = add s (dst lsr 16) in
+  let s = add s (dst land 0xffff) in
+  let s = add s protocol_number in
+  add s len
+
+let store_checksum plat ~src ~dst msg =
+  let len = Msg.length msg in
+  Msg.set_u16 msg 18 0;
+  let ck = Inet_cksum.compute plat msg ~extra:(pseudo_sum ~src ~dst ~len) in
+  Msg.set_u16 msg 18 (if ck = 0 then 0xffff else ck)
+
+let store_checksum_free ~src ~dst msg =
+  let len = Msg.length msg in
+  Msg.set_u16 msg 18 0;
+  let sum = Inet_cksum.add (Inet_cksum.sum_slices msg) (pseudo_sum ~src ~dst ~len) in
+  let ck = Inet_cksum.finish sum in
+  Msg.set_u16 msg 18 (if ck = 0 then 0xffff else ck)
+
+let store_checksum_incremental ~src ~dst ~payload_sum msg =
+  let len = Msg.length msg in
+  Msg.set_u16 msg 18 0;
+  let hdr_sum = ref 0 in
+  for i = 0 to (header_bytes / 2) - 1 do
+    hdr_sum := Inet_cksum.add !hdr_sum (Msg.get_u16 msg (2 * i))
+  done;
+  let total = Inet_cksum.add (Inet_cksum.add !hdr_sum payload_sum) (pseudo_sum ~src ~dst ~len) in
+  let ck = Inet_cksum.finish total in
+  Msg.set_u16 msg 18 (if ck = 0 then 0xffff else ck)
+
+let verify_checksum plat ~src ~dst msg =
+  let len = Msg.length msg in
+  Inet_cksum.verify plat msg ~extra:(pseudo_sum ~src ~dst ~len)
+
+let flags_to_string f =
+  let b = Buffer.create 5 in
+  if f.syn then Buffer.add_char b 'S';
+  if f.fin then Buffer.add_char b 'F';
+  if f.rst then Buffer.add_char b 'R';
+  if f.psh then Buffer.add_char b 'P';
+  if f.ack then Buffer.add_char b 'A';
+  if Buffer.length b = 0 then "-" else Buffer.contents b

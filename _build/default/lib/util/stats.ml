@@ -1,0 +1,60 @@
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  ci90 : float;
+  min : float;
+  max : float;
+}
+
+let mean xs =
+  match xs with
+  | [] -> invalid_arg "Stats.mean: empty"
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+(* Two-sided 90% Student-t critical values by degrees of freedom; the table
+   covers the run counts we actually use (3-10 seeds). *)
+let t90 = [| 6.314; 2.920; 2.353; 2.132; 2.015; 1.943; 1.895; 1.860; 1.833; 1.812 |]
+
+let t_crit df = if df <= 0 then 0.0 else if df <= 10 then t90.(df - 1) else 1.645
+
+let summary xs =
+  match xs with
+  | [] -> invalid_arg "Stats.summary: empty"
+  | _ ->
+    let n = List.length xs in
+    let m = mean xs in
+    let var =
+      if n < 2 then 0.0
+      else
+        List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs
+        /. float_of_int (n - 1)
+    in
+    let sd = sqrt var in
+    let ci = if n < 2 then 0.0 else t_crit (n - 1) *. sd /. sqrt (float_of_int n) in
+    {
+      n;
+      mean = m;
+      stddev = sd;
+      ci90 = ci;
+      min = List.fold_left min infinity xs;
+      max = List.fold_left max neg_infinity xs;
+    }
+
+let pp_summary fmt s = Format.fprintf fmt "%.1f ± %.1f" s.mean s.ci90
+
+let percentile xs p =
+  match xs with
+  | [] -> invalid_arg "Stats.percentile: empty"
+  | _ ->
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    let n = Array.length a in
+    if n = 1 then a.(0)
+    else begin
+      let rank = p /. 100.0 *. float_of_int (n - 1) in
+      let lo = int_of_float (floor rank) in
+      let hi = min (n - 1) (lo + 1) in
+      let frac = rank -. float_of_int lo in
+      (a.(lo) *. (1.0 -. frac)) +. (a.(hi) *. frac)
+    end

@@ -1,0 +1,28 @@
+(** Small statistics helpers for experiment reporting.
+
+    The paper reports each data point as the average of 10 runs with 90%
+    confidence intervals; [summary] computes the same quantities for a set
+    of per-seed measurements. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;  (** sample standard deviation (n-1 denominator) *)
+  ci90 : float;    (** half-width of the 90% confidence interval *)
+  min : float;
+  max : float;
+}
+
+val summary : float list -> summary
+(** [summary xs] summarises a non-empty list of observations.  For n = 1 the
+    standard deviation and confidence interval are 0.  Uses Student-t
+    critical values for small n (the relevant regime here). *)
+
+val mean : float list -> float
+
+val pp_summary : Format.formatter -> summary -> unit
+(** Prints ["mean ± ci90"]. *)
+
+val percentile : float list -> float -> float
+(** [percentile xs p] with [p] in [0,100]; linear interpolation between
+    order statistics.  Raises [Invalid_argument] on an empty list. *)

@@ -1,0 +1,19 @@
+type ns = int
+
+let ns x = x
+let us x = int_of_float (x *. 1e3 +. 0.5)
+let ms x = int_of_float (x *. 1e6 +. 0.5)
+let sec x = int_of_float (x *. 1e9 +. 0.5)
+
+let ns_to_sec t = float_of_int t /. 1e9
+
+let mbits_per_sec ~bytes_transferred ~duration =
+  if duration <= 0 then 0.0
+  else float_of_int (bytes_transferred * 8) /. ns_to_sec duration /. 1e6
+
+let pp_ns fmt t =
+  let f = float_of_int t in
+  if t < 1_000 then Format.fprintf fmt "%dns" t
+  else if t < 1_000_000 then Format.fprintf fmt "%.3fus" (f /. 1e3)
+  else if t < 1_000_000_000 then Format.fprintf fmt "%.3fms" (f /. 1e6)
+  else Format.fprintf fmt "%.3fs" (f /. 1e9)

@@ -1,0 +1,21 @@
+(** Time and rate units.
+
+    Simulated time is an [int] count of nanoseconds.  63-bit ints hold about
+    292 simulated years, far beyond any experiment here, and integer time
+    keeps event ordering exact and deterministic. *)
+
+type ns = int
+(** Nanoseconds of simulated time. *)
+
+val ns : int -> ns
+val us : float -> ns
+val ms : float -> ns
+val sec : float -> ns
+
+val ns_to_sec : ns -> float
+
+val mbits_per_sec : bytes_transferred:int -> duration:ns -> float
+(** Throughput in megabits (10^6 bits) per second, the paper's unit. *)
+
+val pp_ns : Format.formatter -> ns -> unit
+(** Human-readable duration (e.g. ["1.500us"], ["2.3ms"]). *)

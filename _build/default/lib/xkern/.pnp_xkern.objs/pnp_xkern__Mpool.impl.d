@@ -1,0 +1,1 @@
+lib/xkern/mpool.ml: Arch Array Atomic_ctr Bytes Hashtbl List Lock Platform Pnp_engine Sim

@@ -1,0 +1,1 @@
+lib/xkern/mpool.mli: Bytes Pnp_engine

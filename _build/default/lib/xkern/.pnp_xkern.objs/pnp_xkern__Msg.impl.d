@@ -1,0 +1,1 @@
+lib/xkern/msg.ml: Bytes Char List Mpool String

@@ -1,0 +1,1 @@
+lib/xkern/msg.mli: Bytes Mpool

@@ -1,0 +1,1 @@
+lib/xkern/timewheel.ml: Array List Lock Platform Pnp_engine Pnp_util Printf Sim

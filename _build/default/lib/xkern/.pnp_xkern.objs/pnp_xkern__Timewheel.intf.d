@@ -1,0 +1,1 @@
+lib/xkern/timewheel.mli: Pnp_engine Pnp_util

@@ -1,0 +1,1 @@
+lib/xkern/xmap.ml: Array List Lock Platform Pnp_engine Sim

@@ -1,0 +1,1 @@
+lib/xkern/xmap.mli: Pnp_engine

@@ -1,0 +1,145 @@
+open Pnp_engine
+
+type mnode = {
+  id : int;
+  data : Bytes.t;
+  size_class : int;
+  refs : Atomic_ctr.t;
+}
+
+(* Two cached size classes: header nodes and MTU-sized data nodes.  Larger
+   requests are allocated exactly and never cached. *)
+let class_capacities = [| 256; 4608 |]
+
+let class_of n =
+  if n <= class_capacities.(0) then 0 else if n <= class_capacities.(1) then 1 else 2
+
+let cache_limit = 64
+
+type t = {
+  plat : Platform.t;
+  malloc_lock : Lock.t;
+  caches : (int, mnode list array) Hashtbl.t; (* thread id -> per-class LIFO *)
+  mutable next_id : int;
+  mutable allocations : int;
+  mutable cache_hits : int;
+  mutable global_allocations : int;
+  mutable live : int;
+}
+
+(* Instruction budgets: a cache hit is a couple of pointer operations; the
+   global path runs the allocator under its lock and touches cold memory. *)
+let cache_hit_instrs = 18
+let malloc_instrs = 120
+let free_instrs = 60
+
+let create plat =
+  {
+    plat;
+    malloc_lock =
+      Lock.create plat.Platform.sim plat.Platform.arch Lock.Unfair ~name:"malloc";
+    caches = Hashtbl.create 16;
+    next_id = 0;
+    allocations = 0;
+    cache_hits = 0;
+    global_allocations = 0;
+    live = 0;
+  }
+
+let thread_cache t =
+  let tid = Sim.tid (Sim.self t.plat.Platform.sim) in
+  match Hashtbl.find_opt t.caches tid with
+  | Some a -> a
+  | None ->
+    let a = Array.make 2 [] in
+    Hashtbl.replace t.caches tid a;
+    a
+
+let fresh_node t n cls =
+  let cap = if cls = 2 then n else class_capacities.(cls) in
+  let node =
+    {
+      id = t.next_id;
+      data = Bytes.create cap;
+      size_class = cls;
+      refs = Platform.refcnt t.plat ~name:"mnode" ~init:1;
+    }
+  in
+  t.next_id <- t.next_id + 1;
+  node
+
+let global_alloc t n cls =
+  t.global_allocations <- t.global_allocations + 1;
+  if Sim.in_thread t.plat.Platform.sim then begin
+    Lock.acquire t.malloc_lock;
+    Platform.charge_instrs t.plat malloc_instrs;
+    Lock.release t.malloc_lock;
+    (* Freshly allocated memory is cold for this CPU. *)
+    Platform.charge t.plat (Arch.touch_ns t.plat.Platform.arch 128)
+  end;
+  fresh_node t n cls
+
+let alloc t n =
+  if n < 0 then invalid_arg "Mpool.alloc: negative size";
+  t.allocations <- t.allocations + 1;
+  t.live <- t.live + 1;
+  let cls = class_of n in
+  let use_cache =
+    cls < 2 && t.plat.Platform.message_caching && Sim.in_thread t.plat.Platform.sim
+  in
+  if not use_cache then global_alloc t n cls
+  else begin
+    let cache = thread_cache t in
+    match cache.(cls) with
+    | node :: rest ->
+      cache.(cls) <- rest;
+      t.cache_hits <- t.cache_hits + 1;
+      Platform.charge_instrs t.plat cache_hit_instrs;
+      ignore (Atomic_ctr.incr node.refs);
+      node
+    | [] -> global_alloc t n cls
+  end
+
+let incref t node =
+  ignore t;
+  ignore (Atomic_ctr.incr node.refs)
+
+let global_free t =
+  if Sim.in_thread t.plat.Platform.sim then begin
+    Lock.acquire t.malloc_lock;
+    Platform.charge_instrs t.plat free_instrs;
+    Lock.release t.malloc_lock
+  end
+
+let decref t node =
+  let r = Atomic_ctr.decr node.refs in
+  if r < 0 then failwith "Mpool.decref: reference count went negative";
+  if r = 0 then begin
+    t.live <- t.live - 1;
+    let use_cache =
+      node.size_class < 2
+      && t.plat.Platform.message_caching
+      && Sim.in_thread t.plat.Platform.sim
+    in
+    if use_cache then begin
+      let cache = thread_cache t in
+      if List.length cache.(node.size_class) < cache_limit then begin
+        Platform.charge_instrs t.plat cache_hit_instrs;
+        cache.(node.size_class) <- node :: cache.(node.size_class)
+      end
+      else global_free t
+    end
+    else global_free t
+  end
+
+let data node = node.data
+let capacity node = Bytes.length node.data
+let refs node = Atomic_ctr.get node.refs
+
+let allocations t = t.allocations
+let cache_hits t = t.cache_hits
+let global_allocations t = t.global_allocations
+let live_nodes t = t.live
+
+(* id is kept for debugging/printing even though nothing reads it yet. *)
+let _ = fun (n : mnode) -> n.id

@@ -1,0 +1,40 @@
+(** MNode allocator: the memory behind the x-kernel message tool.
+
+    MNodes are reference-counted buffers (the x-kernel analogue of mbuf
+    clusters).  Reference counts are manipulated with the platform's
+    counter mode — LL/SC atomics or lock-inc-unlock (Section 5.2).
+
+    Allocation either goes to the global allocator, whose internal lock
+    serialises all CPUs (malloc's lock in the paper), or — when the
+    platform enables message caching (Section 6) — hits a per-thread LIFO
+    free cache, which costs no locking and reuses memory last touched by
+    the same processor. *)
+
+type t
+(** The allocator. *)
+
+type mnode
+(** A reference-counted buffer. *)
+
+val create : Pnp_engine.Platform.t -> t
+
+val alloc : t -> int -> mnode
+(** [alloc t n] returns an MNode with capacity at least [n] and reference
+    count 1. *)
+
+val incref : t -> mnode -> unit
+val decref : t -> mnode -> unit
+(** Drop a reference; at zero the node returns to the caller's LIFO cache
+    (if caching is on and the cache has room) or to the global allocator. *)
+
+val data : mnode -> Bytes.t
+val capacity : mnode -> int
+val refs : mnode -> int
+
+(** {2 Statistics (for the Section 6 experiment and tests)} *)
+
+val allocations : t -> int
+val cache_hits : t -> int
+val global_allocations : t -> int
+val live_nodes : t -> int
+(** Nodes currently allocated (refcount > 0); zero after clean teardown. *)

@@ -1,0 +1,174 @@
+type part = { node : Mpool.mnode; mutable off : int; mutable len : int }
+
+type t = { pool : Mpool.t; mutable parts : part list; mutable total : int }
+
+let create pool n =
+  if n < 0 then invalid_arg "Msg.create: negative length";
+  if n = 0 then { pool; parts = []; total = 0 }
+  else
+    let node = Mpool.alloc pool n in
+    { pool; parts = [ { node; off = 0; len = n } ]; total = n }
+
+let length t = t.total
+
+let of_string pool s =
+  let t = create pool (String.length s) in
+  (match t.parts with
+   | [ p ] -> Bytes.blit_string s 0 (Mpool.data p.node) p.off (String.length s)
+   | _ -> assert (String.length s = 0));
+  t
+
+let push t n =
+  if n < 0 then invalid_arg "Msg.push: negative length";
+  if n > 0 then begin
+    let node = Mpool.alloc t.pool n in
+    t.parts <- { node; off = 0; len = n } :: t.parts;
+    t.total <- t.total + n
+  end
+
+let pop t n =
+  if n < 0 || n > t.total then invalid_arg "Msg.pop: bad length";
+  let rec strip n parts =
+    if n = 0 then parts
+    else
+      match parts with
+      | [] -> assert false
+      | p :: rest ->
+        if p.len <= n then begin
+          Mpool.decref t.pool p.node;
+          strip (n - p.len) rest
+        end
+        else begin
+          p.off <- p.off + n;
+          p.len <- p.len - n;
+          parts
+        end
+  in
+  t.parts <- strip n t.parts;
+  t.total <- t.total - n
+
+let truncate t n =
+  if n < 0 || n > t.total then invalid_arg "Msg.truncate: bad length";
+  let rec keep n parts =
+    if n = 0 then begin
+      List.iter (fun p -> Mpool.decref t.pool p.node) parts;
+      []
+    end
+    else
+      match parts with
+      | [] -> assert false
+      | p :: rest ->
+        if p.len <= n then p :: keep (n - p.len) rest
+        else begin
+          p.len <- n;
+          p :: keep 0 rest
+        end
+  in
+  t.parts <- keep n t.parts;
+  t.total <- n
+
+let dup t =
+  let parts =
+    List.map
+      (fun p ->
+        Mpool.incref t.pool p.node;
+        { node = p.node; off = p.off; len = p.len })
+      t.parts
+  in
+  { pool = t.pool; parts; total = t.total }
+
+let append t u =
+  if t == u then invalid_arg "Msg.append: cannot append a message to itself";
+  t.parts <- t.parts @ u.parts;
+  t.total <- t.total + u.total;
+  u.parts <- [];
+  u.total <- 0
+
+let destroy t =
+  List.iter (fun p -> Mpool.decref t.pool p.node) t.parts;
+  t.parts <- [];
+  t.total <- 0
+
+(* Locate message offset [off]: the part containing it and the index
+   within that part's view. *)
+let rec locate parts off =
+  match parts with
+  | [] -> invalid_arg "Msg: offset out of bounds"
+  | p :: rest -> if off < p.len then (p, off) else locate rest (off - p.len)
+
+let get_u8 t off =
+  if off < 0 || off >= t.total then invalid_arg "Msg.get_u8: out of bounds";
+  let p, i = locate t.parts off in
+  Char.code (Bytes.get (Mpool.data p.node) (p.off + i))
+
+let set_u8 t off v =
+  if off < 0 || off >= t.total then invalid_arg "Msg.set_u8: out of bounds";
+  let p, i = locate t.parts off in
+  Bytes.set (Mpool.data p.node) (p.off + i) (Char.chr (v land 0xff))
+
+let get_u16 t off = (get_u8 t off lsl 8) lor get_u8 t (off + 1)
+
+let set_u16 t off v =
+  set_u8 t off (v lsr 8);
+  set_u8 t (off + 1) v
+
+let get_u32 t off = (get_u16 t off lsl 16) lor get_u16 t (off + 2)
+
+let set_u32 t off v =
+  set_u16 t off (v lsr 16);
+  set_u16 t (off + 2) v
+
+let iter_slices t f =
+  List.iter (fun p -> if p.len > 0 then f (Mpool.data p.node) p.off p.len) t.parts
+
+let blit_to_bytes t buf =
+  if Bytes.length buf < t.total then invalid_arg "Msg.blit_to_bytes: buffer too small";
+  let pos = ref 0 in
+  iter_slices t (fun b off len ->
+      Bytes.blit b off buf !pos len;
+      pos := !pos + len)
+
+let to_string t =
+  let buf = Bytes.create t.total in
+  blit_to_bytes t buf;
+  Bytes.to_string buf
+
+let pattern_byte stream_off i = (stream_off + i) mod 251
+
+(* Apply [f buf pos count done_so_far] to the byte ranges covering message
+   offsets [off, off+len); [done_so_far] is the count of range bytes
+   already visited.  Shared fast path for fill/check. *)
+let iter_range t ~off ~len f =
+  if off < 0 || len < 0 || off + len > t.total then
+    invalid_arg "Msg.iter_range: out of bounds";
+  let skip = ref off and remaining = ref len and visited = ref 0 in
+  iter_slices t (fun b boff blen ->
+      if !remaining > 0 then begin
+        if !skip >= blen then skip := !skip - blen
+        else begin
+          let start = boff + !skip in
+          let count = min (blen - !skip) !remaining in
+          skip := 0;
+          f b start count !visited;
+          visited := !visited + count;
+          remaining := !remaining - count
+        end
+      end)
+
+let fill_pattern t ~off ~len ~stream_off =
+  iter_range t ~off ~len (fun b start count visited ->
+      for i = 0 to count - 1 do
+        Bytes.unsafe_set b (start + i)
+          (Char.unsafe_chr (pattern_byte stream_off (visited + i)))
+      done)
+
+let check_pattern t ~off ~len ~stream_off =
+  let ok = ref true in
+  iter_range t ~off ~len (fun b start count visited ->
+      for i = 0 to count - 1 do
+        if Char.code (Bytes.unsafe_get b (start + i)) <> pattern_byte stream_off (visited + i)
+        then ok := false
+      done);
+  !ok
+
+let parts t = List.length t.parts

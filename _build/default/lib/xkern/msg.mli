@@ -1,0 +1,72 @@
+(** The x-kernel message tool.
+
+    A message is an ordered sequence of views onto reference-counted
+    MNodes.  Messages are per-thread objects (the paper: "Messages are
+    per-thread data structures, and thus required no locks"); only the
+    MNode reference counts underneath are shared.
+
+    Headers are pushed and popped at the front without copying payload
+    data; [dup] shares the underlying nodes, which is how the TCP
+    retransmission queue keeps unacknowledged segments without copies. *)
+
+type t
+
+val create : Mpool.t -> int -> t
+(** [create pool n] makes a message with an [n]-byte payload (contents
+    unspecified until written). *)
+
+val of_string : Mpool.t -> string -> t
+
+val length : t -> int
+
+val push : t -> int -> unit
+(** [push t n] prepends [n] bytes of header space; bytes 0..n-1 of the
+    message now address it. *)
+
+val pop : t -> int -> unit
+(** [pop t n] strips the first [n] bytes.  @raise Invalid_argument if the
+    message is shorter. *)
+
+val truncate : t -> int -> unit
+(** [truncate t n] keeps only the first [n] bytes. *)
+
+val dup : t -> t
+(** Share the same bytes under a new message (reference counts bumped). *)
+
+val append : t -> t -> unit
+(** [append t u] moves [u]'s contents to the tail of [t]; [u] becomes
+    empty (its node references transfer, so no copying happens). *)
+
+val destroy : t -> unit
+(** Drop all node references.  The message must not be used afterwards. *)
+
+(** {2 Byte access}
+
+    Offsets are message-relative.  Multi-byte accessors are big-endian
+    (network order) and may span node boundaries. *)
+
+val get_u8 : t -> int -> int
+val set_u8 : t -> int -> int -> unit
+val get_u16 : t -> int -> int
+val set_u16 : t -> int -> int -> unit
+val get_u32 : t -> int -> int
+val set_u32 : t -> int -> int -> unit
+
+val blit_to_bytes : t -> Bytes.t -> unit
+(** Copy the whole message into a buffer of at least [length t] bytes. *)
+
+val to_string : t -> string
+
+val fill_pattern : t -> off:int -> len:int -> stream_off:int -> unit
+(** Write the deterministic payload pattern used by the workloads: byte
+    [i] of the stream is [(stream_off + i) mod 251]. *)
+
+val check_pattern : t -> off:int -> len:int -> stream_off:int -> bool
+(** Verify the pattern written by {!fill_pattern}. *)
+
+val iter_slices : t -> (Bytes.t -> int -> int -> unit) -> unit
+(** Apply the function to each underlying (buffer, offset, length) slice in
+    order; used by the checksum. *)
+
+val parts : t -> int
+(** Number of underlying node views (observability). *)

@@ -1,0 +1,116 @@
+open Pnp_engine
+
+type entry = {
+  fire_tick : int;
+  action : unit -> unit;
+  mutable state : [ `Pending | `Cancelled | `Fired ];
+}
+
+type handle = entry
+
+type t = {
+  plat : Platform.t;
+  name : string;
+  slot_ns : int;
+  cpu : int;
+  chains : entry list array;
+  chain_locks : Lock.t array;
+  mutable pending : int;
+  mutable fired : int;
+  mutable ticking : bool;
+  mutable next_tick : int;
+}
+
+let create plat ?(slot_ns = Pnp_util.Units.ms 10.0) ?(slots = 128) ?(cpu = 0) ~name () =
+  if slots <= 0 then invalid_arg "Timewheel.create: slots must be positive";
+  let chain_locks =
+    Array.init slots (fun i ->
+        Lock.create plat.Platform.sim plat.Platform.arch Lock.Unfair
+          ~name:(Printf.sprintf "%s.chain%d" name i))
+  in
+  {
+    plat;
+    name;
+    slot_ns;
+    cpu;
+    chains = Array.make slots [];
+    chain_locks;
+    pending = 0;
+    fired = 0;
+    ticking = false;
+    next_tick = 0;
+  }
+
+let nslots t = Array.length t.chains
+
+let with_chain_lock t i f =
+  if Sim.in_thread t.plat.Platform.sim then Lock.with_lock t.chain_locks.(i) f
+  else f ()
+
+(* Service all due entries of the slot for [tick], then arm the next tick
+   if anything is still pending. *)
+let rec service t tick =
+  let slot = tick mod nslots t in
+  let due = ref [] in
+  with_chain_lock t slot (fun () ->
+      let stay, fire = List.partition (fun e -> e.fire_tick > tick) t.chains.(slot) in
+      t.chains.(slot) <- stay;
+      due := fire);
+  List.iter
+    (fun e ->
+      match e.state with
+      | `Cancelled -> ()
+      | `Fired -> assert false
+      | `Pending ->
+        e.state <- `Fired;
+        t.pending <- t.pending - 1;
+        t.fired <- t.fired + 1;
+        e.action ())
+    !due;
+  arm t
+
+and arm t =
+  if t.pending > 0 && not t.ticking then begin
+    t.ticking <- true;
+    let tick = max t.next_tick ((Sim.now t.plat.Platform.sim / t.slot_ns) + 1) in
+    t.next_tick <- tick;
+    Sim.at t.plat.Platform.sim (tick * t.slot_ns) (fun () ->
+        t.ticking <- false;
+        t.next_tick <- tick + 1;
+        (* Only spin up a worker when the slot has work due; empty ticks
+           just re-arm. *)
+        let slot = tick mod nslots t in
+        let has_due = List.exists (fun e -> e.fire_tick <= tick) t.chains.(slot) in
+        if has_due then
+          ignore
+            (Sim.spawn t.plat.Platform.sim ~cpu:t.cpu
+               ~name:(Printf.sprintf "%s.tick%d" t.name tick)
+               (fun () -> service t tick))
+        else arm t)
+  end
+
+let schedule t ~after action =
+  if after < 0 then invalid_arg "Timewheel.schedule: negative delay";
+  let now = Sim.now t.plat.Platform.sim in
+  let fire_tick = max ((now + after + t.slot_ns - 1) / t.slot_ns) ((now / t.slot_ns) + 1) in
+  let e = { fire_tick; action; state = `Pending } in
+  let slot = fire_tick mod nslots t in
+  with_chain_lock t slot (fun () -> t.chains.(slot) <- e :: t.chains.(slot));
+  t.pending <- t.pending + 1;
+  arm t;
+  e
+
+let cancel t e =
+  let slot = e.fire_tick mod nslots t in
+  with_chain_lock t slot (fun () ->
+      match e.state with
+      | `Pending ->
+        e.state <- `Cancelled;
+        t.pending <- t.pending - 1;
+        (* Unlink eagerly; the chain is short. *)
+        t.chains.(slot) <- List.filter (fun e' -> e' != e) t.chains.(slot);
+        true
+      | `Cancelled | `Fired -> false)
+
+let pending t = t.pending
+let fired t = t.fired

@@ -1,0 +1,123 @@
+open Pnp_engine
+
+module type KEY = sig
+  type t
+
+  val hash : t -> int
+  val equal : t -> t -> bool
+end
+
+(* Instruction budgets for the simulated cost of a map operation.  These
+   are 1994 path lengths: hashing, key comparison and chain chasing on a
+   machine where most of it misses the cache — large enough that locking
+   the maps on the demultiplexing path costs measurable throughput
+   (Section 3.1 reports ~10%% at 8 CPUs). *)
+let cache_probe_instrs = 45
+let hash_instrs = 70
+let link_instrs = 25 (* per chain element examined *)
+
+module Make (K : KEY) = struct
+  type 'v t = {
+    plat : Platform.t;
+    lock : Lock.Counting.t;
+    buckets : (K.t * 'v) list array;
+    mutable one_behind : (K.t * 'v) option;
+    mutable size : int;
+    mutable lookups : int;
+    mutable cache_hits : int;
+  }
+
+  let create plat ?(buckets = 32) ~name () =
+    if buckets <= 0 then invalid_arg "Xmap.create: buckets must be positive";
+    {
+      plat;
+      lock =
+        Lock.Counting.create plat.Platform.sim plat.Platform.arch
+          plat.Platform.map_disc ~name;
+      buckets = Array.make buckets [];
+      one_behind = None;
+      size = 0;
+      lookups = 0;
+      cache_hits = 0;
+    }
+
+  let locked t f =
+    if Sim.in_thread t.plat.Platform.sim then Lock.Counting.with_lock t.lock f
+    else f ()
+
+  (* lookup serialisation is what the Section 3.1 aside toggles off. *)
+  let lookup_locked t f =
+    if t.plat.Platform.map_locking then locked t f else f ()
+
+  let index t k = (K.hash k land max_int) mod Array.length t.buckets
+
+  let insert t k v =
+    locked t (fun () ->
+        Platform.charge_instrs t.plat hash_instrs;
+        let i = index t k in
+        let chain = List.filter (fun (k', _) -> not (K.equal k k')) t.buckets.(i) in
+        if List.length chain <> List.length t.buckets.(i) then t.size <- t.size - 1;
+        t.buckets.(i) <- (k, v) :: chain;
+        t.size <- t.size + 1;
+        t.one_behind <- Some (k, v))
+
+  let chain_find t k =
+    let i = index t k in
+    let rec walk pos = function
+      | [] ->
+        Platform.charge_instrs t.plat (hash_instrs + (link_instrs * pos));
+        None
+      | (k', v) :: rest ->
+        if K.equal k k' then begin
+          Platform.charge_instrs t.plat (hash_instrs + (link_instrs * (pos + 1)));
+          Some (k', v)
+        end
+        else walk (pos + 1) rest
+    in
+    walk 0 t.buckets.(i)
+
+  let lookup t k =
+    lookup_locked t (fun () ->
+        t.lookups <- t.lookups + 1;
+        Platform.charge_instrs t.plat cache_probe_instrs;
+        match t.one_behind with
+        | Some (k', v) when K.equal k k' ->
+          t.cache_hits <- t.cache_hits + 1;
+          Some v
+        | _ -> (
+          match chain_find t k with
+          | Some ((_, v) as binding) ->
+            t.one_behind <- Some binding;
+            Some v
+          | None -> None))
+
+  let remove t k =
+    locked t (fun () ->
+        Platform.charge_instrs t.plat hash_instrs;
+        let i = index t k in
+        let before = List.length t.buckets.(i) in
+        t.buckets.(i) <- List.filter (fun (k', _) -> not (K.equal k k')) t.buckets.(i);
+        let removed = List.length t.buckets.(i) <> before in
+        if removed then begin
+          t.size <- t.size - 1;
+          match t.one_behind with
+          | Some (k', _) when K.equal k k' -> t.one_behind <- None
+          | _ -> ()
+        end;
+        removed)
+
+  let iter t f =
+    locked t (fun () ->
+        Array.iter
+          (fun chain ->
+            List.iter
+              (fun (k, v) ->
+                Platform.charge_instrs t.plat link_instrs;
+                f k v)
+              chain)
+          t.buckets)
+
+  let length t = t.size
+  let lookups t = t.lookups
+  let cache_hits t = t.cache_hits
+end

@@ -1,0 +1,1 @@
+test/main.ml: Alcotest List Test_driver Test_edge Test_engine Test_extensions Test_fuzz Test_harness Test_network Test_proto Test_report Test_util Test_xkern

@@ -1,0 +1,1 @@
+test/test_driver.ml: Alcotest Arch Frame Link List Mpool Msg Platform Pnp_driver Pnp_engine Pnp_proto Pnp_util Pnp_xkern Printf Sim Sniffer Stack String Tcp Tcp_peer Tcp_wire Udp Units

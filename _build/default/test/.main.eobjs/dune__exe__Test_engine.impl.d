@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Arch Array Atomic_ctr Buffer Eventq Gate Gen List Lock Membus Option Pnp_engine Pnp_util Printf Prng QCheck QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Arch Config List Lock Pnp_engine Pnp_harness Pnp_util Printf Run Sim

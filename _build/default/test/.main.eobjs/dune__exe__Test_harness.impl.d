@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Arch Atomic_ctr Config List Lock Pnp_engine Pnp_figures Pnp_harness Pnp_proto Pnp_util Printf Run

@@ -1,0 +1,1 @@
+test/test_network.ml: Alcotest Arch Buffer Char Icmp Link List Msg Platform Pnp_driver Pnp_engine Pnp_proto Pnp_util Pnp_xkern Printf Sim Socket Stack String Tcp Udp Units

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Config List Pnp_figures Pnp_harness Pnp_util Report Run

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Format Fun Gen Pnp_util Printf Prng QCheck QCheck_alcotest Stats Units

@@ -1,0 +1,1 @@
+test/test_xkern.ml: Alcotest Arch Buffer Char Gen Int List Lock Mpool Msg Option Platform Pnp_engine Pnp_util Pnp_xkern Printf QCheck QCheck_alcotest Sim String Timewheel Xmap

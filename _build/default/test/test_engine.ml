@@ -1,0 +1,718 @@
+open Pnp_util
+open Pnp_engine
+
+let arch = Arch.challenge_100
+
+(* ------------------------------------------------------------------ *)
+(* Eventq                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_eventq_order () =
+  let q = Eventq.create () in
+  Eventq.add q ~time:30 "c";
+  Eventq.add q ~time:10 "a";
+  Eventq.add q ~time:20 "b";
+  let popped = List.init 3 (fun _ -> Option.get (Eventq.pop q)) in
+  Alcotest.(check (list (pair int string)))
+    "time order"
+    [ (10, "a"); (20, "b"); (30, "c") ]
+    popped;
+  Alcotest.(check bool) "empty" true (Eventq.is_empty q)
+
+let test_eventq_fifo_ties () =
+  let q = Eventq.create () in
+  List.iter (fun s -> Eventq.add q ~time:5 s) [ "x"; "y"; "z" ];
+  let popped = List.init 3 (fun _ -> snd (Option.get (Eventq.pop q))) in
+  Alcotest.(check (list string)) "insertion order at equal time" [ "x"; "y"; "z" ] popped
+
+let test_eventq_pop_empty () =
+  let q = Eventq.create () in
+  Alcotest.(check bool) "none" true (Eventq.pop q = None);
+  Alcotest.(check bool) "peek none" true (Eventq.peek_time q = None)
+
+let prop_eventq_sorted =
+  QCheck.Test.make ~name:"eventq pops sorted" ~count:200
+    QCheck.(list_of_size Gen.(0 -- 100) small_nat)
+    (fun times ->
+      let q = Eventq.create () in
+      List.iter (fun t -> Eventq.add q ~time:t ()) times;
+      let rec drain acc =
+        match Eventq.pop q with None -> List.rev acc | Some (t, ()) -> drain (t :: acc)
+      in
+      let out = drain [] in
+      out = List.sort compare times)
+
+(* ------------------------------------------------------------------ *)
+(* Sim                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_sim_delay () =
+  let sim = Sim.create () in
+  let trace = ref [] in
+  let _ =
+    Sim.spawn sim ~name:"t" (fun () ->
+        Sim.delay sim 100;
+        trace := (Sim.now sim, "a") :: !trace;
+        Sim.delay sim 50;
+        trace := (Sim.now sim, "b") :: !trace)
+  in
+  Sim.run sim;
+  Alcotest.(check (list (pair int string))) "timeline" [ (100, "a"); (150, "b") ] (List.rev !trace)
+
+let test_sim_interleaving () =
+  let sim = Sim.create () in
+  let trace = ref [] in
+  let mk name d =
+    ignore
+      (Sim.spawn sim ~name (fun () ->
+           Sim.delay sim d;
+           trace := name :: !trace))
+  in
+  mk "slow" 200;
+  mk "fast" 100;
+  Sim.run sim;
+  Alcotest.(check (list string)) "completion order" [ "fast"; "slow" ] (List.rev !trace)
+
+let test_sim_run_until () =
+  let sim = Sim.create () in
+  let hits = ref 0 in
+  let _ =
+    Sim.spawn sim ~name:"ticker" (fun () ->
+        for _ = 1 to 100 do
+          Sim.delay sim 10;
+          incr hits
+        done)
+  in
+  Sim.run ~until:55 sim;
+  Alcotest.(check int) "five ticks by t=55" 5 !hits;
+  Alcotest.(check int) "clock at limit" 55 (Sim.now sim);
+  Sim.run sim;
+  Alcotest.(check int) "all ticks eventually" 100 !hits
+
+let test_sim_at_callback () =
+  let sim = Sim.create () in
+  let fired = ref (-1) in
+  Sim.at sim 42 (fun () -> fired := Sim.now sim);
+  Sim.run sim;
+  Alcotest.(check int) "fired at 42" 42 !fired
+
+let test_sim_at_past_rejected () =
+  let sim = Sim.create () in
+  Sim.at sim 10 (fun () ->
+      match Sim.at sim 5 (fun () -> ()) with
+      | () -> Alcotest.fail "expected Invalid_argument"
+      | exception Invalid_argument _ -> ());
+  Sim.run sim
+
+let test_sim_self_outside_thread () =
+  let sim = Sim.create () in
+  match Sim.self sim with
+  | _ -> Alcotest.fail "expected failure"
+  | exception Failure _ -> ()
+
+let test_sim_suspend_resume () =
+  let sim = Sim.create () in
+  let resumer = ref None in
+  let woke_at = ref (-1) in
+  let _ =
+    Sim.spawn sim ~name:"sleeper" (fun () ->
+        Sim.suspend sim (fun resume -> resumer := Some resume);
+        woke_at := Sim.now sim)
+  in
+  Sim.at sim 500 (fun () -> (Option.get !resumer) 700);
+  Sim.run sim;
+  Alcotest.(check int) "woken at requested time" 700 !woke_at
+
+let test_sim_double_resume_fails () =
+  let sim = Sim.create () in
+  let resumer = ref None in
+  let _ = Sim.spawn sim ~name:"s" (fun () -> Sim.suspend sim (fun r -> resumer := Some r)) in
+  Sim.at sim 10 (fun () ->
+      let r = Option.get !resumer in
+      r 20;
+      match r 30 with
+      | () -> Alcotest.fail "second resume should fail"
+      | exception Failure _ -> ());
+  Sim.run sim
+
+let test_sim_spawn_on_cpu () =
+  let sim = Sim.create () in
+  let th = Sim.spawn sim ~cpu:3 ~name:"pinned" (fun () -> ()) in
+  Alcotest.(check int) "cpu" 3 (Sim.cpu th);
+  Sim.run sim;
+  Alcotest.(check bool) "finished" true (Sim.is_finished th)
+
+let test_sim_yield_fairness () =
+  (* Two threads that yield in a loop interleave at the same timestamp. *)
+  let sim = Sim.create () in
+  let trace = Buffer.create 16 in
+  let mk name =
+    ignore
+      (Sim.spawn sim ~name (fun () ->
+           for _ = 1 to 3 do
+             Buffer.add_string trace name;
+             Sim.yield sim
+           done))
+  in
+  mk "a";
+  mk "b";
+  Sim.run sim;
+  Alcotest.(check string) "interleaved" "ababab" (Buffer.contents trace)
+
+let test_sim_deterministic_given_seed () =
+  let run seed =
+    let sim = Sim.create ~seed () in
+    let order = ref [] in
+    for i = 1 to 5 do
+      ignore
+        (Sim.spawn sim ~name:(string_of_int i) (fun () ->
+             Sim.delay sim (10 * Prng.int (Sim.prng sim) 100);
+             order := i :: !order))
+    done;
+    Sim.run sim;
+    !order
+  in
+  Alcotest.(check (list int)) "same seed, same order" (run 9) (run 9);
+  (* Not a hard guarantee for every pair of seeds, but these differ. *)
+  Alcotest.(check bool) "different seeds differ" true (run 1 <> run 5)
+
+(* ------------------------------------------------------------------ *)
+(* Lock                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_lock_mutual_exclusion () =
+  let sim = Sim.create () in
+  let lock = Lock.create sim arch Lock.Unfair ~name:"l" in
+  let inside = ref 0 and max_inside = ref 0 and iterations = ref 0 in
+  for i = 1 to 4 do
+    ignore
+      (Sim.spawn sim ~name:(Printf.sprintf "t%d" i) (fun () ->
+           for _ = 1 to 25 do
+             Lock.acquire lock;
+             incr inside;
+             if !inside > !max_inside then max_inside := !inside;
+             Sim.delay sim 100;
+             decr inside;
+             incr iterations;
+             Lock.release lock
+           done))
+  done;
+  Sim.run sim;
+  Alcotest.(check int) "never two holders" 1 !max_inside;
+  Alcotest.(check int) "all iterations ran" 100 !iterations;
+  Alcotest.(check int) "acquisitions counted" 100 (Lock.acquisitions lock)
+
+let test_lock_fifo_grant_order () =
+  let sim = Sim.create () in
+  let lock = Lock.create sim arch Lock.Fifo ~name:"mcs" in
+  let grants = ref [] in
+  (* A holder keeps the lock while others line up in a known order. *)
+  let _ =
+    Sim.spawn sim ~name:"holder" (fun () ->
+        Lock.acquire lock;
+        Sim.delay sim 100_000;
+        Lock.release lock)
+  in
+  for i = 1 to 5 do
+    ignore
+      (Sim.spawn sim ~name:(Printf.sprintf "w%d" i) (fun () ->
+           Sim.delay sim (1000 * i);
+           Lock.acquire lock;
+           grants := i :: !grants;
+           Lock.release lock))
+  done;
+  Sim.run sim;
+  Alcotest.(check (list int)) "FIFO grants in arrival order" [ 1; 2; 3; 4; 5 ] (List.rev !grants)
+
+let test_lock_unfair_reorders () =
+  (* With many rounds, the unfair lock must grant out of arrival order at
+     least once; the FIFO lock never does. *)
+  let misorders disc =
+    let sim = Sim.create ~seed:123 () in
+    let lock = Lock.create sim arch disc ~name:"l" in
+    let expected = ref 0 and misordered = ref 0 in
+    let _ =
+      Sim.spawn sim ~name:"holder" (fun () ->
+          for _ = 1 to 50 do
+            Lock.acquire lock;
+            Sim.delay sim 50_000;
+            Lock.release lock;
+            Sim.delay sim 10_000
+          done)
+    in
+    for i = 1 to 4 do
+      ignore
+        (Sim.spawn sim ~name:(Printf.sprintf "w%d" i) (fun () ->
+             Sim.delay sim (100 * i);
+             for _ = 1 to 40 do
+               Lock.acquire lock;
+               Sim.delay sim 10;
+               Lock.release lock;
+               Sim.delay sim 30_000
+             done))
+    done;
+    (* Track grant order vs a per-round arrival sequence implicitly via
+       monotonically increasing "ticket" assigned at acquire start. *)
+    ignore expected;
+    ignore misordered;
+    Sim.run sim;
+    Lock.contended_acquisitions lock
+  in
+  (* Both disciplines see contention; this test just checks the machinery
+     runs to completion and contention is observed. Order-sensitivity is
+     covered by the dedicated ordering test below. *)
+  Alcotest.(check bool) "unfair contended" true (misorders Lock.Unfair > 0);
+  Alcotest.(check bool) "fifo contended" true (misorders Lock.Fifo > 0)
+
+let grant_sequence disc ~seed =
+  (* Threads arrive at known distinct times while the lock is held; record
+     the order they are granted the lock. *)
+  let sim = Sim.create ~seed () in
+  let lock = Lock.create sim arch disc ~name:"l" in
+  let grants = ref [] in
+  let _ =
+    Sim.spawn sim ~name:"holder" (fun () ->
+        Lock.acquire lock;
+        Sim.delay sim 1_000_000;
+        Lock.release lock)
+  in
+  for i = 1 to 6 do
+    ignore
+      (Sim.spawn sim ~name:(Printf.sprintf "w%d" i) (fun () ->
+           Sim.delay sim (2_000 * i);
+           Lock.acquire lock;
+           grants := i :: !grants;
+           Sim.delay sim 10;
+           Lock.release lock))
+  done;
+  Sim.run sim;
+  List.rev !grants
+
+let test_lock_unfair_eventually_misorders () =
+  let misordered =
+    List.exists
+      (fun seed -> grant_sequence Lock.Unfair ~seed <> [ 1; 2; 3; 4; 5; 6 ])
+      [ 1; 2; 3; 4; 5 ]
+  in
+  Alcotest.(check bool) "unfair lock reorders waiters for some seed" true misordered;
+  List.iter
+    (fun seed ->
+      Alcotest.(check (list int))
+        "fifo never reorders" [ 1; 2; 3; 4; 5; 6 ]
+        (grant_sequence Lock.Fifo ~seed))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_lock_release_by_non_owner_fails () =
+  let sim = Sim.create () in
+  let lock = Lock.create sim arch Lock.Unfair ~name:"l" in
+  let _ =
+    Sim.spawn sim ~name:"bad" (fun () ->
+        match Lock.release lock with
+        | () -> Alcotest.fail "release without acquire should fail"
+        | exception Failure _ -> ())
+  in
+  Sim.run sim
+
+let test_lock_with_lock_releases_on_exception () =
+  let sim = Sim.create () in
+  let lock = Lock.create sim arch Lock.Unfair ~name:"l" in
+  let second_ran = ref false in
+  let _ =
+    Sim.spawn sim ~name:"thrower" (fun () ->
+        match Lock.with_lock lock (fun () -> raise Exit) with
+        | () -> ()
+        | exception Exit -> ())
+  in
+  let _ =
+    Sim.spawn sim ~name:"after" (fun () ->
+        Sim.delay sim 10_000;
+        Lock.with_lock lock (fun () -> second_ran := true))
+  in
+  Sim.run sim;
+  Alcotest.(check bool) "lock released after exception" true !second_ran
+
+let test_lock_wait_accounting () =
+  let sim = Sim.create () in
+  let lock = Lock.create sim arch Lock.Unfair ~name:"l" in
+  let _ =
+    Sim.spawn sim ~name:"holder" (fun () ->
+        Lock.acquire lock;
+        Sim.delay sim 100_000;
+        Lock.release lock)
+  in
+  let waiter =
+    Sim.spawn sim ~name:"waiter" (fun () ->
+        Sim.delay sim 1_000;
+        Lock.acquire lock;
+        Lock.release lock)
+  in
+  Sim.run sim;
+  Alcotest.(check bool) "lock wait recorded" true (Lock.total_wait_ns lock > 90_000);
+  Alcotest.(check bool) "thread wait recorded" true (Sim.wait_ns waiter > 90_000);
+  Alcotest.(check bool) "hold recorded" true (Lock.total_hold_ns lock >= 100_000)
+
+let test_lock_coherency_penalty_cross_cpu () =
+  (* Same-CPU reacquisition is cheaper than alternating CPUs on a
+     coherency-synchronised machine. *)
+  let elapsed ~cpus =
+    let sim = Sim.create () in
+    let lock = Lock.create sim arch Lock.Unfair ~name:"l" in
+    let finish = ref 0 in
+    let rounds = 100 in
+    for i = 0 to 1 do
+      ignore
+        (Sim.spawn sim ~cpu:(if cpus = 1 then 0 else i) ~name:(Printf.sprintf "t%d" i)
+           (fun () ->
+             for _ = 1 to rounds do
+               Lock.acquire lock;
+               Sim.delay sim 10;
+               Lock.release lock;
+               Sim.delay sim 5_000
+             done;
+             finish := max !finish (Sim.now sim)))
+    done;
+    Sim.run sim;
+    !finish
+  in
+  Alcotest.(check bool)
+    "alternating CPUs slower than one CPU pair" true
+    (elapsed ~cpus:2 > elapsed ~cpus:1)
+
+let test_lock_power_series_no_penalty () =
+  let elapsed a =
+    let sim = Sim.create () in
+    let lock = Lock.create sim a Lock.Unfair ~name:"l" in
+    let t_end = ref 0 in
+    for i = 0 to 1 do
+      ignore
+        (Sim.spawn sim ~cpu:i ~name:(Printf.sprintf "t%d" i) (fun () ->
+             for _ = 1 to 50 do
+               Lock.acquire lock;
+               Lock.release lock;
+               Sim.delay sim 10_000
+             done;
+             t_end := max !t_end (Sim.now sim)))
+    done;
+    Sim.run sim;
+    !t_end
+  in
+  let no_pen = { arch with Arch.sync = Arch.Sync_bus } in
+  Alcotest.(check bool) "sync-bus arch avoids migration cost" true (elapsed no_pen < elapsed arch)
+
+let test_counting_lock_recursion () =
+  let sim = Sim.create () in
+  let cl = Lock.Counting.create sim arch Lock.Unfair ~name:"map" in
+  let ok = ref false in
+  let _ =
+    Sim.spawn sim ~name:"recurser" (fun () ->
+        Lock.Counting.acquire cl;
+        Lock.Counting.acquire cl;
+        Alcotest.(check int) "depth 2" 2 (Lock.Counting.depth cl);
+        Lock.Counting.release cl;
+        Alcotest.(check int) "depth 1" 1 (Lock.Counting.depth cl);
+        Lock.Counting.release cl;
+        ok := true)
+  in
+  Sim.run sim;
+  Alcotest.(check bool) "completed" true !ok
+
+let test_counting_lock_excludes_others () =
+  let sim = Sim.create () in
+  let cl = Lock.Counting.create sim arch Lock.Unfair ~name:"map" in
+  let order = ref [] in
+  let _ =
+    Sim.spawn sim ~name:"first" (fun () ->
+        Lock.Counting.acquire cl;
+        Lock.Counting.acquire cl;
+        Sim.delay sim 10_000;
+        order := "first-release" :: !order;
+        Lock.Counting.release cl;
+        Lock.Counting.release cl)
+  in
+  let _ =
+    Sim.spawn sim ~name:"second" (fun () ->
+        Sim.delay sim 100;
+        Lock.Counting.acquire cl;
+        order := "second-acquired" :: !order;
+        Lock.Counting.release cl)
+  in
+  Sim.run sim;
+  Alcotest.(check (list string))
+    "second waits for full release"
+    [ "first-release"; "second-acquired" ]
+    (List.rev !order)
+
+(* ------------------------------------------------------------------ *)
+(* Gate                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_gate_orders_delivery () =
+  let sim = Sim.create () in
+  let gate = Gate.create sim arch ~name:"app" in
+  let delivered = ref [] in
+  (* Tickets are taken in order 0,1,2 but threads arrive at the gate in
+     reverse; delivery must still be in ticket order. *)
+  let tickets = Array.make 3 0 in
+  let _ =
+    Sim.spawn sim ~name:"issuer" (fun () ->
+        for i = 0 to 2 do
+          tickets.(i) <- Gate.take gate
+        done)
+  in
+  for i = 0 to 2 do
+    ignore
+      (Sim.spawn sim ~name:(Printf.sprintf "d%d" i) (fun () ->
+           (* Later tickets arrive earlier. *)
+           Sim.delay sim (10_000 * (3 - i));
+           Gate.await gate tickets.(i);
+           delivered := i :: !delivered;
+           Gate.advance gate))
+  done;
+  Sim.run sim;
+  Alcotest.(check (list int)) "ticket order" [ 0; 1; 2 ] (List.rev !delivered)
+
+let test_gate_no_wait_when_in_order () =
+  let sim = Sim.create () in
+  let gate = Gate.create sim arch ~name:"app" in
+  let _ =
+    Sim.spawn sim ~name:"t" (fun () ->
+        let k = Gate.take gate in
+        Gate.await gate k;
+        Gate.advance gate;
+        let k2 = Gate.take gate in
+        Gate.await gate k2;
+        Gate.advance gate)
+  in
+  Sim.run sim;
+  Alcotest.(check int) "no wait time" 0 (Gate.total_wait_ns gate);
+  Alcotest.(check int) "served two" 2 (Gate.serving gate)
+
+(* ------------------------------------------------------------------ *)
+(* Atomic_ctr                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_atomic_ctr_counts () =
+  List.iter
+    (fun mode ->
+      let sim = Sim.create () in
+      let c = Atomic_ctr.create sim arch mode ~name:"ref" ~init:5 in
+      let _ =
+        Sim.spawn sim ~name:"t" (fun () ->
+            ignore (Atomic_ctr.incr c);
+            ignore (Atomic_ctr.incr c);
+            Alcotest.(check int) "after incr" 7 (Atomic_ctr.get c);
+            ignore (Atomic_ctr.decr c);
+            Alcotest.(check int) "after decr" 6 (Atomic_ctr.get c))
+      in
+      Sim.run sim)
+    [ Atomic_ctr.Ll_sc; Atomic_ctr.Locked ]
+
+let test_atomic_faster_than_locked () =
+  let elapsed mode =
+    let sim = Sim.create () in
+    let c = Atomic_ctr.create sim arch mode ~name:"ref" ~init:0 in
+    let t_end = ref 0 in
+    let _ =
+      Sim.spawn sim ~name:"t" (fun () ->
+          for _ = 1 to 100 do
+            ignore (Atomic_ctr.incr c)
+          done;
+          t_end := Sim.now sim)
+    in
+    Sim.run sim;
+    !t_end
+  in
+  Alcotest.(check bool) "LL/SC cheaper" true
+    (elapsed Atomic_ctr.Ll_sc < elapsed Atomic_ctr.Locked)
+
+let test_atomic_parallel_consistent () =
+  let sim = Sim.create () in
+  let c = Atomic_ctr.create sim arch Atomic_ctr.Locked ~name:"ref" ~init:0 in
+  for i = 0 to 3 do
+    ignore
+      (Sim.spawn sim ~cpu:i ~name:(Printf.sprintf "t%d" i) (fun () ->
+           for _ = 1 to 50 do
+             ignore (Atomic_ctr.incr c)
+           done))
+  done;
+  Sim.run sim;
+  Alcotest.(check int) "no lost updates" 200 (Atomic_ctr.get c)
+
+(* ------------------------------------------------------------------ *)
+(* Membus                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_membus_single_user_rate () =
+  let sim = Sim.create () in
+  let bus = Membus.create sim arch in
+  (* 32 MB/s -> 4 KB takes 128 us. *)
+  Alcotest.(check int) "4KB at 32MB/s" 128_000 (Membus.duration_ns bus ~bytes:4096 ~users:1)
+
+let test_membus_shared_capacity () =
+  let sim = Sim.create () in
+  let bus = Membus.create sim arch in
+  (* With 60 notional users the 1.2 GB/s bus gives each 20 MB/s < 32. *)
+  let solo = Membus.duration_ns bus ~bytes:4096 ~users:1 in
+  let crowded = Membus.duration_ns bus ~bytes:4096 ~users:60 in
+  Alcotest.(check bool) "crowded slower" true (crowded > solo);
+  (* At 8 users the Challenge bus is still not the bottleneck (paper: could
+     support ~38 checksumming CPUs). *)
+  Alcotest.(check int) "8 users same as 1" solo (Membus.duration_ns bus ~bytes:4096 ~users:8)
+
+let test_membus_consume_blocks () =
+  let sim = Sim.create () in
+  let bus = Membus.create sim arch in
+  let t_end = ref 0 in
+  let _ =
+    Sim.spawn sim ~name:"t" (fun () ->
+        Membus.consume bus ~bytes:4096;
+        t_end := Sim.now sim)
+  in
+  Sim.run sim;
+  Alcotest.(check int) "blocked for transfer" 128_000 !t_end;
+  Alcotest.(check int) "bytes accounted" 4096 (Membus.bytes_transferred bus);
+  Alcotest.(check int) "no users left" 0 (Membus.concurrent_users bus)
+
+(* ------------------------------------------------------------------ *)
+(* Randomised engine properties                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Random programs of delays and critical sections over a few locks must
+   preserve mutual exclusion, always terminate (no lost wakeups), and
+   keep wait/hold accounting consistent. *)
+let prop_random_lock_programs =
+  QCheck.Test.make ~name:"random lock programs: exclusion, progress, accounting" ~count:60
+    QCheck.(
+      pair (int_bound 10_000)
+        (list_of_size (Gen.return 4)
+           (list_of_size Gen.(1 -- 12) (pair (int_bound 2) (int_bound 400)))))
+    (fun (seed, programs) ->
+      let sim = Sim.create ~seed:(seed + 1) () in
+      let locks =
+        Array.init 3 (fun i ->
+            let disc = match i with 0 -> Lock.Unfair | 1 -> Lock.Fifo | _ -> Lock.Barging in
+            Lock.create sim arch disc ~name:(Printf.sprintf "l%d" i))
+      in
+      let inside = Array.make 3 0 in
+      let violated = ref false in
+      let finished = ref 0 in
+      List.iteri
+        (fun ti prog ->
+          ignore
+            (Sim.spawn sim ~cpu:ti ~name:(Printf.sprintf "t%d" ti) (fun () ->
+                 List.iter
+                   (fun (which, d) ->
+                     let l = locks.(which) in
+                     Lock.acquire l;
+                     inside.(which) <- inside.(which) + 1;
+                     if inside.(which) > 1 then violated := true;
+                     Sim.delay sim (1 + d);
+                     inside.(which) <- inside.(which) - 1;
+                     Lock.release l)
+                   prog;
+                 incr finished)))
+        programs;
+      Sim.run sim;
+      (not !violated)
+      && !finished = List.length programs
+      && Array.for_all (fun l -> Lock.total_hold_ns l >= 0 && Lock.total_wait_ns l >= 0)
+           locks
+      && List.length (Sim.blocked_threads sim) = 0)
+
+(* Every permutation of gate usage serves tickets strictly in order. *)
+let prop_gate_serves_in_order =
+  QCheck.Test.make ~name:"gate always serves tickets in order" ~count:60
+    QCheck.(pair (int_bound 100_000) (int_range 2 8))
+    (fun (seed, n) ->
+      let sim = Sim.create ~seed:(seed + 3) () in
+      let gate = Gate.create sim arch ~name:"g" in
+      let served = ref [] in
+      let rng = Pnp_util.Prng.create (seed + 11) in
+      let tickets = Array.init n (fun i -> i) in
+      (* issue in order, arrive in random order *)
+      let arrival = Array.copy tickets in
+      Pnp_util.Prng.shuffle rng arrival;
+      let issued = Array.map (fun _ -> -1) tickets in
+      let _ =
+        Sim.spawn sim ~name:"issuer" (fun () ->
+            Array.iteri (fun i _ -> issued.(i) <- Gate.take gate) tickets)
+      in
+      Array.iteri
+        (fun pos i ->
+          ignore
+            (Sim.spawn sim ~name:(Printf.sprintf "w%d" i) (fun () ->
+                 (* let the issuer finish taking every ticket first *)
+                 Sim.delay sim (5_000 + (1000 * (pos + 1)));
+                 Gate.await gate issued.(i);
+                 served := i :: !served;
+                 Gate.advance gate)))
+        arrival;
+      Sim.run sim;
+      List.rev !served = Array.to_list tickets)
+
+let suites =
+  [
+    ( "engine.eventq",
+      [
+        Alcotest.test_case "pops in time order" `Quick test_eventq_order;
+        Alcotest.test_case "FIFO at equal times" `Quick test_eventq_fifo_ties;
+        Alcotest.test_case "pop empty" `Quick test_eventq_pop_empty;
+        QCheck_alcotest.to_alcotest prop_eventq_sorted;
+      ] );
+    ( "engine.sim",
+      [
+        Alcotest.test_case "delay advances time" `Quick test_sim_delay;
+        Alcotest.test_case "threads interleave" `Quick test_sim_interleaving;
+        Alcotest.test_case "run until" `Quick test_sim_run_until;
+        Alcotest.test_case "scheduled callback" `Quick test_sim_at_callback;
+        Alcotest.test_case "past scheduling rejected" `Quick test_sim_at_past_rejected;
+        Alcotest.test_case "self outside thread" `Quick test_sim_self_outside_thread;
+        Alcotest.test_case "suspend/resume" `Quick test_sim_suspend_resume;
+        Alcotest.test_case "double resume fails" `Quick test_sim_double_resume_fails;
+        Alcotest.test_case "spawn on cpu" `Quick test_sim_spawn_on_cpu;
+        Alcotest.test_case "yield fairness" `Quick test_sim_yield_fairness;
+        Alcotest.test_case "deterministic per seed" `Quick test_sim_deterministic_given_seed;
+      ] );
+    ( "engine.lock",
+      [
+        Alcotest.test_case "mutual exclusion" `Quick test_lock_mutual_exclusion;
+        Alcotest.test_case "FIFO grant order" `Quick test_lock_fifo_grant_order;
+        Alcotest.test_case "contention observed" `Quick test_lock_unfair_reorders;
+        Alcotest.test_case "unfair reorders, fifo does not" `Quick
+          test_lock_unfair_eventually_misorders;
+        Alcotest.test_case "release by non-owner fails" `Quick
+          test_lock_release_by_non_owner_fails;
+        Alcotest.test_case "with_lock releases on exception" `Quick
+          test_lock_with_lock_releases_on_exception;
+        Alcotest.test_case "wait accounting" `Quick test_lock_wait_accounting;
+        Alcotest.test_case "coherency penalty across CPUs" `Quick
+          test_lock_coherency_penalty_cross_cpu;
+        Alcotest.test_case "sync-bus arch has no penalty" `Quick
+          test_lock_power_series_no_penalty;
+        Alcotest.test_case "counting lock recursion" `Quick test_counting_lock_recursion;
+        Alcotest.test_case "counting lock excludes others" `Quick
+          test_counting_lock_excludes_others;
+      ] );
+    ( "engine.gate",
+      [
+        Alcotest.test_case "orders delivery" `Quick test_gate_orders_delivery;
+        Alcotest.test_case "no wait when in order" `Quick test_gate_no_wait_when_in_order;
+      ] );
+    ( "engine.atomic",
+      [
+        Alcotest.test_case "counts" `Quick test_atomic_ctr_counts;
+        Alcotest.test_case "LL/SC faster than locked" `Quick test_atomic_faster_than_locked;
+        Alcotest.test_case "parallel consistency" `Quick test_atomic_parallel_consistent;
+      ] );
+    ( "engine.random",
+      [
+        QCheck_alcotest.to_alcotest prop_random_lock_programs;
+        QCheck_alcotest.to_alcotest prop_gate_serves_in_order;
+      ] );
+    ( "engine.membus",
+      [
+        Alcotest.test_case "single user rate" `Quick test_membus_single_user_rate;
+        Alcotest.test_case "shared capacity" `Quick test_membus_shared_capacity;
+        Alcotest.test_case "consume blocks" `Quick test_membus_consume_blocks;
+      ] );
+  ]

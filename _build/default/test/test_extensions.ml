@@ -1,0 +1,121 @@
+(* Shape tests for the beyond-the-paper experiments: the Section 8
+   future-work comparison and the model ablations. *)
+
+open Pnp_engine
+open Pnp_harness
+
+let fast = Pnp_util.Units.ms 250.0
+
+let recv_cfg ?(procs = 8) ?(lock_disc = Lock.Fifo) ?(connections = 1)
+    ?(placement = Config.Packet_level) ?(skew = 0.0) ?offered_mbps
+    ?(driver_jitter_ns = 8000.0) ?(cksum_under_lock = false) ?(seed = 5) () =
+  Config.v ~protocol:Config.Tcp ~side:Config.Recv ~payload:4096 ~checksum:true
+    ~lock_disc ~connections ~placement ~skew ?offered_mbps ~driver_jitter_ns
+    ~cksum_under_lock ~procs ~measure:fast ~seed ()
+
+let tput c = (Run.run c).Run.throughput_mbps
+
+let check_gt name a b =
+  if not (a > b) then Alcotest.failf "%s: expected %.1f > %.1f" name a b
+
+(* ------------------------------------------------------------------ *)
+(* Connection-level vs packet-level parallelism                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_clp_matches_plp_uniform () =
+  let base ~placement =
+    tput (recv_cfg ~connections:16 ~placement ~offered_mbps:720.0 ())
+  in
+  let plp = base ~placement:Config.Packet_level in
+  let clp = base ~placement:Config.Connection_level in
+  let ratio = clp /. plp in
+  if ratio < 0.9 || ratio > 1.15 then
+    Alcotest.failf "uniform load: CLP/PLP = %.2f, expected ~1" ratio
+
+let test_clp_suffers_under_skew () =
+  let at ~placement =
+    tput (recv_cfg ~connections:16 ~placement ~skew:2.0 ~offered_mbps:720.0 ())
+  in
+  check_gt "PLP balances a skewed load better"
+    (at ~placement:Config.Packet_level)
+    (1.25 *. at ~placement:Config.Connection_level)
+
+let test_offered_load_caps_throughput () =
+  let unlimited = tput (recv_cfg ()) in
+  let limited = tput (recv_cfg ~offered_mbps:100.0 ()) in
+  check_gt "offered load respected" 115.0 limited;
+  check_gt "well below saturation" unlimited limited;
+  check_gt "most of the offered load is carried" limited 80.0
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_grant_policy_ordering () =
+  let ooo disc = (Run.run (recv_cfg ~lock_disc:disc ())).Run.ooo_pct in
+  let fifo = ooo Lock.Fifo in
+  let random = ooo Lock.Unfair in
+  let barging = ooo Lock.Barging in
+  check_gt "random reorders more than FIFO" random (fifo +. 5.0);
+  check_gt "barging (LIFO) is the worst" barging random
+
+let test_coherency_penalty_hurts () =
+  let at coherency_ns =
+    tput
+      { (recv_cfg ~lock_disc:Lock.Unfair ()) with
+        Config.arch = { Arch.challenge_100 with Arch.coherency_ns } }
+  in
+  check_gt "removing the migration penalty helps at 8 CPUs" (at 0) (at 2600)
+
+let test_jitter_drives_mcs_misordering () =
+  let ooo driver_jitter_ns = (Run.run (recv_cfg ~driver_jitter_ns ())).Run.ooo_pct in
+  Alcotest.(check (float 0.001)) "no jitter, no MCS misorder" 0.0 (ooo 0.0);
+  check_gt "more jitter, more misorder" (ooo 16000.0) (ooo 2000.0 -. 0.001)
+
+let test_cksum_under_lock_hurts () =
+  let at cksum_under_lock = tput (recv_cfg ~cksum_under_lock ()) in
+  check_gt "checksum outside locks wins (the Section 5.1 restructuring)"
+    (at false) (1.15 *. at true)
+
+let test_barging_lock_unit () =
+  (* Grant order under Barging is newest-first. *)
+  let sim = Sim.create () in
+  let lock = Lock.create sim Arch.challenge_100 Lock.Barging ~name:"l" in
+  let grants = ref [] in
+  let _ =
+    Sim.spawn sim ~name:"holder" (fun () ->
+        Lock.acquire lock;
+        Sim.delay sim 1_000_000;
+        Lock.release lock)
+  in
+  for i = 1 to 4 do
+    ignore
+      (Sim.spawn sim ~name:(Printf.sprintf "w%d" i) (fun () ->
+           Sim.delay sim (1000 * i);
+           Lock.acquire lock;
+           grants := i :: !grants;
+           Sim.delay sim 10;
+           Lock.release lock))
+  done;
+  Sim.run sim;
+  Alcotest.(check (list int)) "newest first" [ 4; 3; 2; 1 ] (List.rev !grants)
+
+let suites =
+  [
+    ( "ext.clp",
+      [
+        Alcotest.test_case "CLP ~ PLP on uniform load" `Quick test_clp_matches_plp_uniform;
+        Alcotest.test_case "CLP suffers under skew" `Quick test_clp_suffers_under_skew;
+        Alcotest.test_case "offered load caps throughput" `Quick
+          test_offered_load_caps_throughput;
+      ] );
+    ( "ext.ablation",
+      [
+        Alcotest.test_case "grant policy vs ordering" `Quick test_grant_policy_ordering;
+        Alcotest.test_case "coherency penalty hurts" `Quick test_coherency_penalty_hurts;
+        Alcotest.test_case "jitter drives MCS misorder" `Quick
+          test_jitter_drives_mcs_misordering;
+        Alcotest.test_case "checksum under lock hurts" `Quick test_cksum_under_lock_hurts;
+        Alcotest.test_case "barging lock grants newest-first" `Quick test_barging_lock_unit;
+      ] );
+  ]

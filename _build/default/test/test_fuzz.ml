@@ -1,0 +1,210 @@
+(* Adversarial robustness: random junk, shuffled and duplicated segments.
+   The stack must never raise, never leak MNodes, and always deliver the
+   byte stream in order exactly once. *)
+
+open Pnp_engine
+open Pnp_xkern
+open Pnp_proto
+open Pnp_driver
+
+let in_sim plat body =
+  let fin = ref false in
+  let _ =
+    Sim.spawn plat.Platform.sim ~name:"fuzz" (fun () ->
+        body ();
+        fin := true)
+  in
+  Sim.run ~until:(Pnp_util.Units.sec 30.0) plat.Platform.sim;
+  Alcotest.(check bool) "fuzz thread completed" true !fin
+
+let recv_stack ?(mss = 512) () =
+  let plat = Platform.create ~seed:11 Arch.challenge_100 in
+  let cfg = { Tcp.default_config with Tcp.mss; checksum = true } in
+  let stack = Stack.create plat ~tcp_config:cfg ~local_addr:0x0a000002 () in
+  (plat, stack)
+
+(* Random raw bytes thrown at the MAC layer must be dropped somewhere,
+   never crash. *)
+let prop_garbage_frames_survive =
+  QCheck.Test.make ~name:"garbage frames never crash the stack" ~count:60
+    QCheck.(string_of_size Gen.(0 -- 200))
+    (fun junk ->
+      let plat, stack = recv_stack () in
+      let delivered = ref 0 in
+      in_sim plat (fun () ->
+          Tcp.listen stack.Stack.tcp ~local_port:4000 ~accept:(fun sess ->
+              Tcp.set_receiver sess (fun m ->
+                  incr delivered;
+                  Msg.destroy m));
+          let frame = Msg.of_string stack.Stack.pool junk in
+          Fddi.input stack.Stack.fddi frame);
+      !delivered = 0)
+
+(* Random-but-well-formed TCP headers (arbitrary seq/ack/flags) against an
+   established connection: no crash, no stuck state. *)
+let prop_random_segments_survive =
+  QCheck.Test.make ~name:"random TCP segments never crash an established connection"
+    ~count:60
+    QCheck.(
+      list_of_size (Gen.return 12)
+        (quad (int_bound 0xffffff) (int_bound 0xffffff) (int_bound 31)
+           (string_of_size Gen.(0 -- 64))))
+    (fun segs ->
+      let plat, stack = recv_stack () in
+      let src =
+        Tcp_source.attach stack ~peer_addr:0x0a000001 ~payload:512 ~checksum:true
+          ~ports:[ (2000, 4000) ] ()
+      in
+      in_sim plat (fun () ->
+          Tcp.listen stack.Stack.tcp ~local_port:4000 ~accept:(fun sess ->
+              Tcp.set_receiver sess (fun m -> Msg.destroy m));
+          Tcp_source.start src;
+          List.iter
+            (fun (seq, ack, flagbits, payload) ->
+              let flags =
+                {
+                  Tcp_wire.fin = flagbits land 1 <> 0;
+                  syn = flagbits land 2 <> 0;
+                  rst = flagbits land 4 <> 0;
+                  psh = flagbits land 8 <> 0;
+                  ack = flagbits land 16 <> 0;
+                }
+              in
+              let p =
+                if String.length payload = 0 then None
+                else Some (Msg.of_string stack.Stack.pool payload)
+              in
+              let frame =
+                Frame.build_tcp stack.Stack.pool ~src:0x0a000001 ~dst:0x0a000002
+                  ~sport:2000 ~dport:4000 ~seq ~ack ~flags ~win:(1 lsl 16) ~payload:p
+                  ~checksum:true
+              in
+              Fddi.input stack.Stack.fddi frame)
+            segs;
+          (* The connection machinery must still answer a normal segment. *)
+          ignore (Tcp_source.next src ~stream:0));
+      true)
+
+(* Any permutation of a valid segment sequence is reassembled into the
+   original byte stream, delivered exactly once. *)
+let prop_shuffled_segments_reassemble =
+  QCheck.Test.make ~name:"shuffled segments reassemble to the original stream" ~count:40
+    QCheck.(pair (int_bound 1000000) (int_range 2 10))
+    (fun (seed, nsegs) ->
+      let plat, stack = recv_stack () in
+      let src =
+        Tcp_source.attach stack ~peer_addr:0x0a000001 ~payload:512 ~checksum:true
+          ~sequential_payload:true ~ports:[ (2000, 4000) ] ()
+      in
+      let delivered = Buffer.create 4096 in
+      let ok = ref true in
+      in_sim plat (fun () ->
+          Tcp.listen stack.Stack.tcp ~local_port:4000 ~accept:(fun sess ->
+              Tcp.set_receiver sess (fun m ->
+                  Buffer.add_string delivered (Msg.to_string m);
+                  Msg.destroy m));
+          Tcp_source.start src;
+          (* Fabricate nsegs in-order segments, then deliver a shuffle. *)
+          let iss = 0x10000000 + 2000 in
+          let seg i =
+            let payload = Msg.create stack.Stack.pool 512 in
+            Msg.fill_pattern payload ~off:0 ~len:512 ~stream_off:(i * 512);
+            Frame.build_tcp stack.Stack.pool ~src:0x0a000001 ~dst:0x0a000002 ~sport:2000
+              ~dport:4000
+              ~seq:(Tcp_seq.add (Tcp_seq.add iss 1) (i * 512))
+              ~ack:1 ~flags:Tcp_wire.flag_ack ~win:(1 lsl 20) ~payload:(Some payload)
+              ~checksum:true
+          in
+          let order = Array.init nsegs Fun.id in
+          Pnp_util.Prng.shuffle (Pnp_util.Prng.create seed) order;
+          Array.iter (fun i -> Fddi.input stack.Stack.fddi (seg i)) order;
+          (* Verify the delivered stream is the full in-order content. *)
+          let expect = Buffer.create 4096 in
+          for i = 0 to nsegs - 1 do
+            let m = Msg.create stack.Stack.pool 512 in
+            Msg.fill_pattern m ~off:0 ~len:512 ~stream_off:(i * 512);
+            Buffer.add_string expect (Msg.to_string m);
+            Msg.destroy m
+          done;
+          ok := String.equal (Buffer.contents delivered) (Buffer.contents expect));
+      !ok)
+
+(* Duplicated segments deliver exactly once. *)
+let prop_duplicates_delivered_once =
+  QCheck.Test.make ~name:"duplicate segments delivered exactly once" ~count:40
+    QCheck.(pair (int_range 1 6) (int_range 2 4))
+    (fun (nsegs, copies) ->
+      let plat, stack = recv_stack () in
+      let src =
+        Tcp_source.attach stack ~peer_addr:0x0a000001 ~payload:256 ~checksum:true
+          ~ports:[ (2000, 4000) ] ()
+      in
+      let bytes = ref 0 in
+      in_sim plat (fun () ->
+          Tcp.listen stack.Stack.tcp ~local_port:4000 ~accept:(fun sess ->
+              Tcp.set_receiver sess (fun m ->
+                  bytes := !bytes + Msg.length m;
+                  Msg.destroy m));
+          Tcp_source.start src;
+          let iss = 0x10000000 + 2000 in
+          for i = 0 to nsegs - 1 do
+            for _copy = 1 to copies do
+              let payload = Msg.create stack.Stack.pool 256 in
+              Msg.fill_pattern payload ~off:0 ~len:256 ~stream_off:(i * 256);
+              let frame =
+                Frame.build_tcp stack.Stack.pool ~src:0x0a000001 ~dst:0x0a000002
+                  ~sport:2000 ~dport:4000
+                  ~seq:(Tcp_seq.add (Tcp_seq.add iss 1) (i * 256))
+                  ~ack:1 ~flags:Tcp_wire.flag_ack ~win:(1 lsl 20)
+                  ~payload:(Some payload) ~checksum:true
+              in
+              Fddi.input stack.Stack.fddi frame
+            done
+          done);
+      !bytes = nsegs * 256)
+
+(* Corrupted payloads must be dropped by the checksum, not delivered. *)
+let prop_corruption_never_delivered =
+  QCheck.Test.make ~name:"corrupted segments never reach the application" ~count:40
+    QCheck.(pair (int_bound 255) (int_bound 500))
+    (fun (delta, pos) ->
+      QCheck.assume (delta > 0);
+      let plat, stack = recv_stack () in
+      let src =
+        Tcp_source.attach stack ~peer_addr:0x0a000001 ~payload:512 ~checksum:true
+          ~ports:[ (2000, 4000) ] ()
+      in
+      let delivered = ref 0 in
+      in_sim plat (fun () ->
+          Tcp.listen stack.Stack.tcp ~local_port:4000 ~accept:(fun sess ->
+              Tcp.set_receiver sess (fun m ->
+                  incr delivered;
+                  Msg.destroy m));
+          Tcp_source.start src;
+          let payload = Msg.create stack.Stack.pool 512 in
+          Msg.fill_pattern payload ~off:0 ~len:512 ~stream_off:0;
+          let iss = 0x10000000 + 2000 in
+          let frame =
+            Frame.build_tcp stack.Stack.pool ~src:0x0a000001 ~dst:0x0a000002 ~sport:2000
+              ~dport:4000 ~seq:(Tcp_seq.add iss 1) ~ack:1 ~flags:Tcp_wire.flag_ack
+              ~win:(1 lsl 20) ~payload:(Some payload) ~checksum:true
+          in
+          (* Flip a payload byte after the checksum was computed. *)
+          let off = Frame.headers_len - Fddi.header_bytes - Ip.header_bytes in
+          ignore off;
+          let target = Frame.headers_len + pos in
+          Msg.set_u8 frame target ((Msg.get_u8 frame target + delta) land 0xff);
+          Fddi.input stack.Stack.fddi frame);
+      !delivered = 0)
+
+let suites =
+  [
+    ( "fuzz.tcp",
+      [
+        QCheck_alcotest.to_alcotest prop_garbage_frames_survive;
+        QCheck_alcotest.to_alcotest prop_random_segments_survive;
+        QCheck_alcotest.to_alcotest prop_shuffled_segments_reassemble;
+        QCheck_alcotest.to_alcotest prop_duplicates_delivered_once;
+        QCheck_alcotest.to_alcotest prop_corruption_never_delivered;
+      ] );
+  ]

@@ -1,0 +1,89 @@
+(* Report/figure plumbing units. *)
+
+open Pnp_harness
+
+let series_of label points =
+  {
+    Report.label;
+    points = List.map (fun (procs, mean, ci90) -> { Report.procs; mean; ci90 }) points;
+  }
+
+let test_speedup_normalises () =
+  let s = series_of "x" [ (1, 50.0, 1.0); (2, 100.0, 2.0); (4, 150.0, 3.0) ] in
+  let sp = Report.speedup s in
+  Alcotest.(check (float 1e-9)) "1 cpu -> 1.0" 1.0 (Report.value_at sp 1);
+  Alcotest.(check (float 1e-9)) "2 cpus -> 2.0" 2.0 (Report.value_at sp 2);
+  Alcotest.(check (float 1e-9)) "4 cpus -> 3.0" 3.0 (Report.value_at sp 4)
+
+let test_speedup_scales_ci () =
+  let s = series_of "x" [ (1, 100.0, 10.0); (2, 200.0, 20.0) ] in
+  let sp = Report.speedup s in
+  (match List.find_opt (fun p -> p.Report.procs = 2) sp.Report.points with
+   | Some p -> Alcotest.(check (float 1e-9)) "ci scaled" 0.2 p.Report.ci90
+   | None -> Alcotest.fail "missing point")
+
+let test_value_at_missing_raises () =
+  let s = series_of "x" [ (1, 5.0, 0.0) ] in
+  Alcotest.check_raises "missing procs" Not_found (fun () ->
+      ignore (Report.value_at s 7))
+
+let test_metric_series_runs () =
+  (* A tiny real sweep through the harness. *)
+  let s =
+    Report.metric_series ~label:"pkts" ~procs:[ 1; 2 ] ~seeds:1
+      ~metric:(fun r -> float_of_int r.Run.packets)
+      (fun procs ->
+        Config.v ~protocol:Config.Udp ~side:Config.Send ~procs
+          ~measure:(Pnp_util.Units.ms 100.0) ())
+  in
+  Alcotest.(check int) "two points" 2 (List.length s.Report.points);
+  Alcotest.(check bool) "more packets with 2 CPUs" true
+    (Report.value_at s 2 > Report.value_at s 1)
+
+let test_print_table_smoke () =
+  (* Exercise the printer (output discarded by alcotest's capture). *)
+  Report.print_table ~title:"smoke" ~unit_label:"u"
+    [
+      series_of "a" [ (1, 1.0, 0.1); (2, 2.0, 0.2) ];
+      series_of "b" [ (1, 3.0, 0.0) ];
+    ]
+
+let test_opts_procs () =
+  let o = { Pnp_figures.Opts.default with Pnp_figures.Opts.max_procs = 3 } in
+  Alcotest.(check (list int)) "1..3" [ 1; 2; 3 ] (Pnp_figures.Opts.procs o)
+
+let test_registry_ids_unique_and_found () =
+  let ids = List.map (fun e -> e.Pnp_figures.Registry.id) Pnp_figures.Registry.all in
+  Alcotest.(check int) "no duplicate ids" (List.length ids)
+    (List.length (List.sort_uniq compare ids));
+  List.iter
+    (fun id ->
+      match Pnp_figures.Registry.find id with
+      | Some e -> Alcotest.(check string) "found itself" id e.Pnp_figures.Registry.id
+      | None -> Alcotest.failf "id %s not found" id)
+    ids;
+  Alcotest.(check bool) "unknown id absent" true
+    (Pnp_figures.Registry.find "fig99" = None);
+  (* every paper item is present *)
+  List.iter
+    (fun must ->
+      Alcotest.(check bool) (must ^ " registered") true (List.mem must ids))
+    [
+      "fig2-3"; "fig4-5"; "fig6-7"; "fig8-9"; "fig10"; "table1"; "fig11"; "send-ooo";
+      "fig12"; "fig13"; "fig14"; "fig15"; "fig16"; "fig17-18"; "micro-cksum";
+      "micro-maps"; "micro-lockwait";
+    ]
+
+let suites =
+  [
+    ( "report",
+      [
+        Alcotest.test_case "speedup normalises" `Quick test_speedup_normalises;
+        Alcotest.test_case "speedup scales CI" `Quick test_speedup_scales_ci;
+        Alcotest.test_case "value_at missing raises" `Quick test_value_at_missing_raises;
+        Alcotest.test_case "metric series runs" `Quick test_metric_series_runs;
+        Alcotest.test_case "print table smoke" `Quick test_print_table_smoke;
+        Alcotest.test_case "opts procs" `Quick test_opts_procs;
+        Alcotest.test_case "registry complete" `Quick test_registry_ids_unique_and_found;
+      ] );
+  ]

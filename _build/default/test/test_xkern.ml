@@ -1,0 +1,565 @@
+open Pnp_engine
+open Pnp_xkern
+
+let plat ?(message_caching = true) ?(map_locking = true) () =
+  Platform.create ~message_caching ~map_locking Arch.challenge_100
+
+(* Run [body] inside a simulated thread and drive the world to completion. *)
+let in_sim plat body =
+  let result = ref None in
+  let _ = Sim.spawn plat.Platform.sim ~name:"test" (fun () -> result := Some (body ())) in
+  Sim.run plat.Platform.sim;
+  match !result with Some r -> r | None -> Alcotest.fail "simulated thread did not finish"
+
+(* ------------------------------------------------------------------ *)
+(* Mpool                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_mpool_alloc_free () =
+  let p = plat () in
+  let pool = Mpool.create p in
+  in_sim p (fun () ->
+      let n = Mpool.alloc pool 100 in
+      Alcotest.(check bool) "capacity >= request" true (Mpool.capacity n >= 100);
+      Alcotest.(check int) "initial refcount" 1 (Mpool.refs n);
+      Alcotest.(check int) "live" 1 (Mpool.live_nodes pool);
+      Mpool.decref pool n;
+      Alcotest.(check int) "free" 0 (Mpool.live_nodes pool))
+
+let test_mpool_refcounting () =
+  let p = plat () in
+  let pool = Mpool.create p in
+  in_sim p (fun () ->
+      let n = Mpool.alloc pool 10 in
+      Mpool.incref pool n;
+      Mpool.incref pool n;
+      Alcotest.(check int) "three refs" 3 (Mpool.refs n);
+      Mpool.decref pool n;
+      Mpool.decref pool n;
+      Alcotest.(check int) "still live" 1 (Mpool.live_nodes pool);
+      Mpool.decref pool n;
+      Alcotest.(check int) "freed at zero" 0 (Mpool.live_nodes pool))
+
+let test_mpool_cache_reuse () =
+  let p = plat () in
+  let pool = Mpool.create p in
+  in_sim p (fun () ->
+      let n1 = Mpool.alloc pool 64 in
+      Mpool.decref pool n1;
+      let before = Mpool.global_allocations pool in
+      let n2 = Mpool.alloc pool 64 in
+      Alcotest.(check int) "no new global alloc" before (Mpool.global_allocations pool);
+      Alcotest.(check bool) "same node reused (LIFO)" true
+        (Mpool.data n1 == Mpool.data n2);
+      Alcotest.(check int) "one cache hit" 1 (Mpool.cache_hits pool);
+      Mpool.decref pool n2)
+
+let test_mpool_no_cache_goes_global () =
+  let p = plat ~message_caching:false () in
+  let pool = Mpool.create p in
+  in_sim p (fun () ->
+      let n1 = Mpool.alloc pool 64 in
+      Mpool.decref pool n1;
+      let n2 = Mpool.alloc pool 64 in
+      Mpool.decref pool n2;
+      Alcotest.(check int) "every alloc global" 2 (Mpool.global_allocations pool);
+      Alcotest.(check int) "no cache hits" 0 (Mpool.cache_hits pool))
+
+let test_mpool_caching_is_faster () =
+  let elapsed caching =
+    let p = plat ~message_caching:caching () in
+    let pool = Mpool.create p in
+    let t_end = ref 0 in
+    let _ =
+      Sim.spawn p.Platform.sim ~name:"t" (fun () ->
+          for _ = 1 to 100 do
+            let n = Mpool.alloc pool 64 in
+            Mpool.decref pool n
+          done;
+          t_end := Sim.now p.Platform.sim)
+    in
+    Sim.run p.Platform.sim;
+    !t_end
+  in
+  Alcotest.(check bool) "cached alloc cheaper" true (elapsed true < elapsed false)
+
+let test_mpool_large_not_cached () =
+  let p = plat () in
+  let pool = Mpool.create p in
+  in_sim p (fun () ->
+      let n = Mpool.alloc pool 100_000 in
+      Alcotest.(check bool) "capacity exact-ish" true (Mpool.capacity n >= 100_000);
+      Mpool.decref pool n;
+      let _ = Mpool.alloc pool 100_000 in
+      Alcotest.(check int) "large allocs always global" 2 (Mpool.global_allocations pool))
+
+let test_mpool_caches_are_per_thread () =
+  let p = plat () in
+  let pool = Mpool.create p in
+  (* Thread A frees a node; thread B allocating afterwards must not get it
+     from A's cache. *)
+  let a_data = ref None in
+  let b_data = ref None in
+  let _ =
+    Sim.spawn p.Platform.sim ~cpu:0 ~name:"a" (fun () ->
+        let n = Mpool.alloc pool 64 in
+        a_data := Some (Mpool.data n);
+        Mpool.decref pool n)
+  in
+  let _ =
+    Sim.spawn p.Platform.sim ~cpu:1 ~name:"b" (fun () ->
+        Sim.delay p.Platform.sim 1_000_000;
+        let n = Mpool.alloc pool 64 in
+        b_data := Some (Mpool.data n))
+  in
+  Sim.run p.Platform.sim;
+  Alcotest.(check bool) "different buffers" true
+    (Option.get !a_data != Option.get !b_data)
+
+let test_mpool_decref_below_zero_fails () =
+  let p = plat () in
+  let pool = Mpool.create p in
+  in_sim p (fun () ->
+      let n = Mpool.alloc pool 8 in
+      Mpool.decref pool n;
+      match Mpool.decref pool n with
+      | () -> Alcotest.fail "expected failure"
+      | exception Failure _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Msg                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let msg_env () =
+  let p = plat () in
+  (p, Mpool.create p)
+
+let test_msg_create_length () =
+  let p, pool = msg_env () in
+  in_sim p (fun () ->
+      let m = Msg.create pool 100 in
+      Alcotest.(check int) "length" 100 (Msg.length m);
+      Msg.destroy m;
+      Alcotest.(check int) "no leak" 0 (Mpool.live_nodes pool))
+
+let test_msg_of_string_roundtrip () =
+  let p, pool = msg_env () in
+  in_sim p (fun () ->
+      let m = Msg.of_string pool "hello world" in
+      Alcotest.(check string) "roundtrip" "hello world" (Msg.to_string m);
+      Msg.destroy m)
+
+let test_msg_push_pop_headers () =
+  let p, pool = msg_env () in
+  in_sim p (fun () ->
+      let m = Msg.of_string pool "payload" in
+      Msg.push m 4;
+      Alcotest.(check int) "grown" 11 (Msg.length m);
+      Msg.set_u32 m 0 0xdeadbeef;
+      Alcotest.(check int) "header readback" 0xdeadbeef (Msg.get_u32 m 0);
+      Alcotest.(check string) "payload intact"
+        "payload"
+        (String.sub (Msg.to_string m) 4 7);
+      Msg.pop m 4;
+      Alcotest.(check string) "back to payload" "payload" (Msg.to_string m);
+      Msg.destroy m)
+
+let test_msg_pop_partial_part () =
+  let p, pool = msg_env () in
+  in_sim p (fun () ->
+      let m = Msg.of_string pool "abcdefgh" in
+      Msg.pop m 3;
+      Alcotest.(check string) "partial strip" "defgh" (Msg.to_string m);
+      Msg.pop m 5;
+      Alcotest.(check int) "empty" 0 (Msg.length m);
+      Msg.destroy m;
+      Alcotest.(check int) "no leak" 0 (Mpool.live_nodes pool))
+
+let test_msg_pop_too_much_rejected () =
+  let p, pool = msg_env () in
+  in_sim p (fun () ->
+      let m = Msg.of_string pool "ab" in
+      (match Msg.pop m 3 with
+       | () -> Alcotest.fail "expected Invalid_argument"
+       | exception Invalid_argument _ -> ());
+      Msg.destroy m)
+
+let test_msg_truncate () =
+  let p, pool = msg_env () in
+  in_sim p (fun () ->
+      let m = Msg.of_string pool "abcdefgh" in
+      Msg.push m 2;
+      Msg.set_u16 m 0 0x4142;
+      Msg.truncate m 5;
+      Alcotest.(check string) "first five bytes" "ABabc" (Msg.to_string m);
+      Msg.destroy m;
+      Alcotest.(check int) "no leak" 0 (Mpool.live_nodes pool))
+
+let test_msg_dup_shares_and_refcounts () =
+  let p, pool = msg_env () in
+  in_sim p (fun () ->
+      let m = Msg.of_string pool "shared" in
+      let d = Msg.dup m in
+      Alcotest.(check string) "same contents" (Msg.to_string m) (Msg.to_string d);
+      Alcotest.(check int) "one node live" 1 (Mpool.live_nodes pool);
+      Msg.destroy m;
+      Alcotest.(check string) "dup survives" "shared" (Msg.to_string d);
+      Msg.destroy d;
+      Alcotest.(check int) "all freed" 0 (Mpool.live_nodes pool))
+
+let test_msg_dup_then_pop_independent () =
+  let p, pool = msg_env () in
+  in_sim p (fun () ->
+      let m = Msg.of_string pool "abcdef" in
+      let d = Msg.dup m in
+      Msg.pop d 3;
+      Alcotest.(check string) "original intact" "abcdef" (Msg.to_string m);
+      Alcotest.(check string) "dup advanced" "def" (Msg.to_string d);
+      Msg.destroy m;
+      Msg.destroy d)
+
+let test_msg_multibyte_accessors () =
+  let p, pool = msg_env () in
+  in_sim p (fun () ->
+      let m = Msg.create pool 8 in
+      Msg.set_u32 m 0 0x01020304;
+      Msg.set_u16 m 4 0xbeef;
+      Msg.set_u8 m 6 0x7f;
+      Alcotest.(check int) "u32" 0x01020304 (Msg.get_u32 m 0);
+      Alcotest.(check int) "u16" 0xbeef (Msg.get_u16 m 4);
+      Alcotest.(check int) "u8" 0x7f (Msg.get_u8 m 6);
+      (* big-endian byte order on the wire *)
+      Alcotest.(check int) "network order" 0x01 (Msg.get_u8 m 0);
+      Msg.destroy m)
+
+let test_msg_accessors_span_parts () =
+  let p, pool = msg_env () in
+  in_sim p (fun () ->
+      let m = Msg.of_string pool "zz" in
+      Msg.push m 1;
+      (* First byte is the pushed header; u16 at 0 spans header|payload. *)
+      Msg.set_u8 m 0 0xab;
+      Alcotest.(check int) "spanning u16" 0xab7a (Msg.get_u16 m 0);
+      Msg.destroy m)
+
+let test_msg_pattern_fill_check () =
+  let p, pool = msg_env () in
+  in_sim p (fun () ->
+      let m = Msg.create pool 1000 in
+      Msg.push m 20;
+      Msg.fill_pattern m ~off:20 ~len:1000 ~stream_off:5000;
+      Alcotest.(check bool) "pattern verifies" true
+        (Msg.check_pattern m ~off:20 ~len:1000 ~stream_off:5000);
+      Alcotest.(check bool) "wrong stream offset fails" false
+        (Msg.check_pattern m ~off:20 ~len:1000 ~stream_off:5001);
+      Msg.set_u8 m 999 ((Msg.get_u8 m 999 + 1) land 0xff);
+      Alcotest.(check bool) "corruption detected" false
+        (Msg.check_pattern m ~off:20 ~len:1000 ~stream_off:5000);
+      Msg.destroy m)
+
+let test_msg_append_moves_contents () =
+  let p, pool = msg_env () in
+  in_sim p (fun () ->
+      let a = Msg.of_string pool "front" in
+      let b = Msg.of_string pool "-back" in
+      Msg.append a b;
+      Alcotest.(check string) "concatenated" "front-back" (Msg.to_string a);
+      Alcotest.(check int) "source emptied" 0 (Msg.length b);
+      Msg.destroy b;
+      Alcotest.(check string) "destroying source is safe" "front-back" (Msg.to_string a);
+      (match Msg.append a a with
+       | () -> Alcotest.fail "self-append must be rejected"
+       | exception Invalid_argument _ -> ());
+      Msg.destroy a;
+      Alcotest.(check int) "no leak" 0 (Mpool.live_nodes pool))
+
+let test_msg_iter_slices_covers_all () =
+  let p, pool = msg_env () in
+  in_sim p (fun () ->
+      let m = Msg.of_string pool "0123456789" in
+      Msg.push m 3;
+      Msg.set_u8 m 0 (Char.code 'x');
+      Msg.set_u8 m 1 (Char.code 'y');
+      Msg.set_u8 m 2 (Char.code 'z');
+      let buf = Buffer.create 13 in
+      Msg.iter_slices m (fun b off len -> Buffer.add_subbytes buf b off len);
+      Alcotest.(check string) "slices in order" "xyz0123456789" (Buffer.contents buf);
+      Alcotest.(check int) "two parts" 2 (Msg.parts m);
+      Msg.destroy m)
+
+let prop_msg_ops_preserve_contents =
+  QCheck.Test.make ~name:"msg push/pop/dup preserve contents" ~count:100
+    QCheck.(pair (string_of_size Gen.(1 -- 200)) (list_of_size Gen.(0 -- 12) (int_bound 2)))
+    (fun (payload, ops) ->
+      let p, pool = msg_env () in
+      in_sim p (fun () ->
+          let reference = ref payload in
+          let m = ref (Msg.of_string pool payload) in
+          let headers = ref 0 in
+          List.iter
+            (fun op ->
+              match op with
+              | 0 ->
+                (* push a 2-byte header of known content *)
+                Msg.push !m 2;
+                Msg.set_u8 !m 0 (Char.code 'H');
+                Msg.set_u8 !m 1 (Char.code 'H');
+                reference := "HH" ^ !reference;
+                incr headers
+              | 1 ->
+                if String.length !reference >= 2 then begin
+                  Msg.pop !m 2;
+                  reference := String.sub !reference 2 (String.length !reference - 2)
+                end
+              | _ ->
+                let d = Msg.dup !m in
+                Msg.destroy !m;
+                m := d)
+            ops;
+          let ok = String.equal (Msg.to_string !m) !reference in
+          Msg.destroy !m;
+          ok && Mpool.live_nodes pool = 0))
+
+(* ------------------------------------------------------------------ *)
+(* Xmap                                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Int_key = struct
+  type t = int
+
+  let hash x = x * 2654435761
+  let equal = Int.equal
+end
+
+module Imap = Xmap.Make (Int_key)
+
+let test_xmap_insert_lookup_remove () =
+  let p = plat () in
+  let m = Imap.create p ~name:"test" () in
+  in_sim p (fun () ->
+      Imap.insert m 1 "one";
+      Imap.insert m 2 "two";
+      Alcotest.(check (option string)) "lookup 1" (Some "one") (Imap.lookup m 1);
+      Alcotest.(check (option string)) "lookup 2" (Some "two") (Imap.lookup m 2);
+      Alcotest.(check (option string)) "lookup missing" None (Imap.lookup m 3);
+      Alcotest.(check int) "length" 2 (Imap.length m);
+      Alcotest.(check bool) "remove" true (Imap.remove m 1);
+      Alcotest.(check bool) "remove again" false (Imap.remove m 1);
+      Alcotest.(check (option string)) "gone" None (Imap.lookup m 1);
+      Alcotest.(check int) "length after" 1 (Imap.length m))
+
+let test_xmap_insert_replaces () =
+  let p = plat () in
+  let m = Imap.create p ~name:"test" () in
+  in_sim p (fun () ->
+      Imap.insert m 7 "a";
+      Imap.insert m 7 "b";
+      Alcotest.(check (option string)) "replaced" (Some "b") (Imap.lookup m 7);
+      Alcotest.(check int) "no duplicate" 1 (Imap.length m))
+
+let test_xmap_one_behind_cache () =
+  let p = plat () in
+  let m = Imap.create p ~name:"test" () in
+  in_sim p (fun () ->
+      Imap.insert m 5 "five";
+      ignore (Imap.lookup m 5);
+      ignore (Imap.lookup m 5);
+      ignore (Imap.lookup m 5);
+      (* insert seeds the cache, so all three lookups hit *)
+      Alcotest.(check int) "cache hits" 3 (Imap.cache_hits m);
+      ignore (Imap.lookup m 99);
+      Alcotest.(check int) "miss not cached" 3 (Imap.cache_hits m))
+
+let test_xmap_cache_invalidated_on_remove () =
+  let p = plat () in
+  let m = Imap.create p ~name:"test" () in
+  in_sim p (fun () ->
+      Imap.insert m 5 "five";
+      ignore (Imap.lookup m 5);
+      ignore (Imap.remove m 5);
+      Alcotest.(check (option string)) "stale cache not served" None (Imap.lookup m 5))
+
+let test_xmap_many_keys_with_collisions () =
+  let p = plat () in
+  let m = Imap.create p ~buckets:4 ~name:"test" () in
+  in_sim p (fun () ->
+      for i = 0 to 99 do
+        Imap.insert m i (string_of_int i)
+      done;
+      Alcotest.(check int) "all present" 100 (Imap.length m);
+      for i = 0 to 99 do
+        Alcotest.(check (option string))
+          (Printf.sprintf "key %d" i)
+          (Some (string_of_int i))
+          (Imap.lookup m i)
+      done)
+
+let test_xmap_iter_visits_all () =
+  let p = plat () in
+  let m = Imap.create p ~name:"test" () in
+  in_sim p (fun () ->
+      List.iter (fun i -> Imap.insert m i i) [ 1; 2; 3; 4; 5 ];
+      let sum = ref 0 in
+      Imap.iter m (fun _ v -> sum := !sum + v);
+      Alcotest.(check int) "sum of values" 15 !sum)
+
+let test_xmap_iter_can_recurse () =
+  let p = plat () in
+  let m = Imap.create p ~name:"test" () in
+  in_sim p (fun () ->
+      Imap.insert m 1 10;
+      Imap.insert m 2 20;
+      (* mapForEach calling lookup on the same (counting-)locked map *)
+      let acc = ref 0 in
+      Imap.iter m (fun k _ -> acc := !acc + Option.value ~default:0 (Imap.lookup m k));
+      Alcotest.(check int) "recursive lookups fine" 30 !acc)
+
+let test_xmap_unlocked_lookup_cheaper () =
+  let cost locking =
+    let p = plat ~map_locking:locking () in
+    let m = Imap.create p ~name:"test" () in
+    let t_end = ref 0 in
+    let _ =
+      Sim.spawn p.Platform.sim ~name:"t" (fun () ->
+          Imap.insert m 1 1;
+          for _ = 1 to 100 do
+            ignore (Imap.lookup m 1)
+          done;
+          t_end := Sim.now p.Platform.sim)
+    in
+    Sim.run p.Platform.sim;
+    !t_end
+  in
+  Alcotest.(check bool) "unlocked lookup cheaper" true (cost false < cost true)
+
+(* ------------------------------------------------------------------ *)
+(* Timewheel                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_wheel_fires_in_order () =
+  let p = plat () in
+  let w = Timewheel.create p ~name:"w" () in
+  let fired = ref [] in
+  let _ =
+    Sim.spawn p.Platform.sim ~name:"sched" (fun () ->
+        ignore (Timewheel.schedule w ~after:(Pnp_util.Units.ms 30.0) (fun () -> fired := 3 :: !fired));
+        ignore (Timewheel.schedule w ~after:(Pnp_util.Units.ms 10.0) (fun () -> fired := 1 :: !fired));
+        ignore (Timewheel.schedule w ~after:(Pnp_util.Units.ms 20.0) (fun () -> fired := 2 :: !fired)))
+  in
+  Sim.run p.Platform.sim;
+  Alcotest.(check (list int)) "fire order" [ 1; 2; 3 ] (List.rev !fired);
+  Alcotest.(check int) "all fired" 3 (Timewheel.fired w);
+  Alcotest.(check int) "none pending" 0 (Timewheel.pending w)
+
+let test_wheel_cancel () =
+  let p = plat () in
+  let w = Timewheel.create p ~name:"w" () in
+  let fired = ref false in
+  let _ =
+    Sim.spawn p.Platform.sim ~name:"sched" (fun () ->
+        let h = Timewheel.schedule w ~after:(Pnp_util.Units.ms 50.0) (fun () -> fired := true) in
+        Sim.delay p.Platform.sim (Pnp_util.Units.ms 10.0);
+        Alcotest.(check bool) "cancel succeeds" true (Timewheel.cancel w h);
+        Alcotest.(check bool) "second cancel fails" false (Timewheel.cancel w h))
+  in
+  Sim.run p.Platform.sim;
+  Alcotest.(check bool) "never fired" false !fired;
+  Alcotest.(check int) "not pending" 0 (Timewheel.pending w)
+
+let test_wheel_wraps_around () =
+  (* An event further away than slots*slot_ns must survive wheel laps. *)
+  let p = plat () in
+  let w = Timewheel.create p ~slot_ns:(Pnp_util.Units.ms 1.0) ~slots:8 ~name:"w" () in
+  let fired_at = ref 0 in
+  let _ =
+    Sim.spawn p.Platform.sim ~name:"sched" (fun () ->
+        ignore
+          (Timewheel.schedule w ~after:(Pnp_util.Units.ms 20.0) (fun () ->
+               fired_at := Sim.now p.Platform.sim)))
+  in
+  Sim.run p.Platform.sim;
+  Alcotest.(check bool)
+    (Printf.sprintf "fired after full laps (at %d)" !fired_at)
+    true
+    (!fired_at >= Pnp_util.Units.ms 20.0);
+  Alcotest.(check int) "fired once" 1 (Timewheel.fired w)
+
+let test_wheel_timer_can_take_locks () =
+  let p = plat () in
+  let w = Timewheel.create p ~name:"w" () in
+  let lock = Lock.create p.Platform.sim p.Platform.arch Lock.Unfair ~name:"state" in
+  let ok = ref false in
+  let _ =
+    Sim.spawn p.Platform.sim ~name:"sched" (fun () ->
+        ignore
+          (Timewheel.schedule w ~after:(Pnp_util.Units.ms 5.0) (fun () ->
+               Lock.with_lock lock (fun () -> ok := true))))
+  in
+  Sim.run p.Platform.sim;
+  Alcotest.(check bool) "callback ran under lock" true !ok
+
+let test_wheel_reschedule_after_idle () =
+  let p = plat () in
+  let w = Timewheel.create p ~name:"w" () in
+  let count = ref 0 in
+  let _ =
+    Sim.spawn p.Platform.sim ~name:"sched" (fun () ->
+        ignore (Timewheel.schedule w ~after:(Pnp_util.Units.ms 5.0) (fun () -> incr count));
+        Sim.delay p.Platform.sim (Pnp_util.Units.ms 100.0);
+        (* wheel went idle; a new schedule must restart it *)
+        ignore (Timewheel.schedule w ~after:(Pnp_util.Units.ms 5.0) (fun () -> incr count)))
+  in
+  Sim.run p.Platform.sim;
+  Alcotest.(check int) "both fired" 2 !count
+
+let suites =
+  [
+    ( "xkern.mpool",
+      [
+        Alcotest.test_case "alloc/free" `Quick test_mpool_alloc_free;
+        Alcotest.test_case "refcounting" `Quick test_mpool_refcounting;
+        Alcotest.test_case "cache reuse (LIFO)" `Quick test_mpool_cache_reuse;
+        Alcotest.test_case "no cache goes global" `Quick test_mpool_no_cache_goes_global;
+        Alcotest.test_case "caching is faster" `Quick test_mpool_caching_is_faster;
+        Alcotest.test_case "large not cached" `Quick test_mpool_large_not_cached;
+        Alcotest.test_case "caches are per-thread" `Quick test_mpool_caches_are_per_thread;
+        Alcotest.test_case "decref below zero fails" `Quick test_mpool_decref_below_zero_fails;
+      ] );
+    ( "xkern.msg",
+      [
+        Alcotest.test_case "create/length" `Quick test_msg_create_length;
+        Alcotest.test_case "of_string roundtrip" `Quick test_msg_of_string_roundtrip;
+        Alcotest.test_case "push/pop headers" `Quick test_msg_push_pop_headers;
+        Alcotest.test_case "pop partial part" `Quick test_msg_pop_partial_part;
+        Alcotest.test_case "pop too much rejected" `Quick test_msg_pop_too_much_rejected;
+        Alcotest.test_case "truncate" `Quick test_msg_truncate;
+        Alcotest.test_case "dup shares/refcounts" `Quick test_msg_dup_shares_and_refcounts;
+        Alcotest.test_case "dup then pop independent" `Quick test_msg_dup_then_pop_independent;
+        Alcotest.test_case "multibyte accessors" `Quick test_msg_multibyte_accessors;
+        Alcotest.test_case "accessors span parts" `Quick test_msg_accessors_span_parts;
+        Alcotest.test_case "pattern fill/check" `Quick test_msg_pattern_fill_check;
+        Alcotest.test_case "append moves contents" `Quick test_msg_append_moves_contents;
+        Alcotest.test_case "iter_slices covers all" `Quick test_msg_iter_slices_covers_all;
+        QCheck_alcotest.to_alcotest prop_msg_ops_preserve_contents;
+      ] );
+    ( "xkern.xmap",
+      [
+        Alcotest.test_case "insert/lookup/remove" `Quick test_xmap_insert_lookup_remove;
+        Alcotest.test_case "insert replaces" `Quick test_xmap_insert_replaces;
+        Alcotest.test_case "1-behind cache" `Quick test_xmap_one_behind_cache;
+        Alcotest.test_case "cache invalidated on remove" `Quick
+          test_xmap_cache_invalidated_on_remove;
+        Alcotest.test_case "collisions handled" `Quick test_xmap_many_keys_with_collisions;
+        Alcotest.test_case "iter visits all" `Quick test_xmap_iter_visits_all;
+        Alcotest.test_case "iter can recurse (counting lock)" `Quick test_xmap_iter_can_recurse;
+        Alcotest.test_case "unlocked lookup cheaper" `Quick test_xmap_unlocked_lookup_cheaper;
+      ] );
+    ( "xkern.timewheel",
+      [
+        Alcotest.test_case "fires in order" `Quick test_wheel_fires_in_order;
+        Alcotest.test_case "cancel" `Quick test_wheel_cancel;
+        Alcotest.test_case "wraps around" `Quick test_wheel_wraps_around;
+        Alcotest.test_case "timer can take locks" `Quick test_wheel_timer_can_take_locks;
+        Alcotest.test_case "reschedules after idle" `Quick test_wheel_reschedule_after_idle;
+      ] );
+  ]
