@@ -96,4 +96,6 @@ let () =
   Printf.printf "### Bechamel: host cost of regenerating each figure/table ###\n%!";
   run_bechamel ();
   Printf.printf "\n### Reproduction: every figure and table ###\n%!";
+  (* Mirror every printed table to BENCH_<id>.json next to the run. *)
+  Json_out.set_dir (Some ".");
   Pnp_figures.Registry.run_all Pnp_figures.Opts.default

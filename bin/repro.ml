@@ -44,28 +44,38 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List every reproducible figure/table id.")
     Term.(const run $ const ())
 
+let json_dir_term =
+  let doc =
+    "Also write each figure's tables to $(docv)/BENCH_<id>.json (machine-readable)."
+  in
+  Arg.(value & opt (some dir) None & info [ "json" ] ~docv:"DIR" ~doc)
+
 let fig_cmd =
   let ids =
     let doc = "Figure/table ids (see $(b,list)); e.g. fig8-9, table1." in
     Arg.(non_empty & pos_all string [] & info [] ~docv:"ID" ~doc)
   in
-  let run opts ids =
+  let run opts json_dir ids =
+    Pnp_harness.Json_out.set_dir json_dir;
     List.iter
       (fun id ->
         match Pnp_figures.Registry.find id with
-        | Some e -> e.Pnp_figures.Registry.run opts
+        | Some e -> Pnp_figures.Registry.run_entry e opts
         | None ->
           Printf.eprintf "unknown figure id %S; try `repro list`\n" id;
           exit 1)
       ids
   in
   Cmd.v (Cmd.info "fig" ~doc:"Regenerate specific figures/tables.")
-    Term.(const run $ opts_term $ ids)
+    Term.(const run $ opts_term $ json_dir_term $ ids)
 
 let all_cmd =
-  let run opts = Pnp_figures.Registry.run_all opts in
+  let run opts json_dir =
+    Pnp_harness.Json_out.set_dir json_dir;
+    Pnp_figures.Registry.run_all opts
+  in
   Cmd.v (Cmd.info "all" ~doc:"Regenerate every figure and table.")
-    Term.(const run $ opts_term)
+    Term.(const run $ opts_term $ json_dir_term)
 
 (* A single custom experiment with every knob exposed. *)
 let run_cmd =
@@ -143,9 +153,20 @@ let run_cmd =
       value & opt float 8.0
       & info [ "jitter-us" ] ~doc:"Mean driver service jitter in microseconds.")
   in
+  let trace_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ]
+          ~docv:"FILE"
+          ~doc:
+            "Record the measurement window of one run (base seed) as Chrome \
+             trace-event JSON in $(docv) (open with chrome://tracing or \
+             https://ui.perfetto.dev), and print the per-lock contention table.")
+  in
   let exec opts protocol side procs payload no_cksum locks tcp_locking connections
       placement skew offered ticketing assume locked_refs no_caching arch seed
-      presentation cksum_under_lock jitter_us =
+      presentation cksum_under_lock jitter_us trace_file =
     let arch =
       match Pnp_engine.Arch.by_name arch with
       | Some a -> a
@@ -163,6 +184,16 @@ let run_cmd =
         ~driver_jitter_ns:(jitter_us *. 1000.0) ~warmup:opts.Pnp_figures.Opts.warmup
         ~measure:opts.Pnp_figures.Opts.measure ~seed ()
     in
+    (* Fail on an unwritable trace destination before running the whole
+       simulation, not after. *)
+    (match trace_file with
+     | None -> ()
+     | Some file -> (
+       match open_out_gen [ Open_append; Open_creat ] 0o644 file with
+       | oc -> close_out oc
+       | exception Sys_error msg ->
+         Printf.eprintf "cannot write trace file: %s\n" msg;
+         exit 1));
     Printf.printf "config: %s\n" (Config.describe cfg);
     let results = Run.run_seeds cfg ~seeds:opts.Pnp_figures.Opts.seeds in
     let s = Pnp_util.Stats.summary (List.map (fun r -> r.Run.throughput_mbps) results) in
@@ -175,7 +206,17 @@ let run_cmd =
     Printf.printf "lock waiting:   %8.1f %% of thread time\n"
       (avg (fun r -> r.Run.lock_wait_pct));
     Printf.printf "wire misorder:  %8.2f %%\n" (avg (fun r -> r.Run.wire_misorder_pct));
-    Printf.printf "mnode cache:    %8.1f %% hit rate\n" (avg (fun r -> r.Run.cache_hit_pct))
+    Printf.printf "mnode cache:    %8.1f %% hit rate\n" (avg (fun r -> r.Run.cache_hit_pct));
+    match trace_file with
+    | None -> ()
+    | Some file ->
+      (* Re-run the base seed with the event tracer on.  Tracing never
+         consumes simulated time, so this reproduces the seed's run
+         exactly while recording the measurement window. *)
+      let _, tracer = Run.run_traced cfg in
+      Pnp_engine.Trace.write_chrome tracer file;
+      Printf.printf "\ntrace:          %d events -> %s\n" (Pnp_engine.Trace.count tracer) file;
+      Report.print_lock_table tracer
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one experiment with explicit knobs and print all metrics.")
@@ -183,7 +224,7 @@ let run_cmd =
       const exec $ opts_term $ protocol $ side $ procs $ payload $ no_cksum $ locks
       $ tcp_locking $ connections $ placement $ skew $ offered $ ticketing $ assume
       $ locked_refs $ no_caching $ arch $ seed $ presentation $ cksum_under_lock
-      $ jitter_us)
+      $ jitter_us $ trace_file)
 
 (* A short annotated wire trace of a TCP connection over the in-memory
    driver: handshake, data, acks. *)

@@ -154,6 +154,16 @@ let next t ~stream =
       s.snd_nxt <- Tcp_seq.add s.snd_nxt t.payload;
       t.injected <- t.injected + 1;
       Lock.release s.ring_lock;
+      (* Packet lifecycle begins at the in-order seq handout; the span covers
+         driver service plus the synchronous climb through FDDI/IP. *)
+      let tracer = Sim.tracer p.Platform.sim in
+      let tracing = Trace.enabled tracer && Sim.in_thread p.Platform.sim in
+      let span ev =
+        let th = Sim.self p.Platform.sim in
+        Trace.emit tracer ~ts:(Sim.now p.Platform.sim) ~tid:(Sim.tid th)
+          ~cpu:(Sim.cpu th) ev
+      in
+      if tracing then span (Trace.Span_begin { seq; phase = Trace.Enqueue });
       (* Interrupt/DMA service variance hits each thread independently
          after the in-order handout — the source of the residual
          misordering Table 1 shows even under MCS locks. *)
@@ -195,6 +205,7 @@ let next t ~stream =
           seg
         end
       in
+      if tracing then span (Trace.Span_end { seq; phase = Trace.Enqueue });
       Fddi.input t.stack.Stack.fddi frame;
       true
     end

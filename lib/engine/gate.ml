@@ -11,25 +11,39 @@ type t = {
 let create sim arch ~name =
   { sim; arch; name; next_ticket = 0; serving = 0; waiting = Hashtbl.create 16; total_wait_ns = 0 }
 
+let trace t ev =
+  let tracer = Sim.tracer t.sim in
+  if Trace.enabled tracer then
+    let th = Sim.self t.sim in
+    Trace.emit tracer ~ts:(Sim.now t.sim) ~tid:(Sim.tid th) ~cpu:(Sim.cpu th) ev
+
 let take t =
   Sim.delay t.sim t.arch.Arch.atomic_ns;
   let n = t.next_ticket in
   t.next_ticket <- n + 1;
+  if Trace.enabled (Sim.tracer t.sim) then
+    trace t (Trace.Gate_take { gate = t.name; ticket = n });
   n
 
 let await t n =
   if n < t.serving then
     failwith (Printf.sprintf "Gate.await %S: ticket %d already served" t.name n);
-  if n > t.serving then begin
-    let enq = Sim.now t.sim in
-    Sim.suspend t.sim (fun resume ->
-        if Hashtbl.mem t.waiting n then
-          failwith (Printf.sprintf "Gate.await %S: duplicate ticket %d" t.name n);
-        Hashtbl.replace t.waiting n resume);
-    let waited = Sim.now t.sim - enq in
-    t.total_wait_ns <- t.total_wait_ns + waited;
-    Sim.note_wait (Sim.self t.sim) waited
-  end
+  let waited =
+    if n > t.serving then begin
+      let enq = Sim.now t.sim in
+      Sim.suspend t.sim (fun resume ->
+          if Hashtbl.mem t.waiting n then
+            failwith (Printf.sprintf "Gate.await %S: duplicate ticket %d" t.name n);
+          Hashtbl.replace t.waiting n resume);
+      let waited = Sim.now t.sim - enq in
+      t.total_wait_ns <- t.total_wait_ns + waited;
+      Sim.note_wait (Sim.self t.sim) waited;
+      waited
+    end
+    else 0
+  in
+  if Trace.enabled (Sim.tracer t.sim) then
+    trace t (Trace.Gate_pass { gate = t.name; ticket = n; wait_ns = waited })
 
 let advance t =
   Sim.delay t.sim t.arch.Arch.atomic_ns;

@@ -45,6 +45,12 @@ let create sim arch disc ~name =
 let discipline t = t.disc
 let name t = t.name
 
+let trace t ev =
+  let tracer = Sim.tracer t.sim in
+  if Trace.enabled tracer then
+    let th = Sim.self t.sim in
+    Trace.emit tracer ~ts:(Sim.now t.sim) ~tid:(Sim.tid th) ~cpu:(Sim.cpu th) ev
+
 let migration_ns t th =
   match t.arch.Arch.sync with
   | Arch.Sync_bus -> 0
@@ -63,10 +69,14 @@ let acquire t =
   (* The lock operation itself (test-and-set / MCS swap) costs time before
      we learn the outcome; another thread may slip in during it. *)
   Sim.delay t.sim t.acquire_ns;
+  if Trace.enabled (Sim.tracer t.sim) then
+    trace t (Trace.Lock_request { lock = t.name; waiters = List.length t.waiters });
   match t.owner with
   | None ->
     let mig = migration_ns t th in
     become_owner t th ~grant_time:(Sim.now t.sim + mig);
+    if Trace.enabled (Sim.tracer t.sim) then
+      trace t (Trace.Lock_grant { lock = t.name; waiters = 0; wait_ns = 0 });
     if mig > 0 then Sim.delay t.sim mig
   | Some _ ->
     t.contended <- t.contended + 1;
@@ -76,7 +86,11 @@ let acquire t =
     (* Resumed by [release]; ownership and stats were set there. *)
     let waited = Sim.now t.sim - enq_time in
     t.total_wait_ns <- t.total_wait_ns + waited;
-    Sim.note_wait th waited
+    Sim.note_wait th waited;
+    if Trace.enabled (Sim.tracer t.sim) then
+      trace t
+        (Trace.Lock_grant
+           { lock = t.name; waiters = List.length t.waiters; wait_ns = waited })
 
 (* Remove and return the waiter chosen by the discipline.  Unfair locks
    model the IRIX mutex: the grant goes to an arbitrary waiter. *)
@@ -114,6 +128,8 @@ let release t =
    | _ -> failwith (Printf.sprintf "Lock.release %S: caller is not the owner" t.name));
   let now = Sim.now t.sim in
   t.total_hold_ns <- t.total_hold_ns + (now - t.hold_start);
+  if Trace.enabled (Sim.tracer t.sim) then
+    trace t (Trace.Lock_release { lock = t.name; hold_ns = now - t.hold_start });
   match pick_waiter t with
   | None ->
     t.owner <- None;
@@ -121,6 +137,14 @@ let release t =
   | Some w ->
     let mig = migration_ns t w.th in
     let grant_time = now + t.arch.Arch.handoff_ns + mig in
+    if Trace.enabled (Sim.tracer t.sim) then
+      trace t
+        (Trace.Lock_handoff
+           {
+             lock = t.name;
+             to_tid = Sim.tid w.th;
+             handoff_ns = t.arch.Arch.handoff_ns + mig;
+           });
     become_owner t w.th ~grant_time;
     w.resume grant_time
 

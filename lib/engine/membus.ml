@@ -22,7 +22,12 @@ let consume ?rate_mb_s t ~bytes =
     t.bytes <- t.bytes + bytes;
     Fun.protect
       ~finally:(fun () -> t.users <- t.users - 1)
-      (fun () -> Sim.delay t.sim d)
+      (fun () -> Sim.delay t.sim d);
+    let tracer = Sim.tracer t.sim in
+    if Trace.enabled tracer && Sim.in_thread t.sim then
+      let th = Sim.self t.sim in
+      Trace.emit tracer ~ts:(Sim.now t.sim) ~tid:(Sim.tid th) ~cpu:(Sim.cpu th)
+        (Trace.Membus_charge { bytes; dur_ns = d })
   end
 
 let concurrent_users t = t.users

@@ -19,6 +19,7 @@ type t = {
   mutable threads : thread list; (* newest first; for diagnostics *)
   mutable stopping : bool;
   mutable processed : int;
+  tracer : Trace.t;
 }
 
 type _ Effect.t += Suspend : t * ((int -> unit) -> unit) -> unit Effect.t
@@ -34,10 +35,16 @@ let create ?(seed = 42) () =
     threads = [];
     stopping = false;
     processed = 0;
+    tracer = Trace.create ();
   }
 
 let now t = t.now
 let prng t = t.rng
+let tracer t = t.tracer
+
+let trace_thread t th ev =
+  if Trace.enabled t.tracer then
+    Trace.emit t.tracer ~ts:t.now ~tid:th.tid ~cpu:th.cpu ev
 
 let at t time f =
   if time < t.now then
@@ -76,13 +83,16 @@ let start_thread t th body =
                 (fun (k : (a, _) continuation) ->
                   let resumed = ref false in
                   th.runnable <- false;
+                  trace_thread t th Trace.Thread_block;
                   let resume time =
                     if !resumed then
                       failwith
                         (Printf.sprintf "Sim: thread %S resumed twice" th.name);
                     resumed := true;
                     th.runnable <- true;
-                    at t time (fun () -> run_burst (fun () -> continue k ()))
+                    at t time (fun () ->
+                        trace_thread t th Trace.Thread_resume;
+                        run_burst (fun () -> continue k ()))
                   in
                   register resume)
           | _ -> None);
@@ -104,6 +114,8 @@ let spawn t ?cpu ~name body =
   in
   t.next_tid <- t.next_tid + 1;
   t.threads <- th :: t.threads;
+  Trace.register_thread t.tracer ~tid:th.tid ~cpu:th.cpu name;
+  trace_thread t th (Trace.Thread_spawn { name });
   at t t.now (fun () -> start_thread t th body);
   th
 

@@ -26,6 +26,12 @@ val now : t -> Pnp_util.Units.ns
 val prng : t -> Pnp_util.Prng.t
 (** The world's deterministic random stream. *)
 
+val tracer : t -> Trace.t
+(** The world's event tracer (disabled by default).  The simulator emits
+    thread spawn/block/resume events; synchronisation objects and the
+    protocol layers add theirs.  Enabling it never consumes simulated
+    time, so traced and untraced runs of the same seed are identical. *)
+
 val spawn : t -> ?cpu:int -> name:string -> (unit -> unit) -> thread
 (** [spawn t ~cpu ~name body] creates a thread wired to processor [cpu]
     (default: a fresh CPU number) that starts running at the current time.

@@ -1,0 +1,224 @@
+type pkt_phase = Enqueue | Ip | Lock_wait | Tcp_input | Upcall
+
+type ev =
+  | Thread_spawn of { name : string }
+  | Thread_block
+  | Thread_resume
+  | Lock_request of { lock : string; waiters : int }
+  | Lock_grant of { lock : string; waiters : int; wait_ns : int }
+  | Lock_handoff of { lock : string; to_tid : int; handoff_ns : int }
+  | Lock_release of { lock : string; hold_ns : int }
+  | Gate_take of { gate : string; ticket : int }
+  | Gate_pass of { gate : string; ticket : int; wait_ns : int }
+  | Membus_charge of { bytes : int; dur_ns : int }
+  | Mpool_alloc of { hit : bool }
+  | Span_begin of { seq : int; phase : pkt_phase }
+  | Span_end of { seq : int; phase : pkt_phase }
+
+type record = { ts : int; tid : int; cpu : int; ev : ev }
+
+type t = {
+  mutable on : bool;
+  mutable rev : record list;
+  mutable n : int;
+  names : (int, string * int) Hashtbl.t; (* tid -> (name, cpu); always kept *)
+}
+
+let create () = { on = false; rev = []; n = 0; names = Hashtbl.create 16 }
+let enabled t = t.on
+let enable t = t.on <- true
+let disable t = t.on <- false
+
+(* Registered at every spawn regardless of [on], so threads created before
+   tracing starts still get names in the exported view. *)
+let register_thread t ~tid ~cpu name = Hashtbl.replace t.names tid (name, cpu)
+
+let clear t =
+  t.rev <- [];
+  t.n <- 0
+
+let emit t ~ts ~tid ~cpu ev =
+  if t.on then begin
+    t.rev <- { ts; tid; cpu; ev } :: t.rev;
+    t.n <- t.n + 1
+  end
+
+let events t = List.rev t.rev
+let count t = t.n
+
+let pp_phase = function
+  | Enqueue -> "enqueue"
+  | Ip -> "ip"
+  | Lock_wait -> "lock-wait"
+  | Tcp_input -> "tcp-input"
+  | Upcall -> "upcall"
+
+(* ------------------------------------------------------------------ *)
+(* Per-lock contention attribution                                     *)
+(* ------------------------------------------------------------------ *)
+
+type lock_stats = {
+  lock : string;
+  acquisitions : int;
+  contended : int;
+  wait_ns : int;
+  hold_ns : int;
+  handoff_ns : int;
+  max_queue : int;
+}
+
+type acc = {
+  mutable a_acq : int;
+  mutable a_cont : int;
+  mutable a_wait : int;
+  mutable a_hold : int;
+  mutable a_handoff : int;
+  mutable a_maxq : int;
+}
+
+let lock_table t =
+  let tbl : (string, acc) Hashtbl.t = Hashtbl.create 16 in
+  let get name =
+    match Hashtbl.find_opt tbl name with
+    | Some a -> a
+    | None ->
+      let a = { a_acq = 0; a_cont = 0; a_wait = 0; a_hold = 0; a_handoff = 0; a_maxq = 0 } in
+      Hashtbl.replace tbl name a;
+      a
+  in
+  List.iter
+    (fun r ->
+      match r.ev with
+      | Lock_request { lock; waiters } ->
+        let a = get lock in
+        if waiters > a.a_maxq then a.a_maxq <- waiters
+      | Lock_grant { lock; wait_ns; _ } ->
+        let a = get lock in
+        a.a_acq <- a.a_acq + 1;
+        if wait_ns > 0 then a.a_cont <- a.a_cont + 1;
+        a.a_wait <- a.a_wait + wait_ns
+      | Lock_handoff { lock; handoff_ns; _ } ->
+        let a = get lock in
+        a.a_handoff <- a.a_handoff + handoff_ns
+      | Lock_release { lock; hold_ns } ->
+        let a = get lock in
+        a.a_hold <- a.a_hold + hold_ns
+      | _ -> ())
+    (events t);
+  Hashtbl.fold
+    (fun lock a rows ->
+      {
+        lock;
+        acquisitions = a.a_acq;
+        contended = a.a_cont;
+        wait_ns = a.a_wait;
+        hold_ns = a.a_hold;
+        handoff_ns = a.a_handoff;
+        max_queue = a.a_maxq;
+      }
+      :: rows)
+    tbl []
+  |> List.sort (fun x y ->
+         match compare y.wait_ns x.wait_ns with 0 -> compare x.lock y.lock | c -> c)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace_event JSON                                             *)
+(* ------------------------------------------------------------------ *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* ns -> us with sub-us precision preserved (chrome "ts" is microseconds). *)
+let us ns = Printf.sprintf "%d.%03d" (ns / 1000) (ns mod 1000)
+
+let to_chrome_string t =
+  let buf = Buffer.create 65536 in
+  let first = ref true in
+  let add fmt =
+    Printf.ksprintf
+      (fun s ->
+        if !first then first := false else Buffer.add_string buf ",\n";
+        Buffer.add_string buf s)
+      fmt
+  in
+  Buffer.add_string buf "{\"traceEvents\":[\n";
+  let evs = events t in
+  (* Thread-name metadata rows (one per simulated thread). *)
+  Hashtbl.fold (fun tid (name, cpu) acc -> (tid, name, cpu) :: acc) t.names []
+  |> List.sort compare
+  |> List.iter (fun (tid, name, cpu) ->
+         add
+           "{\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":\"%s (cpu %d)\"}}"
+           tid (escape name) cpu);
+  let complete ~name ~cat r ~start_ns ~dur_ns ~args =
+    add "{\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"ts\":%s,\"dur\":%s,\"name\":\"%s\",\"cat\":\"%s\"%s}"
+      r.tid (us start_ns) (us dur_ns) (escape name) cat
+      (if args = "" then "" else Printf.sprintf ",\"args\":{%s}" args)
+  in
+  let instant ~name ~cat r ~args =
+    add "{\"ph\":\"i\",\"pid\":0,\"tid\":%d,\"ts\":%s,\"s\":\"t\",\"name\":\"%s\",\"cat\":\"%s\"%s}"
+      r.tid (us r.ts) (escape name) cat
+      (if args = "" then "" else Printf.sprintf ",\"args\":{%s}" args)
+  in
+  let async ph r ~seq ~phase =
+    add
+      "{\"ph\":\"%s\",\"pid\":0,\"tid\":%d,\"ts\":%s,\"id\":\"0x%x\",\"cat\":\"pkt\",\"name\":\"%s\"}"
+      ph r.tid (us r.ts) seq (pp_phase phase)
+  in
+  List.iter
+    (fun r ->
+      match r.ev with
+      | Thread_spawn { name } -> instant ~name:("spawn " ^ name) ~cat:"thread" r ~args:""
+      | Thread_block | Thread_resume ->
+        (* Block/resume intervals are already visible through the wait
+           duration events; keep the raw stream out of the rendered view. *)
+        ()
+      | Lock_request { lock; waiters } ->
+        instant ~name:("request " ^ lock) ~cat:"lock" r
+          ~args:(Printf.sprintf "\"waiters\":%d" waiters)
+      | Lock_grant { lock; wait_ns; waiters } ->
+        if wait_ns > 0 then
+          complete ~name:("wait " ^ lock) ~cat:"lock" r ~start_ns:(r.ts - wait_ns)
+            ~dur_ns:wait_ns
+            ~args:(Printf.sprintf "\"waiters_left\":%d" waiters)
+      | Lock_handoff { lock; to_tid; handoff_ns } ->
+        complete ~name:("handoff " ^ lock) ~cat:"lock" r ~start_ns:r.ts ~dur_ns:handoff_ns
+          ~args:(Printf.sprintf "\"to_tid\":%d" to_tid)
+      | Lock_release { lock; hold_ns } ->
+        complete ~name:("hold " ^ lock) ~cat:"lock" r ~start_ns:(r.ts - hold_ns)
+          ~dur_ns:hold_ns ~args:""
+      | Gate_take { gate; ticket } ->
+        instant ~name:("ticket " ^ gate) ~cat:"gate" r
+          ~args:(Printf.sprintf "\"ticket\":%d" ticket)
+      | Gate_pass { gate; ticket; wait_ns } ->
+        if wait_ns > 0 then
+          complete ~name:("gate " ^ gate) ~cat:"gate" r ~start_ns:(r.ts - wait_ns)
+            ~dur_ns:wait_ns
+            ~args:(Printf.sprintf "\"ticket\":%d" ticket)
+      | Membus_charge { bytes; dur_ns } ->
+        complete ~name:"membus" ~cat:"bus" r ~start_ns:(r.ts - dur_ns) ~dur_ns
+          ~args:(Printf.sprintf "\"bytes\":%d" bytes)
+      | Mpool_alloc { hit } ->
+        instant ~name:(if hit then "mpool hit" else "mpool miss") ~cat:"mpool" r ~args:""
+      | Span_begin { seq; phase } -> async "b" r ~seq ~phase
+      | Span_end { seq; phase } -> async "e" r ~seq ~phase)
+    evs;
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
+let write_chrome t file =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_chrome_string t))

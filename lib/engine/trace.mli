@@ -1,0 +1,103 @@
+(** Low-overhead typed event tracing for the simulator.
+
+    The paper's evidence is *attribution*: knowing that threads wait is
+    not enough, one must see which lock they wait on, in what order
+    grants happen, and how a particular packet travelled the stack.
+    Every synchronisation object in the engine (and the message pool and
+    TCP above it) emits typed events here when tracing is enabled.
+
+    Tracing is {e off by default} and must stay near-zero cost when off:
+    every emitter guards on {!enabled} before even constructing its
+    event, so a disabled tracer costs one mutable-field read per
+    potential event.  Events never consume simulated time, so enabling
+    tracing cannot perturb the simulation — traces are deterministic
+    under a fixed seed.
+
+    Timestamps are simulated nanoseconds; [tid]/[cpu] identify the
+    simulated thread that emitted the event ([-1] outside any thread). *)
+
+(** Phases of a packet's journey through the receive path, keyed by TCP
+    sequence number so a misordered segment is visible end to end. *)
+type pkt_phase =
+  | Enqueue   (** driver handed the segment to a worker (in seq order) *)
+  | Ip        (** entered TCP input demultiplexing from IP *)
+  | Lock_wait (** waiting on the connection-state lock(s) *)
+  | Tcp_input (** TCP segment processing under the state lock *)
+  | Upcall    (** delivery to the application above TCP *)
+
+type ev =
+  | Thread_spawn of { name : string }
+  | Thread_block
+  | Thread_resume
+  | Lock_request of { lock : string; waiters : int }
+      (** [waiters] = queue depth seen at request time *)
+  | Lock_grant of { lock : string; waiters : int; wait_ns : int }
+      (** emitted by the grantee; [wait_ns] = 0 when uncontended *)
+  | Lock_handoff of { lock : string; to_tid : int; handoff_ns : int }
+      (** emitted by the releaser when passing to a waiter *)
+  | Lock_release of { lock : string; hold_ns : int }
+  | Gate_take of { gate : string; ticket : int }
+  | Gate_pass of { gate : string; ticket : int; wait_ns : int }
+  | Membus_charge of { bytes : int; dur_ns : int }
+  | Mpool_alloc of { hit : bool }
+  | Span_begin of { seq : int; phase : pkt_phase }
+  | Span_end of { seq : int; phase : pkt_phase }
+
+type record = { ts : int; tid : int; cpu : int; ev : ev }
+
+type t
+
+val create : unit -> t
+(** A fresh, disabled tracer. *)
+
+val enabled : t -> bool
+(** Emitters must check this before building an event. *)
+
+val enable : t -> unit
+val disable : t -> unit
+val clear : t -> unit
+
+val emit : t -> ts:int -> tid:int -> cpu:int -> ev -> unit
+(** Record an event; a no-op when disabled. *)
+
+val register_thread : t -> tid:int -> cpu:int -> string -> unit
+(** Remember a thread's name for the exported view.  Unlike {!emit} this
+    works even while disabled, so threads spawned before tracing starts
+    still appear named in Chrome. *)
+
+val events : t -> record list
+(** All recorded events in emission (= time) order. *)
+
+val count : t -> int
+
+(** {2 Contention attribution}
+
+    Aggregated per-lock accounting derived from the event stream — the
+    "where the time goes" breakdown of the paper's Table 1. *)
+
+type lock_stats = {
+  lock : string;
+  acquisitions : int;
+  contended : int;
+  wait_ns : int;     (** total time grantees spent blocked *)
+  hold_ns : int;     (** total time the lock was held *)
+  handoff_ns : int;  (** total release-to-grant transfer cost *)
+  max_queue : int;   (** deepest waiter queue observed at request time *)
+}
+
+val lock_table : t -> lock_stats list
+(** One row per lock name, sorted by total wait descending. *)
+
+val pp_phase : pkt_phase -> string
+
+(** {2 Chrome trace_event export}
+
+    The JSON object format loadable by [chrome://tracing] and Perfetto:
+    lock waits/holds, gate waits and bus transfers become duration
+    events on each simulated thread's track; packet journeys become
+    async event spans keyed by sequence number. *)
+
+val to_chrome_string : t -> string
+
+val write_chrome : t -> string -> unit
+(** [write_chrome t file] writes {!to_chrome_string} to [file]. *)

@@ -24,12 +24,19 @@ let checksum_bandwidth_data opts =
     (Opts.procs opts)
 
 let checksum_bandwidth opts =
+  let data = checksum_bandwidth_data opts in
+  Json_out.add_table ~title:"Checksum bandwidth (cold data)" ~unit_label:"MB/s"
+    ~series:
+      [
+        ("aggregate", List.map (fun (p, mb) -> (p, mb, 0.0)) data);
+        ("per-cpu", List.map (fun (p, mb) -> (p, mb /. float_of_int p, 0.0)) data);
+      ];
   Printf.printf
     "\n== Section 3.2 micro-benchmark: checksum bandwidth (cold data) ==\n";
   Printf.printf "%-6s %14s %14s\n" "procs" "aggregate MB/s" "per-CPU MB/s";
   List.iter
     (fun (p, mb) -> Printf.printf "%-6d %14.1f %14.1f\n" p mb (mb /. float_of_int p))
-    (checksum_bandwidth_data opts);
+    data;
   let arch = Arch.challenge_100 in
   Printf.printf
     "bus %.0f MB/s / %.0f MB/s per CPU => supports ~%.0f checksumming CPUs (paper: 38)\n"
@@ -52,6 +59,9 @@ let map_locking_data opts =
 
 let map_locking opts =
   let locked, unlocked = map_locking_data opts in
+  let p = opts.Opts.max_procs in
+  Json_out.add_table ~title:"Demux map locking (UDP recv)" ~unit_label:"Mbit/s"
+    ~series:[ ("maps-locked", [ (p, locked, 0.0) ]); ("maps-unlocked", [ (p, unlocked, 0.0) ]) ];
   Printf.printf
     "\n== Section 3.1 aside: demultiplexing map locks (UDP recv, %d CPUs) ==\n"
     opts.Opts.max_procs;
@@ -74,6 +84,9 @@ let lock_profile_data opts =
 
 let lock_profile opts =
   let recv, send = lock_profile_data opts in
+  let p = opts.Opts.max_procs in
+  Json_out.add_table ~title:"Connection-lock wait profile" ~unit_label:"% of thread time"
+    ~series:[ ("recv", [ (p, recv, 0.0) ]); ("send", [ (p, send, 0.0) ]) ];
   Printf.printf
     "\n== Section 3 profile: time waiting on the TCP connection-state lock (%d CPUs) ==\n"
     opts.Opts.max_procs;

@@ -69,9 +69,13 @@ let all =
 
 let find id = List.find_opt (fun e -> e.id = id) all
 
+(* Run one entry with its tables mirrored to BENCH_<id>.json when JSON
+   export is on (Json_out.set_dir); a plain pass-through otherwise. *)
+let run_entry e opts = Pnp_harness.Json_out.with_figure e.id (fun () -> e.run opts)
+
 let run_all opts =
   List.iter
     (fun e ->
       Printf.printf "\n###### %s: %s ######\n%!" e.id e.title;
-      e.run opts)
+      run_entry e opts)
     all

@@ -10,5 +10,9 @@ val all : entry list
 
 val find : string -> entry option
 
+val run_entry : entry -> Opts.t -> unit
+(** Run one figure, mirroring its tables to [BENCH_<id>.json] when JSON
+    export is enabled via {!Pnp_harness.Json_out.set_dir}. *)
+
 val run_all : Opts.t -> unit
-(** Regenerate every figure and table in order. *)
+(** Regenerate every figure and table in order (via {!run_entry}). *)

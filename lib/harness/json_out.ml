@@ -1,0 +1,81 @@
+type table = {
+  title : string;
+  unit_label : string;
+  series : (string * (int * float * float) list) list;
+}
+
+let dir : string option ref = ref None
+let open_figure : string option ref = ref None
+let tables : table list ref = ref []
+
+let set_dir d = dir := d
+let enabled () = !dir <> None
+
+let add_table ~title ~unit_label ~series =
+  match (!dir, !open_figure) with
+  | Some _, Some _ -> tables := { title; unit_label; series } :: !tables
+  | _ -> ()
+
+(* Minimal JSON emission: only strings and finite floats need care. *)
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let num v = if Float.is_finite v then Printf.sprintf "%.6g" v else "null"
+
+let write_figure id ts =
+  match !dir with
+  | None -> ()
+  | Some d ->
+    let b = Buffer.create 4096 in
+    Buffer.add_string b (Printf.sprintf "{\"figure\":\"%s\",\"tables\":[" (escape id));
+    List.iteri
+      (fun i t ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b
+          (Printf.sprintf "{\"title\":\"%s\",\"unit\":\"%s\",\"series\":["
+             (escape t.title) (escape t.unit_label));
+        List.iteri
+          (fun j (label, points) ->
+            if j > 0 then Buffer.add_char b ',';
+            Buffer.add_string b (Printf.sprintf "{\"label\":\"%s\",\"points\":[" (escape label));
+            List.iteri
+              (fun k (procs, mean, ci90) ->
+                if k > 0 then Buffer.add_char b ',';
+                Buffer.add_string b
+                  (Printf.sprintf "{\"procs\":%d,\"mean\":%s,\"ci90\":%s}" procs (num mean)
+                     (num ci90)))
+              points;
+            Buffer.add_string b "]}")
+          t.series;
+        Buffer.add_string b "]}")
+      ts;
+    Buffer.add_string b "]}\n";
+    let path = Filename.concat d (Printf.sprintf "BENCH_%s.json" id) in
+    let oc = open_out path in
+    output_string oc (Buffer.contents b);
+    close_out oc
+
+let with_figure id f =
+  match !open_figure with
+  | Some _ -> f () (* nested: let the outer call own the buffer *)
+  | None ->
+    open_figure := Some id;
+    tables := [];
+    Fun.protect
+      ~finally:(fun () ->
+        let ts = List.rev !tables in
+        tables := [];
+        open_figure := None;
+        write_figure id ts)
+      f

@@ -1,0 +1,35 @@
+(** Machine-readable export of figure tables.
+
+    Figure runners print fixed-width tables for humans; this module mirrors
+    each table into a JSON document so benchmark runs can be diffed and
+    plotted without scraping stdout.  The flow is:
+
+    - [set_dir (Some dir)] turns the exporter on;
+    - [with_figure id f] collects every table added while [f] runs and
+      writes them to [dir ^ "/BENCH_" ^ id ^ ".json"];
+    - [add_table] records one table (called by {!Report.print_table}).
+
+    With the directory unset (the default) all calls are no-ops, so plain
+    CLI runs behave exactly as before. *)
+
+val set_dir : string option -> unit
+(** Enable ([Some dir]) or disable ([None]) JSON export.  The directory
+    must already exist; files are created inside it. *)
+
+val enabled : unit -> bool
+(** Whether a destination directory is currently set. *)
+
+val add_table :
+  title:string ->
+  unit_label:string ->
+  series:(string * (int * float * float) list) list ->
+  unit
+(** Record one table: each series is a label plus [(procs, mean, ci90)]
+    points.  Buffered until the enclosing [with_figure] writes it out; a
+    no-op when export is disabled or no figure is open. *)
+
+val with_figure : string -> (unit -> unit) -> unit
+(** [with_figure id f] runs [f], then writes all tables recorded during it
+    to [BENCH_<id>.json] in the export directory.  When export is disabled
+    this just runs [f].  Nested calls are not supported; the inner call
+    simply runs its body. *)

@@ -34,6 +34,11 @@ let speedup s =
       }
 
 let print_table ~title ~unit_label series =
+  Json_out.add_table ~title ~unit_label
+    ~series:
+      (List.map
+         (fun s -> (s.label, List.map (fun p -> (p.procs, p.mean, p.ci90)) s.points))
+         series);
   Printf.printf "\n== %s ==\n" title;
   let width = List.fold_left (fun w s -> max w (String.length s.label)) 14 series in
   let width = width + 2 in
@@ -61,3 +66,35 @@ let value_at s procs =
   match List.find_opt (fun p -> p.procs = procs) s.points with
   | Some p -> p.mean
   | None -> raise Not_found
+
+(* Table-1-style contention attribution: where the blocked time went,
+   lock by lock, over the traced window. *)
+let print_lock_table ?(max_rows = 20) tracer =
+  let open Pnp_engine in
+  let stats = Trace.lock_table tracer in
+  let total_wait =
+    List.fold_left (fun acc s -> acc + s.Trace.wait_ns) 0 stats
+  in
+  Printf.printf "\n== Lock contention (traced window) ==\n";
+  if stats = [] then print_string "  (no lock events recorded)\n"
+  else begin
+    let ms ns = float_of_int ns /. 1e6 in
+    Printf.printf "%-28s %9s %9s %10s %10s %10s %6s %7s\n" "lock" "acqs" "contend"
+      "wait ms" "hold ms" "handoff ms" "maxQ" "wait%";
+    let shown = ref 0 in
+    List.iter
+      (fun s ->
+        if !shown < max_rows then begin
+          incr shown;
+          Printf.printf "%-28s %9d %9d %10.3f %10.3f %10.3f %6d %6.1f%%\n"
+            s.Trace.lock s.Trace.acquisitions s.Trace.contended (ms s.Trace.wait_ns)
+            (ms s.Trace.hold_ns) (ms s.Trace.handoff_ns) s.Trace.max_queue
+            (if total_wait > 0 then
+               100.0 *. float_of_int s.Trace.wait_ns /. float_of_int total_wait
+             else 0.0)
+        end)
+      stats;
+    let hidden = List.length stats - !shown in
+    if hidden > 0 then Printf.printf "  ... %d more locks\n" hidden
+  end;
+  flush stdout

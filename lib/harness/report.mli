@@ -30,3 +30,10 @@ val print_table : title:string -> unit_label:string -> series list -> unit
 
 val value_at : series -> int -> float
 (** Mean at the given processor count.  @raise Not_found if absent. *)
+
+val print_lock_table : ?max_rows:int -> Pnp_engine.Trace.t -> unit
+(** Contention attribution from a trace (see {!Run.run_traced}): one row
+    per lock, sorted by total wait time, with acquisition counts, wait /
+    hold / handoff breakdown in milliseconds, the deepest waiter queue
+    observed, and each lock's share of all blocked time.  The paper's
+    Table 1 asks "where does the time go?"; this answers it per lock. *)

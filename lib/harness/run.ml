@@ -420,27 +420,38 @@ let setup (cfg : Config.t) plat =
       ~peer:None
       ~gates:!gates
 
-let run (cfg : Config.t) =
+let run_gen ?(trace = false) (cfg : Config.t) =
   let plat = make_platform cfg in
   let probe = setup cfg plat in
+  let tracer = Sim.tracer plat.Platform.sim in
   let s0 = ref None in
-  Sim.at plat.Platform.sim cfg.Config.warmup (fun () -> s0 := Some (take probe));
+  Sim.at plat.Platform.sim cfg.Config.warmup (fun () ->
+      s0 := Some (take probe);
+      (* Start tracing at the same instant the warmup snapshot is taken, so
+         trace-event totals line up with the aggregate counter deltas over
+         the measurement window. *)
+      if trace then Trace.enable tracer);
   Sim.run ~until:(cfg.Config.warmup + cfg.Config.measure) plat.Platform.sim;
+  if trace then Trace.disable tracer;
   let s0 = match !s0 with Some s -> s | None -> failwith "Run.run: warmup never fired" in
   let s1 = take probe in
   let duration = cfg.Config.measure in
-  {
-    throughput_mbps =
-      Units.mbits_per_sec ~bytes_transferred:(s1.s_bytes - s0.s_bytes) ~duration;
-    packets = s1.s_packets - s0.s_packets;
-    ooo_pct = percent_between s0.s_ooo s1.s_ooo;
-    wire_misorder_pct = percent_between s0.s_wire s1.s_wire;
-    pred_miss_pct = percent_between s0.s_pred s1.s_pred;
-    lock_wait_pct =
-      pct (s1.s_lock_wait - s0.s_lock_wait) (cfg.Config.procs * duration);
-    cache_hit_pct = percent_between s0.s_cache s1.s_cache;
-    gate_wait_ns = s1.s_gate - s0.s_gate;
-  }
+  ( {
+      throughput_mbps =
+        Units.mbits_per_sec ~bytes_transferred:(s1.s_bytes - s0.s_bytes) ~duration;
+      packets = s1.s_packets - s0.s_packets;
+      ooo_pct = percent_between s0.s_ooo s1.s_ooo;
+      wire_misorder_pct = percent_between s0.s_wire s1.s_wire;
+      pred_miss_pct = percent_between s0.s_pred s1.s_pred;
+      lock_wait_pct =
+        pct (s1.s_lock_wait - s0.s_lock_wait) (cfg.Config.procs * duration);
+      cache_hit_pct = percent_between s0.s_cache s1.s_cache;
+      gate_wait_ns = s1.s_gate - s0.s_gate;
+    },
+    tracer )
+
+let run cfg = fst (run_gen cfg)
+let run_traced cfg = run_gen ~trace:true cfg
 
 let run_seeds cfg ~seeds =
   List.init seeds (fun i -> run { cfg with Config.seed = cfg.Config.seed + i })

@@ -21,6 +21,14 @@ val run : Config.t -> result
 (** Build the platform, stack, drivers and workers for the configuration,
     simulate warmup + measurement, and report the steady-state window. *)
 
+val run_traced : Config.t -> result * Pnp_engine.Trace.t
+(** Like [run], but enables the simulator's event tracer for exactly the
+    measurement window: recording starts at the warmup snapshot and stops
+    when the run ends, so trace-derived totals (e.g. per-lock wait time)
+    correspond to the same window as the aggregate counters in [result].
+    Tracing never consumes simulated time, so the [result] is identical to
+    what [run] returns for the same configuration and seed. *)
+
 val run_seeds : Config.t -> seeds:int -> result list
 (** [run] repeated with seeds [cfg.seed .. cfg.seed+seeds-1]. *)
 

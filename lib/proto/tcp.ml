@@ -188,6 +188,20 @@ and session = {
    the header-prepend lock. *)
 type pending = { seg : Msg.t; cksummed : bool }
 
+(* Packet-lifecycle trace spans, keyed by the segment's sequence number
+   so a misordered segment's journey is visible end to end in the
+   exported trace.  Guarded on the tracer so the disabled path costs one
+   field read. *)
+let span plat ev =
+  let sim = plat.Platform.sim in
+  let tracer = Sim.tracer sim in
+  if Trace.enabled tracer && Sim.in_thread sim then
+    let th = Sim.self sim in
+    Trace.emit tracer ~ts:(Sim.now sim) ~tid:(Sim.tid th) ~cpu:(Sim.cpu th) ev
+
+let span_begin plat ~seq phase = span plat (Trace.Span_begin { seq; phase })
+let span_end plat ~seq phase = span plat (Trace.Span_end { seq; phase })
+
 (* ------------------------------------------------------------------ *)
 (* Locking disciplines                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -846,7 +860,11 @@ let segment_arrives sess (hdr : Tcp_wire.header) msg =
   if Msg.length msg = 0 && hdr.flags.Tcp_wire.ack && not hdr.flags.Tcp_wire.syn then
     sess.st.acks_in <- sess.st.acks_in + 1;
   let is_data = Msg.length msg > 0 in
+  let plat = t.plat in
+  span_begin plat ~seq:hdr.seq Trace.Lock_wait;
   input_acquire sess;
+  span_end plat ~seq:hdr.seq Trace.Lock_wait;
+  span_begin plat ~seq:hdr.seq Trace.Tcp_input;
   (* Ablation: verification charged while the state locks are held. *)
   if t.cfg.checksum && t.cfg.cksum_under_lock then
     Membus.consume t.plat.Platform.bus ~bytes:(Msg.length msg + Tcp_wire.header_bytes);
@@ -878,17 +896,23 @@ let segment_arrives sess (hdr : Tcp_wire.header) msg =
     else None
   in
   input_release sess;
+  span_end plat ~seq:hdr.seq Trace.Tcp_input;
   transmit sess acc;
   (* Send whatever the ack (or window update) made possible. *)
   pump sess;
   (* Upcalls happen outside all connection locks — exactly the point where
      ordering can be lost without ticketing (Section 4.2). *)
+  let upcall () =
+    span_begin plat ~seq:hdr.seq Trace.Upcall;
+    List.iter (fun m -> sess.receiver m) (List.rev deliveries);
+    span_end plat ~seq:hdr.seq Trace.Upcall
+  in
   (match ticket with
    | Some k ->
      Gate.await sess.gate k;
-     List.iter (fun m -> sess.receiver m) (List.rev deliveries);
+     upcall ();
      Gate.advance sess.gate
-   | None -> List.iter (fun m -> sess.receiver m) (List.rev deliveries));
+   | None -> upcall ());
   (* Tell the application about an in-order FIN (idempotent upcall). *)
   if
     hdr.flags.Tcp_wire.fin
@@ -933,6 +957,15 @@ let input t ~src ~dst msg =
   match Tcp_wire.decode msg with
   | None -> Msg.destroy msg
   | Some hdr ->
+    (* The segment entered TCP from IP: open its demux span. *)
+    span_begin t.plat ~seq:hdr.seq Trace.Ip;
+    let ip_span_done = ref false in
+    let end_ip_span () =
+      if not !ip_span_done then begin
+        ip_span_done := true;
+        span_end t.plat ~seq:hdr.seq Trace.Ip
+      end
+    in
     let cksum_ok =
       match t.cfg.locking with
       | (One | Two) when not t.cfg.cksum_under_lock ->
@@ -941,10 +974,15 @@ let input t ~src ~dst msg =
         || Tcp_wire.verify_checksum t.plat ~src ~dst msg
       | One | Two | Six -> true (* verified under locks below *)
     in
-    if not cksum_ok then Msg.destroy msg
+    if not cksum_ok then begin
+      end_ip_span ();
+      Msg.destroy msg
+    end
     else begin
       match lookup_session t ~lport:hdr.dport ~raddr:src ~rport:hdr.sport with
-      | None -> Msg.destroy msg
+      | None ->
+        end_ip_span ();
+        Msg.destroy msg
       | Some sess ->
         ignore (Atomic_ctr.incr sess.sess_ref);
         let proceed = ref true in
@@ -956,17 +994,23 @@ let input t ~src ~dst msg =
                proceed := false
              | One | Two | Six -> ());
             if !proceed then Tcp_wire.strip msg);
-        (if not !proceed then Msg.destroy msg
+        (if not !proceed then begin
+           end_ip_span ();
+           Msg.destroy msg
+         end
          else
            match (sess.tcb.state, hdr.flags.Tcp_wire.syn) with
            | Listen, true -> (
+             end_ip_span ();
              (* find the accept callback for this port *)
              match List.find_opt (fun (k, _) -> Conn_key.equal k sess.key) t.accepting with
              | Some (k, accept) ->
                Msg.destroy msg;
                handshake_syn t k accept hdr ~src
              | None -> Msg.destroy msg)
-           | _ -> segment_arrives sess hdr msg);
+           | _ ->
+             end_ip_span ();
+             segment_arrives sess hdr msg);
         ignore (Atomic_ctr.decr sess.sess_ref)
     end
 

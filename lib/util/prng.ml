@@ -18,9 +18,23 @@ let split t =
 (* Non-negative 62-bit int from the top bits, avoiding sign issues. *)
 let positive_int t = Int64.to_int (Int64.shift_right_logical (bits64 t) 2)
 
+(* Rejection sampling over the 62-bit draw: a plain [mod] favours small
+   residues whenever bound does not divide 2^62.  Reject draws from the
+   final partial interval instead; at most one extra draw is needed on
+   average even for the worst-case bound. *)
+let max62 = (1 lsl 61) - 1 + (1 lsl 61) (* 2^62 - 1 without overflowing *)
+
 let int t bound =
   assert (bound > 0);
-  positive_int t mod bound
+  let r = ((max62 mod bound) + 1) mod bound in
+  (* Largest multiple of bound in [0, 2^62) is max62 - r + 1; draws at or
+     above it are biased and rejected. *)
+  let threshold = max62 - r in
+  let rec go () =
+    let x = positive_int t in
+    if x > threshold then go () else x mod bound
+  in
+  go ()
 
 let float t bound =
   let f = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in

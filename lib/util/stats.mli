@@ -20,6 +20,12 @@ val summary : float list -> summary
 
 val mean : float list -> float
 
+val t_crit : int -> float
+(** Two-sided 90% Student-t critical value for the given degrees of
+    freedom.  Tabulated through df = 30; beyond that the asymptotic
+    normal value 1.645 is returned (the t distribution is within ~1% of
+    N(0,1) there).  Returns 0 for df <= 0. *)
+
 val pp_summary : Format.formatter -> summary -> unit
 (** Prints ["mean ± ci90"]. *)
 

@@ -33,6 +33,14 @@ let cache_hit_instrs = 18
 let malloc_instrs = 120
 let free_instrs = 60
 
+let trace_alloc t ~hit =
+  let sim = t.plat.Platform.sim in
+  let tracer = Sim.tracer sim in
+  if Trace.enabled tracer && Sim.in_thread sim then
+    let th = Sim.self sim in
+    Trace.emit tracer ~ts:(Sim.now sim) ~tid:(Sim.tid th) ~cpu:(Sim.cpu th)
+      (Trace.Mpool_alloc { hit })
+
 let create plat =
   {
     plat;
@@ -87,17 +95,23 @@ let alloc t n =
   let use_cache =
     cls < 2 && t.plat.Platform.message_caching && Sim.in_thread t.plat.Platform.sim
   in
-  if not use_cache then global_alloc t n cls
+  if not use_cache then begin
+    trace_alloc t ~hit:false;
+    global_alloc t n cls
+  end
   else begin
     let cache = thread_cache t in
     match cache.(cls) with
     | node :: rest ->
       cache.(cls) <- rest;
       t.cache_hits <- t.cache_hits + 1;
+      trace_alloc t ~hit:true;
       Platform.charge_instrs t.plat cache_hit_instrs;
       ignore (Atomic_ctr.incr node.refs);
       node
-    | [] -> global_alloc t n cls
+    | [] ->
+      trace_alloc t ~hit:false;
+      global_alloc t n cls
   end
 
 let incref t node =

@@ -302,6 +302,18 @@ let test_lock_unfair_eventually_misorders () =
         (grant_sequence Lock.Fifo ~seed))
     [ 1; 2; 3; 4; 5 ]
 
+let test_lock_unfair_grants_pinned () =
+  (* Regression pin for the unfair discipline's grant order per seed: it is
+     a pure function of the Prng stream, so any change to random-number
+     generation shows up here before it silently shifts figure results. *)
+  List.iter
+    (fun (seed, expected) ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "seed %d grant order" seed)
+        expected
+        (grant_sequence Lock.Unfair ~seed))
+    [ (1, [ 5; 6; 4; 3; 1; 2 ]); (2, [ 6; 2; 5; 1; 3; 4 ]); (3, [ 6; 1; 2; 5; 4; 3 ]) ]
+
 let test_lock_release_by_non_owner_fails () =
   let sim = Sim.create () in
   let lock = Lock.create sim arch Lock.Unfair ~name:"l" in
@@ -680,6 +692,8 @@ let suites =
         Alcotest.test_case "contention observed" `Quick test_lock_unfair_reorders;
         Alcotest.test_case "unfair reorders, fifo does not" `Quick
           test_lock_unfair_eventually_misorders;
+        Alcotest.test_case "unfair grant order pinned" `Quick
+          test_lock_unfair_grants_pinned;
         Alcotest.test_case "release by non-owner fails" `Quick
           test_lock_release_by_non_owner_fails;
         Alcotest.test_case "with_lock releases on exception" `Quick

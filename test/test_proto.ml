@@ -50,6 +50,26 @@ let test_cksum_split_equals_whole () =
       Msg.destroy m;
       Msg.destroy flat)
 
+let test_cksum_odd_middle_slice () =
+  (* An interior slice of odd length flips byte parity for everything after
+     it; the summed result must still match the flat byte string. *)
+  let p = plat () in
+  let pool = Mpool.create p in
+  in_sim p (fun () ->
+      let m = Msg.of_string pool "ab" in
+      let mid = Msg.of_string pool "cde" in
+      let tail = Msg.of_string pool "fghi" in
+      Msg.append m mid;
+      Msg.append m tail;
+      Alcotest.(check int) "length" 9 (Msg.length m);
+      let flat = Msg.of_string pool "abcdefghi" in
+      Alcotest.(check int) "odd middle slice = flat"
+        (Inet_cksum.sum_slices flat) (Inet_cksum.sum_slices m);
+      Msg.destroy m;
+      Msg.destroy mid;
+      Msg.destroy tail;
+      Msg.destroy flat)
+
 let prop_cksum_verifies =
   QCheck.Test.make ~name:"stored checksum verifies; corruption detected" ~count:60
     QCheck.(string_of_size Gen.(2 -- 300))
@@ -782,6 +802,7 @@ let suites =
         Alcotest.test_case "known vector" `Quick test_cksum_known_vector;
         Alcotest.test_case "odd length" `Quick test_cksum_odd_length;
         Alcotest.test_case "split = whole" `Quick test_cksum_split_equals_whole;
+        Alcotest.test_case "odd middle slice" `Quick test_cksum_odd_middle_slice;
         Alcotest.test_case "incremental matches full" `Quick
           test_cksum_incremental_matches_full;
         QCheck_alcotest.to_alcotest prop_cksum_verifies;

@@ -1,0 +1,316 @@
+(* Event-tracing subsystem: ordering invariants, determinism, exporter
+   sanity, and agreement between trace totals and aggregate counters. *)
+
+open Pnp_engine
+open Pnp_harness
+
+let arch = Arch.challenge_100
+
+(* Contended-lock scenario with the tracer on from the start: a holder
+   pins the lock while six waiters arrive at known distinct times. *)
+let traced_lock_run disc ~seed =
+  let sim = Sim.create ~seed () in
+  Trace.enable (Sim.tracer sim);
+  let lock = Lock.create sim arch disc ~name:"l" in
+  let _ =
+    Sim.spawn sim ~name:"holder" (fun () ->
+        Lock.acquire lock;
+        Sim.delay sim 1_000_000;
+        Lock.release lock)
+  in
+  for i = 1 to 6 do
+    ignore
+      (Sim.spawn sim ~name:(Printf.sprintf "w%d" i) (fun () ->
+           Sim.delay sim (2_000 * i);
+           Lock.acquire lock;
+           Sim.delay sim 10;
+           Lock.release lock))
+  done;
+  Sim.run sim;
+  Sim.tracer sim
+
+let grant_tids tracer =
+  List.filter_map
+    (fun r -> match r.Trace.ev with Trace.Lock_grant _ -> Some r.Trace.tid | _ -> None)
+    (Trace.events tracer)
+
+let request_tids tracer =
+  List.filter_map
+    (fun r -> match r.Trace.ev with Trace.Lock_request _ -> Some r.Trace.tid | _ -> None)
+    (Trace.events tracer)
+
+let test_grant_has_prior_request () =
+  (* Every grant must be preceded by a request from the same thread on the
+     same lock that has not been matched by an earlier grant. *)
+  List.iter
+    (fun disc ->
+      let tracer = traced_lock_run disc ~seed:5 in
+      let pending = Hashtbl.create 16 in
+      List.iter
+        (fun r ->
+          match r.Trace.ev with
+          | Trace.Lock_request { lock; _ } ->
+            Hashtbl.replace pending (lock, r.Trace.tid) ()
+          | Trace.Lock_grant { lock; _ } ->
+            if not (Hashtbl.mem pending (lock, r.Trace.tid)) then
+              Alcotest.failf "grant to tid %d without pending request" r.Trace.tid;
+            Hashtbl.remove pending (lock, r.Trace.tid)
+          | _ -> ())
+        (Trace.events tracer);
+      Alcotest.(check int) "no unmatched requests left behind" 0 (Hashtbl.length pending))
+    [ Lock.Unfair; Lock.Fifo; Lock.Barging ]
+
+let test_fifo_grants_in_request_order () =
+  (* MCS hands the lock over in arrival order, so the grant tid sequence
+     equals the request tid sequence. *)
+  List.iter
+    (fun seed ->
+      let tracer = traced_lock_run Lock.Fifo ~seed in
+      Alcotest.(check (list int))
+        (Printf.sprintf "seed %d: fifo grants = requests" seed)
+        (request_tids tracer) (grant_tids tracer))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_unfair_grants_observably_reorder () =
+  (* The IRIX-style mutex grants an arbitrary waiter: for some seed the
+     trace must show grants diverging from request order. *)
+  let reordered =
+    List.exists
+      (fun seed ->
+        let tracer = traced_lock_run Lock.Unfair ~seed in
+        grant_tids tracer <> request_tids tracer)
+      [ 1; 2; 3; 4; 5 ]
+  in
+  Alcotest.(check bool) "unfair reorders for some seed" true reordered
+
+let test_wait_matches_lock_accounting () =
+  (* The summed wait_ns in grant events equals the lock's own counter. *)
+  let sim = Sim.create ~seed:9 () in
+  Trace.enable (Sim.tracer sim);
+  let lock = Lock.create sim arch Lock.Fifo ~name:"acct" in
+  for i = 0 to 3 do
+    ignore
+      (Sim.spawn sim ~name:(Printf.sprintf "t%d" i) (fun () ->
+           for _ = 1 to 20 do
+             Lock.acquire lock;
+             Sim.delay sim 5_000;
+             Lock.release lock;
+             Sim.delay sim 500
+           done))
+  done;
+  Sim.run sim;
+  let traced =
+    List.fold_left
+      (fun acc r ->
+        match r.Trace.ev with
+        | Trace.Lock_grant { wait_ns; _ } -> acc + wait_ns
+        | _ -> acc)
+      0
+      (Trace.events (Sim.tracer sim))
+  in
+  Alcotest.(check int) "trace wait = counter wait" (Lock.total_wait_ns lock) traced;
+  let table = Trace.lock_table (Sim.tracer sim) in
+  (match table with
+   | [ row ] ->
+     Alcotest.(check string) "lock name" "acct" row.Trace.lock;
+     Alcotest.(check int) "table wait" (Lock.total_wait_ns lock) row.Trace.wait_ns;
+     Alcotest.(check int) "table hold" (Lock.total_hold_ns lock) row.Trace.hold_ns;
+     Alcotest.(check int) "acquisitions" (Lock.acquisitions lock) row.Trace.acquisitions;
+     Alcotest.(check int) "contended" (Lock.contended_acquisitions lock) row.Trace.contended
+   | rows -> Alcotest.failf "expected one lock in table, got %d" (List.length rows))
+
+let test_gate_pass_after_take_in_ticket_order () =
+  let sim = Sim.create ~seed:3 () in
+  Trace.enable (Sim.tracer sim);
+  let gate = Gate.create sim arch ~name:"g" in
+  (* Four threads take tickets in spawn order but await out of order. *)
+  for i = 0 to 3 do
+    ignore
+      (Sim.spawn sim ~name:(Printf.sprintf "t%d" i) (fun () ->
+           Sim.delay sim (100 * i);
+           let n = Gate.take gate in
+           (* later tickets dawdle before awaiting; earlier ones pass anyway *)
+           Sim.delay sim (1_000 * (4 - i));
+           Gate.await gate n;
+           Sim.delay sim 10;
+           Gate.advance gate))
+  done;
+  Sim.run sim;
+  let takes = ref [] and passes = ref [] in
+  let taken = Hashtbl.create 8 in
+  List.iter
+    (fun r ->
+      match r.Trace.ev with
+      | Trace.Gate_take { ticket; _ } ->
+        takes := ticket :: !takes;
+        Hashtbl.replace taken ticket ()
+      | Trace.Gate_pass { ticket; _ } ->
+        if not (Hashtbl.mem taken ticket) then
+          Alcotest.failf "ticket %d passed the gate before being taken" ticket;
+        passes := ticket :: !passes
+      | _ -> ())
+    (Trace.events (Sim.tracer sim));
+  Alcotest.(check (list int)) "tickets issued in order" [ 0; 1; 2; 3 ] (List.rev !takes);
+  Alcotest.(check (list int)) "gate passes in ticket order" [ 0; 1; 2; 3 ]
+    (List.rev !passes)
+
+let test_disabled_records_nothing () =
+  let sim = Sim.create ~seed:2 () in
+  let lock = Lock.create sim arch Lock.Unfair ~name:"l" in
+  for i = 0 to 2 do
+    ignore
+      (Sim.spawn sim ~name:(Printf.sprintf "t%d" i) (fun () ->
+           for _ = 1 to 10 do
+             Lock.acquire lock;
+             Sim.delay sim 1_000;
+             Lock.release lock
+           done))
+  done;
+  Sim.run sim;
+  Alcotest.(check int) "no events while disabled" 0 (Trace.count (Sim.tracer sim))
+
+let fig10_cfg ~seed =
+  Config.v ~protocol:Config.Tcp ~side:Config.Recv ~payload:4096 ~checksum:true
+    ~lock_disc:Lock.Unfair ~procs:8 ~warmup:(Pnp_util.Units.ms 30.0)
+    ~measure:(Pnp_util.Units.ms 60.0) ~seed ()
+
+let test_tracing_does_not_perturb_results () =
+  (* The acceptance bar: enabling the tracer must not change any reproduced
+     number for a fixed seed, because trace emission consumes no simulated
+     time. *)
+  let cfg = fig10_cfg ~seed:11 in
+  let plain = Run.run cfg in
+  let traced, tracer = Run.run_traced cfg in
+  Alcotest.(check bool) "identical results with tracing on" true (plain = traced);
+  Alcotest.(check bool) "events were recorded" true (Trace.count tracer > 0)
+
+let test_trace_wait_agrees_with_lock_wait_pct () =
+  (* Fig-10-style run: the connection-lock wait total reconstructed from
+     grant events must agree with the lock_wait_pct aggregate within 1%. *)
+  let cfg = fig10_cfg ~seed:7 in
+  let result, tracer = Run.run_traced cfg in
+  let is_conn_lock name =
+    (* conn locks are named "<proto>.conn:<lport>-<raddr>:<rport>" *)
+    let rec has_sub i =
+      if i + 6 > String.length name then false
+      else String.sub name i 6 = ".conn:" || has_sub (i + 1)
+    in
+    has_sub 0
+  in
+  let traced_wait =
+    List.fold_left
+      (fun acc r ->
+        match r.Trace.ev with
+        | Trace.Lock_grant { lock; wait_ns; _ } when is_conn_lock lock -> acc + wait_ns
+        | _ -> acc)
+      0 (Trace.events tracer)
+  in
+  let traced_pct =
+    100.0 *. float_of_int traced_wait /. float_of_int (8 * Pnp_util.Units.ms 60.0)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "run saw contention (lock_wait_pct = %.1f)" result.Run.lock_wait_pct)
+    true
+    (result.Run.lock_wait_pct > 1.0);
+  let rel_err =
+    abs_float (traced_pct -. result.Run.lock_wait_pct) /. result.Run.lock_wait_pct
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "trace %.3f%% vs aggregate %.3f%% (rel err %.4f)" traced_pct
+       result.Run.lock_wait_pct rel_err)
+    true (rel_err < 0.01)
+
+let test_chrome_export_sanity () =
+  let tracer = traced_lock_run Lock.Unfair ~seed:4 in
+  let s = Trace.to_chrome_string tracer in
+  Alcotest.(check bool) "has traceEvents key" true
+    (String.length s > 20 && String.sub s 0 16 = "{\"traceEvents\":[");
+  (* Balanced braces/brackets outside string literals => structurally
+     plausible JSON without pulling in a parser. *)
+  let depth = ref 0 and bracket = ref 0 and in_str = ref false and esc = ref false in
+  String.iter
+    (fun c ->
+      if !in_str then begin
+        if !esc then esc := false
+        else if c = '\\' then esc := true
+        else if c = '"' then in_str := false
+      end
+      else
+        match c with
+        | '"' -> in_str := true
+        | '{' -> incr depth
+        | '}' -> decr depth
+        | '[' -> incr bracket
+        | ']' -> decr bracket
+        | _ -> ())
+    s;
+  Alcotest.(check int) "balanced braces" 0 !depth;
+  Alcotest.(check int) "balanced brackets" 0 !bracket;
+  Alcotest.(check bool) "not inside a string" false !in_str;
+  (* Writing to a file round-trips the same bytes. *)
+  let file = Filename.temp_file "pnp_trace" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      Trace.write_chrome tracer file;
+      let ic = open_in_bin file in
+      let n = in_channel_length ic in
+      let contents = really_input_string ic n in
+      close_in ic;
+      Alcotest.(check string) "file matches string" s contents)
+
+let test_packet_spans_balanced () =
+  (* In a traced TCP run every span end must close a begun span of the
+     same (seq, phase); at most the in-flight tail may stay open. *)
+  let _, tracer = Run.run_traced (fig10_cfg ~seed:5) in
+  let open_spans = Hashtbl.create 256 in
+  let begins = ref 0 and ends = ref 0 and orphan_ends = ref 0 in
+  List.iter
+    (fun r ->
+      match r.Trace.ev with
+      | Trace.Span_begin { seq; phase } ->
+        incr begins;
+        Hashtbl.replace open_spans (seq, phase) ()
+      | Trace.Span_end { seq; phase } ->
+        incr ends;
+        (* An end with no begin can only come from a span the warmup
+           boundary cut in half (begin fell before tracing started). *)
+        if Hashtbl.mem open_spans (seq, phase) then Hashtbl.remove open_spans (seq, phase)
+        else incr orphan_ends
+      | _ -> ())
+    (Trace.events tracer);
+  Alcotest.(check bool) "spans recorded" true (!begins > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "orphan ends (%d) bounded by window-start cut" !orphan_ends)
+    true (!orphan_ends <= 16);
+  Alcotest.(check bool)
+    (Printf.sprintf "dangling begins (%d) bounded by window-end cut"
+       (Hashtbl.length open_spans))
+    true
+    (Hashtbl.length open_spans <= 16)
+
+let suites =
+  [
+    ( "engine.trace",
+      [
+        Alcotest.test_case "grant preceded by request" `Quick test_grant_has_prior_request;
+        Alcotest.test_case "fifo grants in request order" `Quick
+          test_fifo_grants_in_request_order;
+        Alcotest.test_case "unfair observably reorders" `Quick
+          test_unfair_grants_observably_reorder;
+        Alcotest.test_case "wait matches lock accounting" `Quick
+          test_wait_matches_lock_accounting;
+        Alcotest.test_case "gate passes in ticket order" `Quick
+          test_gate_pass_after_take_in_ticket_order;
+        Alcotest.test_case "disabled records nothing" `Quick test_disabled_records_nothing;
+        Alcotest.test_case "chrome export sanity" `Quick test_chrome_export_sanity;
+      ] );
+    ( "harness.trace",
+      [
+        Alcotest.test_case "tracing does not perturb results" `Slow
+          test_tracing_does_not_perturb_results;
+        Alcotest.test_case "trace wait agrees with aggregate" `Slow
+          test_trace_wait_agrees_with_lock_wait_pct;
+        Alcotest.test_case "packet spans balanced" `Slow test_packet_spans_balanced;
+      ] );
+  ]

@@ -69,6 +69,30 @@ let test_prng_shuffle_permutation () =
   Array.sort compare sorted;
   Alcotest.(check (array int)) "is a permutation" (Array.init 20 Fun.id) sorted
 
+let test_prng_int_unbiased () =
+  (* With bound = 3 * 2^60, a plain [mod] over 62-bit draws would return a
+     value below 2^60 half the time (the wrapped tail doubles up the first
+     interval); rejection sampling must give 1/3. *)
+  let g = Prng.create 23 in
+  let bound = 3 * (1 lsl 60) in
+  let n = 30_000 in
+  let low = ref 0 in
+  for _ = 1 to n do
+    if Prng.int g bound < 1 lsl 60 then incr low
+  done;
+  let frac = float_of_int !low /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "low-interval fraction %.3f near 1/3" frac)
+    true
+    (abs_float (frac -. (1.0 /. 3.0)) < 0.02)
+
+let test_prng_int_pinned () =
+  (* Regression pin: the exact stream for a fixed seed.  Simulation results
+     (e.g. unfair-lock grant orders) depend on it staying put. *)
+  let g = Prng.create 42 in
+  let got = List.init 8 (fun _ -> Prng.int g 100) in
+  Alcotest.(check (list int)) "seed-42 bound-100 stream" [ 53; 72; 64; 41; 12; 65; 31; 77 ] got
+
 (* ------------------------------------------------------------------ *)
 (* Stats                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -107,6 +131,24 @@ let test_percentile () =
   check_float "p50" 3.0 (Stats.percentile xs 50.0);
   check_float "p100" 5.0 (Stats.percentile xs 100.0);
   check_float "p25" 2.0 (Stats.percentile xs 25.0)
+
+let test_stats_t_crit () =
+  check_float "df=1" 6.314 (Stats.t_crit 1);
+  check_float "df=2" 2.920 (Stats.t_crit 2);
+  check_float "df=10" 1.812 (Stats.t_crit 10);
+  check_float "df=20" 1.725 (Stats.t_crit 20);
+  check_float "df=30" 1.697 (Stats.t_crit 30);
+  (* beyond the table: asymptotic normal value *)
+  check_float "df=31" 1.645 (Stats.t_crit 31);
+  check_float "df=1000" 1.645 (Stats.t_crit 1000);
+  check_float "df=0" 0.0 (Stats.t_crit 0);
+  (* the table must decrease monotonically toward the z fallback *)
+  for df = 1 to 30 do
+    Alcotest.(check bool)
+      (Printf.sprintf "t(%d) > t(%d)" df (df + 1))
+      true
+      (Stats.t_crit df > Stats.t_crit (df + 1))
+  done
 
 let prop_summary_bounds =
   QCheck.Test.make ~name:"summary mean within [min,max]" ~count:200
@@ -150,6 +192,8 @@ let suites =
         Alcotest.test_case "split independent" `Quick test_prng_split_independent;
         Alcotest.test_case "exponential mean" `Quick test_prng_exponential_mean;
         Alcotest.test_case "shuffle is permutation" `Quick test_prng_shuffle_permutation;
+        Alcotest.test_case "int unbiased" `Quick test_prng_int_unbiased;
+        Alcotest.test_case "int stream pinned" `Quick test_prng_int_pinned;
       ] );
     ( "util.stats",
       [
@@ -159,6 +203,7 @@ let suites =
         Alcotest.test_case "ci shrinks with n" `Quick test_stats_ci_shrinks;
         Alcotest.test_case "empty raises" `Quick test_stats_empty_raises;
         Alcotest.test_case "percentile" `Quick test_percentile;
+        Alcotest.test_case "t critical values" `Quick test_stats_t_crit;
         QCheck_alcotest.to_alcotest prop_summary_bounds;
       ] );
     ( "util.units",
