@@ -56,7 +56,7 @@ let tests =
         (cfg_point ~arch:Arch.power_series_33 ~side:Config.Recv ());
       Test.make ~name:"micro-cksum"
         (Staged.stage (fun () ->
-             ignore (Pnp_figures.Fig_micro.checksum_bandwidth_data quickest)));
+             ignore (Pnp_figures.Fig_micro.checksum_points quickest)));
       point "ext-clp"
         (Config.v ~protocol:Config.Tcp ~side:Config.Recv ~payload:4096 ~checksum:true
            ~lock_disc:Lock.Fifo ~connections:8 ~placement:Config.Connection_level
@@ -92,10 +92,31 @@ let run_bechamel () =
     results;
   flush stdout
 
+(* `bench/main.exe [-j N]`: the only flag, so a hand scan beats pulling
+   in cmdliner here. *)
+let jobs_of_argv () =
+  let jobs = ref (Pool.default_jobs ()) in
+  let rec scan = function
+    | "-j" :: n :: rest | "--jobs" :: n :: rest ->
+      (match int_of_string_opt n with
+       | Some n when n >= 1 -> jobs := n
+       | _ ->
+         Printf.eprintf "bench: -j expects a positive integer, got %S\n" n;
+         exit 2);
+      scan rest
+    | arg :: _ ->
+      Printf.eprintf "bench: unknown argument %S (usage: bench [-j N])\n" arg;
+      exit 2
+    | [] -> ()
+  in
+  scan (List.tl (Array.to_list Sys.argv));
+  !jobs
+
 let () =
+  Pool.set_jobs (jobs_of_argv ());
   Printf.printf "### Bechamel: host cost of regenerating each figure/table ###\n%!";
   run_bechamel ();
-  Printf.printf "\n### Reproduction: every figure and table ###\n%!";
-  (* Mirror every printed table to BENCH_<id>.json next to the run. *)
-  Json_out.set_dir (Some ".");
-  Pnp_figures.Registry.run_all Pnp_figures.Opts.default
+  Printf.printf "\n### Reproduction: every figure and table (-j %d) ###\n%!" (Pool.jobs ());
+  (* Mirror every printed table to BENCH_<id>.json next to the run, each
+     stamped with the jobs level and the data phase's wall-clock cost. *)
+  Pnp_figures.Registry.run_all ~json:(Json_out.make ~dir:"." ()) Pnp_figures.Opts.default

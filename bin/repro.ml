@@ -35,6 +35,20 @@ let opts_term =
   in
   Term.(const build $ max_procs $ seeds $ measure_ms $ warmup_ms $ quick)
 
+let jobs_term =
+  let doc =
+    "Worker domains for the sweep pool (default: the number of cores). The \
+     results are byte-identical at any $(docv); $(b,-j 1) is the serial path."
+  in
+  Arg.(
+    value
+    & opt int (Pnp_harness.Pool.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let json_ctx = function
+  | None -> Pnp_harness.Json_out.disabled
+  | Some dir -> Pnp_harness.Json_out.make ~dir ()
+
 let list_cmd =
   let run () =
     List.iter
@@ -55,27 +69,28 @@ let fig_cmd =
     let doc = "Figure/table ids (see $(b,list)); e.g. fig8-9, table1." in
     Arg.(non_empty & pos_all string [] & info [] ~docv:"ID" ~doc)
   in
-  let run opts json_dir ids =
-    Pnp_harness.Json_out.set_dir json_dir;
+  let run opts json_dir jobs ids =
+    Pnp_harness.Pool.set_jobs jobs;
+    let json = json_ctx json_dir in
     List.iter
       (fun id ->
         match Pnp_figures.Registry.find id with
-        | Some e -> Pnp_figures.Registry.run_entry e opts
+        | Some e -> Pnp_figures.Registry.run_entry ~json e opts
         | None ->
           Printf.eprintf "unknown figure id %S; try `repro list`\n" id;
           exit 1)
       ids
   in
   Cmd.v (Cmd.info "fig" ~doc:"Regenerate specific figures/tables.")
-    Term.(const run $ opts_term $ json_dir_term $ ids)
+    Term.(const run $ opts_term $ json_dir_term $ jobs_term $ ids)
 
 let all_cmd =
-  let run opts json_dir =
-    Pnp_harness.Json_out.set_dir json_dir;
-    Pnp_figures.Registry.run_all opts
+  let run opts json_dir jobs =
+    Pnp_harness.Pool.set_jobs jobs;
+    Pnp_figures.Registry.run_all ~json:(json_ctx json_dir) opts
   in
   Cmd.v (Cmd.info "all" ~doc:"Regenerate every figure and table.")
-    Term.(const run $ opts_term $ json_dir_term)
+    Term.(const run $ opts_term $ json_dir_term $ jobs_term)
 
 (* A single custom experiment with every knob exposed. *)
 let run_cmd =
@@ -164,9 +179,10 @@ let run_cmd =
              trace-event JSON in $(docv) (open with chrome://tracing or \
              https://ui.perfetto.dev), and print the per-lock contention table.")
   in
-  let exec opts protocol side procs payload no_cksum locks tcp_locking connections
+  let exec opts jobs protocol side procs payload no_cksum locks tcp_locking connections
       placement skew offered ticketing assume locked_refs no_caching arch seed
       presentation cksum_under_lock jitter_us trace_file =
+    Pool.set_jobs jobs;
     let arch =
       match Pnp_engine.Arch.by_name arch with
       | Some a -> a
@@ -221,7 +237,7 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Run one experiment with explicit knobs and print all metrics.")
     Term.(
-      const exec $ opts_term $ protocol $ side $ procs $ payload $ no_cksum $ locks
+      const exec $ opts_term $ jobs_term $ protocol $ side $ procs $ payload $ no_cksum $ locks
       $ tcp_locking $ connections $ placement $ skew $ offered $ ticketing $ assume
       $ locked_refs $ no_caching $ arch $ seed $ presentation $ cksum_under_lock
       $ jitter_us $ trace_file)

@@ -58,17 +58,30 @@ let sift_down t =
     else continue_ := false
   done
 
+exception Empty
+
+(* The simulator pops one event per simulated action, so this is the
+   hottest loop in the system; [pop_exn]/[peek_time_exn] avoid the
+   option + tuple allocation of [pop] (kept for compatibility). *)
+let pop_exn t =
+  if t.len = 0 then raise Empty;
+  let e = t.heap.(0) in
+  t.len <- t.len - 1;
+  if t.len > 0 then begin
+    t.heap.(0) <- t.heap.(t.len);
+    sift_down t
+  end;
+  e.payload
+
+let peek_time_exn t =
+  if t.len = 0 then raise Empty;
+  t.heap.(0).time
+
 let pop t =
   if t.len = 0 then None
-  else begin
-    let e = t.heap.(0) in
-    t.len <- t.len - 1;
-    if t.len > 0 then begin
-      t.heap.(0) <- t.heap.(t.len);
-      sift_down t
-    end;
-    Some (e.time, e.payload)
-  end
+  else
+    let time = peek_time_exn t in
+    Some (time, pop_exn t)
 
 let peek_time t = if t.len = 0 then None else Some t.heap.(0).time
 let size t = t.len

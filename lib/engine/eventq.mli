@@ -14,6 +14,18 @@ val add : 'a t -> time:int -> 'a -> unit
 val pop : 'a t -> (int * 'a) option
 (** Remove and return the earliest event, or [None] if empty. *)
 
+exception Empty
+
+val pop_exn : 'a t -> 'a
+(** Remove the earliest event and return its payload.  Allocation-free —
+    the simulator's event loop calls this once per event; pair with
+    {!peek_time_exn} when the timestamp is needed.  @raise Empty when
+    the queue is empty. *)
+
+val peek_time_exn : 'a t -> int
+(** Timestamp of the earliest event without removing it (no option
+    allocation).  @raise Empty when the queue is empty. *)
+
 val peek_time : 'a t -> int option
 (** Timestamp of the earliest event without removing it. *)
 

@@ -137,22 +137,23 @@ let stop t = t.stopping <- true
 let run ?until t =
   t.stopping <- false;
   let continue_ = ref true in
+  (* Allocation-free event loop: peek_time_exn/pop_exn return immediates
+     rather than options/tuples, and emptiness is checked up front. *)
   while !continue_ && not t.stopping do
-    match Eventq.peek_time t.events with
-    | None -> continue_ := false
-    | Some time -> (
+    if Eventq.is_empty t.events then continue_ := false
+    else begin
+      let time = Eventq.peek_time_exn t.events in
       match until with
       | Some limit when time > limit ->
         t.now <- max t.now limit;
         continue_ := false
-      | _ -> (
-        match Eventq.pop t.events with
-        | None -> continue_ := false
-        | Some (time, action) ->
-          assert (time >= t.now);
-          t.now <- time;
-          t.processed <- t.processed + 1;
-          action ()))
+      | _ ->
+        let action = Eventq.pop_exn t.events in
+        assert (time >= t.now);
+        t.now <- time;
+        t.processed <- t.processed + 1;
+        action ()
+    end
   done;
   match until with
   | Some limit when not t.stopping -> t.now <- max t.now limit

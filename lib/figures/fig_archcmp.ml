@@ -8,7 +8,7 @@ let archs =
     ("R3000/33", Arch.power_series_33);
   ]
 
-let data opts =
+let series opts =
   List.concat_map
     (fun (name, arch) ->
       List.map
@@ -26,12 +26,14 @@ let data opts =
         [ false; true ])
     archs
 
-let fig17_18 opts =
-  let series = data opts in
-  Report.print_table
-    ~title:"Figure 17: TCP Receive Throughputs across Architectures (4KB)"
-    ~unit_label:"Mbit/s" series;
-  Report.print_table
-    ~title:"Figure 18: TCP Receive Speedups across Architectures (4KB)"
-    ~unit_label:"x vs 1 CPU"
-    (List.map Report.speedup series)
+let fig17_18_data opts =
+  let series = series opts in
+  [
+    Report.table
+      ~title:"Figure 17: TCP Receive Throughputs across Architectures (4KB)"
+      ~unit_label:"Mbit/s" series;
+    Report.table
+      ~title:"Figure 18: TCP Receive Speedups across Architectures (4KB)"
+      ~unit_label:"x vs 1 CPU"
+      (List.map Report.speedup series);
+  ]

@@ -1,7 +1,7 @@
 open Pnp_engine
 open Pnp_harness
 
-let data opts =
+let series opts =
   let series label ~side ~refcnt_mode =
     Report.throughput_series ~label ~procs:(Opts.procs opts) ~seeds:opts.Opts.seeds
       (fun procs ->
@@ -16,7 +16,9 @@ let data opts =
     series "send locked ops" ~side:Config.Send ~refcnt_mode:Atomic_ctr.Locked;
   ]
 
-let fig15 opts =
-  Report.print_table
-    ~title:"Figure 15: TCP Atomic Operations Impact (4KB, checksum on)"
-    ~unit_label:"Mbit/s" (data opts)
+let fig15_data opts =
+  [
+    Report.table
+      ~title:"Figure 15: TCP Atomic Operations Impact (4KB, checksum on)"
+      ~unit_label:"Mbit/s" (series opts);
+  ]

@@ -1,5 +1,7 @@
 (** Figure 15: LL/SC atomic increment/decrement vs lock-increment-unlock
-    for reference counts (Section 5.2). *)
+    for reference counts (Section 5.2).
 
-val data : Opts.t -> Pnp_harness.Report.series list
-val fig15 : Opts.t -> unit
+    Data phase only (pure sweep; safe on worker domains). *)
+
+val series : Opts.t -> Pnp_harness.Report.series list
+val fig15_data : Opts.t -> Pnp_harness.Report.table list

@@ -8,7 +8,7 @@ let variants =
     ("1KB ck-on", 1024, true);
   ]
 
-let data opts ~protocol ~side =
+let series opts ~protocol ~side =
   List.map
     (fun (label, payload, checksum) ->
       Report.throughput_series ~label ~procs:(Opts.procs opts) ~seeds:opts.Opts.seeds
@@ -16,27 +16,29 @@ let data opts ~protocol ~side =
           Opts.apply opts (Config.v ~protocol ~side ~payload ~checksum ~procs ())))
     variants
 
-let print_pair ~what ~fig_tput ~fig_speedup series =
-  Report.print_table
-    ~title:(Printf.sprintf "Figure %d: %s Throughputs" fig_tput what)
-    ~unit_label:"Mbit/s" series;
-  Report.print_table
-    ~title:(Printf.sprintf "Figure %d: %s Speedup" fig_speedup what)
-    ~unit_label:"x vs 1 CPU"
-    (List.map Report.speedup series)
+let pair ~what ~fig_tput ~fig_speedup series =
+  [
+    Report.table
+      ~title:(Printf.sprintf "Figure %d: %s Throughputs" fig_tput what)
+      ~unit_label:"Mbit/s" series;
+    Report.table
+      ~title:(Printf.sprintf "Figure %d: %s Speedup" fig_speedup what)
+      ~unit_label:"x vs 1 CPU"
+      (List.map Report.speedup series);
+  ]
 
-let fig2_3 opts =
-  print_pair ~what:"UDP Send Side" ~fig_tput:2 ~fig_speedup:3
-    (data opts ~protocol:Config.Udp ~side:Config.Send)
+let fig2_3_data opts =
+  pair ~what:"UDP Send Side" ~fig_tput:2 ~fig_speedup:3
+    (series opts ~protocol:Config.Udp ~side:Config.Send)
 
-let fig4_5 opts =
-  print_pair ~what:"UDP Receive Side" ~fig_tput:4 ~fig_speedup:5
-    (data opts ~protocol:Config.Udp ~side:Config.Recv)
+let fig4_5_data opts =
+  pair ~what:"UDP Receive Side" ~fig_tput:4 ~fig_speedup:5
+    (series opts ~protocol:Config.Udp ~side:Config.Recv)
 
-let fig6_7 opts =
-  print_pair ~what:"TCP Send Side" ~fig_tput:6 ~fig_speedup:7
-    (data opts ~protocol:Config.Tcp ~side:Config.Send)
+let fig6_7_data opts =
+  pair ~what:"TCP Send Side" ~fig_tput:6 ~fig_speedup:7
+    (series opts ~protocol:Config.Tcp ~side:Config.Send)
 
-let fig8_9 opts =
-  print_pair ~what:"TCP Receive Side" ~fig_tput:8 ~fig_speedup:9
-    (data opts ~protocol:Config.Tcp ~side:Config.Recv)
+let fig8_9_data opts =
+  pair ~what:"TCP Receive Side" ~fig_tput:8 ~fig_speedup:9
+    (series opts ~protocol:Config.Tcp ~side:Config.Recv)

@@ -1,6 +1,6 @@
 open Pnp_harness
 
-let data opts =
+let series opts =
   let series label ~side ~message_caching =
     Report.throughput_series ~label ~procs:(Opts.procs opts) ~seeds:opts.Opts.seeds
       (fun procs ->
@@ -15,7 +15,9 @@ let data opts =
     series "send not cached" ~side:Config.Send ~message_caching:false;
   ]
 
-let fig16 opts =
-  Report.print_table
-    ~title:"Figure 16: TCP Message Caching Impact (4KB, checksum on)"
-    ~unit_label:"Mbit/s" (data opts)
+let fig16_data opts =
+  [
+    Report.table
+      ~title:"Figure 16: TCP Message Caching Impact (4KB, checksum on)"
+      ~unit_label:"Mbit/s" (series opts);
+  ]

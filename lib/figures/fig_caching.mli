@@ -1,5 +1,7 @@
 (** Figure 16: per-thread message (MNode) caching in the message tool
-    (Section 6). *)
+    (Section 6).
 
-val data : Opts.t -> Pnp_harness.Report.series list
-val fig16 : Opts.t -> unit
+    Data phase only (pure sweep; safe on worker domains). *)
+
+val series : Opts.t -> Pnp_harness.Report.series list
+val fig16_data : Opts.t -> Pnp_harness.Report.table list

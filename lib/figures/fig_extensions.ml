@@ -4,13 +4,15 @@ open Pnp_harness
 
 let skews = [ 0.0; 0.5; 1.0; 1.5; 2.0 ]
 
-let clp_vs_plp_data opts =
+(* Offered load: comfortably above what one CPU can absorb on its own
+   connections but near the machine's aggregate capacity, so skew makes
+   the statically-placed hot connection's owner the bottleneck. *)
+let offered_mbps opts = 90.0 *. float_of_int opts.Opts.max_procs
+
+let clp_vs_plp_points opts =
   let procs = opts.Opts.max_procs in
   let conns = 2 * procs in
-  (* Offered load: comfortably above what one CPU can absorb on its own
-     connections but near the machine's aggregate capacity, so skew makes
-     the statically-placed hot connection's owner the bottleneck. *)
-  let offered = 90.0 *. float_of_int procs in
+  let offered = offered_mbps opts in
   let tput placement skew =
     (Run.throughput_summary
        (Opts.apply opts
@@ -20,25 +22,70 @@ let clp_vs_plp_data opts =
        ~seeds:opts.Opts.seeds)
       .Stats.mean
   in
-  List.map
-    (fun skew -> (skew, tput Config.Packet_level skew, tput Config.Connection_level skew))
-    skews
+  (* Each (skew, placement) cell is an independent sweep; fan them out
+     over the worker pool (the seed loop inside falls back to serial on
+     workers). *)
+  let cells =
+    List.concat_map
+      (fun skew -> [ (skew, Config.Packet_level); (skew, Config.Connection_level) ])
+      skews
+  in
+  let results = Pool.map (fun (skew, placement) -> tput placement skew) cells in
+  let rec pair = function
+    | [] -> []
+    | plp :: clp :: rest -> (plp, clp) :: pair rest
+    | [ _ ] -> invalid_arg "clp_vs_plp_points: odd result list"
+  in
+  List.map2 (fun skew (plp, clp) -> (skew, plp, clp)) skews (pair results)
 
-let clp_vs_plp opts =
+(* The sweep axis is Zipf skew, not processor count; encode skew*10 in
+   the integer [procs] field so the table fits the common shape (and the
+   JSON export).  The presenter divides by 10 again. *)
+let clp_vs_plp_data opts =
+  let pts = clp_vs_plp_points opts in
+  let point v (skew, _, _) =
+    { Report.procs = int_of_float ((skew *. 10.0) +. 0.5); mean = v; ci90 = 0.0 }
+  in
+  [
+    Report.table
+      ~title:
+        "Extension: connection-level vs packet-level parallelism (x-axis: Zipf skew x 10)"
+      ~unit_label:"Mbit/s"
+      [
+        {
+          Report.label = "packet-level";
+          points = List.map (fun ((_, plp, _) as r) -> point plp r) pts;
+        };
+        {
+          Report.label = "connection-level";
+          points = List.map (fun ((_, _, clp) as r) -> point clp r) pts;
+        };
+      ];
+  ]
+
+let clp_vs_plp_present opts tables =
+  let rows =
+    match tables with
+    | { Report.series = [ plp; clp ]; _ } :: _ ->
+      List.map2
+        (fun (p : Report.point) (c : Report.point) ->
+          (float_of_int p.Report.procs /. 10.0, p.Report.mean, c.Report.mean))
+        plp.Report.points clp.Report.points
+    | _ -> []
+  in
   Printf.printf
     "\n== Extension (Section 8 future work): connection-level vs packet-level \
      parallelism ==\n";
   Printf.printf
     "TCP recv, %d CPUs, %d connections, MCS locks; offered load %.0f Mbit/s split\n\
      over the connections by Zipf(skew) arrival rates.\n"
-    opts.Opts.max_procs (2 * opts.Opts.max_procs)
-    (90.0 *. float_of_int opts.Opts.max_procs);
+    opts.Opts.max_procs (2 * opts.Opts.max_procs) (offered_mbps opts);
   Printf.printf "%-6s %18s %22s %10s\n" "skew" "packet-level Mb/s" "connection-level Mb/s"
     "CLP/PLP";
   List.iter
     (fun (skew, plp, clp) ->
       Printf.printf "%-6.1f %18.1f %22.1f %10.2f\n" skew plp clp (clp /. plp))
-    (clp_vs_plp_data opts);
+    rows;
   Printf.printf
     "Connection-level placement avoids state-lock sharing but cannot balance a\n\
      skewed load; packet-level placement balances but contends on hot connections.\n";
@@ -50,22 +97,24 @@ let recv_cfg opts ?(lock_disc = Lock.Unfair) ?(arch = Arch.challenge_100)
     (Config.v ~arch ~protocol:Config.Tcp ~side:Config.Recv ~payload:4096 ~checksum:true
        ~lock_disc ~driver_jitter_ns ~cksum_under_lock ~procs ())
 
-let grant_policy opts =
+let grant_policy_data opts =
   let series label disc =
     Report.metric_series ~label ~procs:(Opts.procs opts) ~seeds:opts.Opts.seeds
       ~metric:(fun r -> r.Run.ooo_pct)
       (fun p -> recv_cfg opts ~lock_disc:disc p)
   in
-  Report.print_table
-    ~title:"Ablation: lock grant policy vs out-of-order rate (recv, 4KB, ck-on)"
-    ~unit_label:"% out-of-order"
-    [
-      series "random (mutex)" Lock.Unfair;
-      series "barging (LIFO)" Lock.Barging;
-      series "FIFO (MCS)" Lock.Fifo;
-    ]
+  [
+    Report.table
+      ~title:"Ablation: lock grant policy vs out-of-order rate (recv, 4KB, ck-on)"
+      ~unit_label:"% out-of-order"
+      [
+        series "random (mutex)" Lock.Unfair;
+        series "barging (LIFO)" Lock.Barging;
+        series "FIFO (MCS)" Lock.Fifo;
+      ];
+  ]
 
-let coherency opts =
+let coherency_data opts =
   (* UDP receive is where the migration penalty shows: the demux and ring
      locks ping-pong between CPUs on every packet, which is what produces
      the 2-CPU dip the paper sees on the Challenges but not on the
@@ -86,40 +135,41 @@ let coherency opts =
       series "5200 ns" 5200;
     ]
   in
-  Report.print_table
-    ~title:"Ablation: cache-line migration penalty (UDP recv, 4KB, ck-off)"
-    ~unit_label:"Mbit/s" series_list;
-  Report.print_table
-    ~title:"Ablation: the same, as speedup (watch the low-CPU efficiency)"
-    ~unit_label:"x vs 1 CPU"
-    (List.map Report.speedup series_list)
+  [
+    Report.table
+      ~title:"Ablation: cache-line migration penalty (UDP recv, 4KB, ck-off)"
+      ~unit_label:"Mbit/s" series_list;
+    Report.table
+      ~title:"Ablation: the same, as speedup (watch the low-CPU efficiency)"
+      ~unit_label:"x vs 1 CPU"
+      (List.map Report.speedup series_list);
+  ]
 
-let jitter opts =
+let jitter_data opts =
   let series label driver_jitter_ns =
     Report.metric_series ~label ~procs:(Opts.procs opts) ~seeds:opts.Opts.seeds
       ~metric:(fun r -> r.Run.ooo_pct)
       (fun p -> recv_cfg opts ~lock_disc:Lock.Fifo ~driver_jitter_ns p)
   in
-  Report.print_table
-    ~title:"Ablation: driver service jitter vs MCS out-of-order rate (Table 1's MCS column)"
-    ~unit_label:"% out-of-order"
-    [
-      series "no jitter" 0.0;
-      series "2 us" 2000.0;
-      series "8 us (default)" 8000.0;
-      series "16 us" 16000.0;
-    ]
+  [
+    Report.table
+      ~title:"Ablation: driver service jitter vs MCS out-of-order rate (Table 1's MCS column)"
+      ~unit_label:"% out-of-order"
+      [
+        series "no jitter" 0.0;
+        series "2 us" 2000.0;
+        series "8 us (default)" 8000.0;
+        series "16 us" 16000.0;
+      ];
+  ]
 
-let presentation opts =
+let presentation_data opts =
   let series label ~presentation =
-    let data =
-      Report.throughput_series ~label ~procs:(Opts.procs opts) ~seeds:opts.Opts.seeds
-        (fun procs ->
-          Opts.apply opts
-            (Config.v ~protocol:Config.Udp ~side:Config.Recv ~payload:4096 ~checksum:true
-               ~presentation ~procs ()))
-    in
-    data
+    Report.throughput_series ~label ~procs:(Opts.procs opts) ~seeds:opts.Opts.seeds
+      (fun procs ->
+        Opts.apply opts
+          (Config.v ~protocol:Config.Udp ~side:Config.Recv ~payload:4096 ~checksum:true
+             ~presentation ~procs ()))
   in
   let series_list =
     [
@@ -127,24 +177,28 @@ let presentation opts =
       series "+ presentation conversion" ~presentation:true;
     ]
   in
-  Report.print_table
-    ~title:
-      "Extension: presentation-layer conversion (UDP recv, 4KB, ck-on; the Goldberg        et al. workload of Section 3.2)"
-    ~unit_label:"Mbit/s" series_list;
-  Report.print_table ~title:"The same, as speedup (heavier data-touching scales better)"
-    ~unit_label:"x vs 1 CPU"
-    (List.map Report.speedup series_list)
+  [
+    Report.table
+      ~title:
+        "Extension: presentation-layer conversion (UDP recv, 4KB, ck-on; the Goldberg        et al. workload of Section 3.2)"
+      ~unit_label:"Mbit/s" series_list;
+    Report.table ~title:"The same, as speedup (heavier data-touching scales better)"
+      ~unit_label:"x vs 1 CPU"
+      (List.map Report.speedup series_list);
+  ]
 
-let cksum_placement opts =
+let cksum_placement_data opts =
   let series label cksum_under_lock =
     Report.throughput_series ~label ~procs:(Opts.procs opts) ~seeds:opts.Opts.seeds
       (fun p -> recv_cfg opts ~lock_disc:Lock.Fifo ~cksum_under_lock p)
   in
-  Report.print_table
-    ~title:
-      "Ablation: checksum inside vs outside the connection lock (TCP-1 recv, 4KB, MCS)"
-    ~unit_label:"Mbit/s"
-    [
-      series "outside locks (restructured)" false;
-      series "under the state lock" true;
-    ]
+  [
+    Report.table
+      ~title:
+        "Ablation: checksum inside vs outside the connection lock (TCP-1 recv, 4KB, MCS)"
+      ~unit_label:"Mbit/s"
+      [
+        series "outside locks (restructured)" false;
+        series "under the state lock" true;
+      ];
+  ]

@@ -12,7 +12,7 @@ let variants =
     ("TCP-6 1KB", Tcp.Six, 1024);
   ]
 
-let data opts ~side =
+let series opts ~side =
   List.map
     (fun (label, tcp_locking, payload) ->
       Report.throughput_series ~label ~procs:(Opts.procs opts) ~seeds:opts.Opts.seeds
@@ -22,14 +22,18 @@ let data opts ~side =
                ~lock_disc:Lock.Fifo ~tcp_locking ~procs ())))
     variants
 
-let fig13 opts =
-  Report.print_table
-    ~title:"Figure 13: TCP Send-Side Locking Comparison (checksum on, MCS)"
-    ~unit_label:"Mbit/s"
-    (data opts ~side:Config.Send)
+let fig13_data opts =
+  [
+    Report.table
+      ~title:"Figure 13: TCP Send-Side Locking Comparison (checksum on, MCS)"
+      ~unit_label:"Mbit/s"
+      (series opts ~side:Config.Send);
+  ]
 
-let fig14 opts =
-  Report.print_table
-    ~title:"Figure 14: TCP Receive-Side Locking Comparison (checksum on, MCS)"
-    ~unit_label:"Mbit/s"
-    (data opts ~side:Config.Recv)
+let fig14_data opts =
+  [
+    Report.table
+      ~title:"Figure 14: TCP Receive-Side Locking Comparison (checksum on, MCS)"
+      ~unit_label:"Mbit/s"
+      (series opts ~side:Config.Recv);
+  ]

@@ -2,13 +2,15 @@
 
     TCP-1 (one state lock), TCP-2 (send + receive locks) and TCP-6 (the
     SICS six-lock style, checksumming under the header locks), each with
-    1 KB and 4 KB packets, checksumming on, MCS locks. *)
+    1 KB and 4 KB packets, checksumming on, MCS locks.
 
-val data :
+    Data phase only (pure sweeps; safe on worker domains). *)
+
+val series :
   Opts.t -> side:Pnp_harness.Config.side -> Pnp_harness.Report.series list
 
-val fig13 : Opts.t -> unit
+val fig13_data : Opts.t -> Pnp_harness.Report.table list
 (** Send side. *)
 
-val fig14 : Opts.t -> unit
+val fig14_data : Opts.t -> Pnp_harness.Report.table list
 (** Receive side. *)

@@ -2,10 +2,15 @@ open Pnp_engine
 open Pnp_util
 open Pnp_harness
 
-(* Pure checksum load: threads stream cold data through the bus. *)
-let checksum_bandwidth_data opts =
+let one_point label p v =
+  { Report.label; points = [ { Report.procs = p; mean = v; ci90 = 0.0 } ] }
+
+(* Pure checksum load: threads stream cold data through the bus.  Each
+   processor count is an independent simulation, so the sweep fans out
+   over the worker pool. *)
+let checksum_points opts =
   let chunk = 65536 in
-  List.map
+  Pool.map
     (fun procs ->
       let plat = Platform.create ~seed:7 Arch.challenge_100 in
       let done_bytes = ref 0 in
@@ -23,14 +28,27 @@ let checksum_bandwidth_data opts =
       (procs, mb_per_s))
     (Opts.procs opts)
 
-let checksum_bandwidth opts =
-  let data = checksum_bandwidth_data opts in
-  Json_out.add_table ~title:"Checksum bandwidth (cold data)" ~unit_label:"MB/s"
-    ~series:
+let checksum_bandwidth_data opts =
+  let data = checksum_points opts in
+  let point (p, mb) = { Report.procs = p; mean = mb; ci90 = 0.0 } in
+  [
+    Report.table ~title:"Checksum bandwidth (cold data)" ~unit_label:"MB/s"
       [
-        ("aggregate", List.map (fun (p, mb) -> (p, mb, 0.0)) data);
-        ("per-cpu", List.map (fun (p, mb) -> (p, mb /. float_of_int p, 0.0)) data);
+        { Report.label = "aggregate"; points = List.map point data };
+        {
+          Report.label = "per-cpu";
+          points = List.map (fun (p, mb) -> point (p, mb /. float_of_int p)) data;
+        };
       ];
+  ]
+
+let checksum_bandwidth_present _opts tables =
+  let data =
+    match tables with
+    | { Report.series = agg :: _; _ } :: _ ->
+      List.map (fun (p : Report.point) -> (p.Report.procs, p.Report.mean)) agg.Report.points
+    | _ -> []
+  in
   Printf.printf
     "\n== Section 3.2 micro-benchmark: checksum bandwidth (cold data) ==\n";
   Printf.printf "%-6s %14s %14s\n" "procs" "aggregate MB/s" "per-CPU MB/s";
@@ -55,16 +73,22 @@ let map_locking_data opts =
     (Run.throughput_summary (udp_recv_cfg opts ~map_locking:ml p) ~seeds:opts.Opts.seeds)
       .Stats.mean
   in
-  (tput true, tput false)
+  let locked = tput true in
+  let unlocked = tput false in
+  [
+    Report.table ~title:"Demux map locking (UDP recv)" ~unit_label:"Mbit/s"
+      [ one_point "maps-locked" p locked; one_point "maps-unlocked" p unlocked ];
+  ]
 
-let map_locking opts =
-  let locked, unlocked = map_locking_data opts in
+let map_locking_present opts tables =
   let p = opts.Opts.max_procs in
-  Json_out.add_table ~title:"Demux map locking (UDP recv)" ~unit_label:"Mbit/s"
-    ~series:[ ("maps-locked", [ (p, locked, 0.0) ]); ("maps-unlocked", [ (p, unlocked, 0.0) ]) ];
+  let locked, unlocked =
+    match tables with
+    | { Report.series = [ l; u ]; _ } :: _ -> (Report.value_at l p, Report.value_at u p)
+    | _ -> (0.0, 0.0)
+  in
   Printf.printf
-    "\n== Section 3.1 aside: demultiplexing map locks (UDP recv, %d CPUs) ==\n"
-    opts.Opts.max_procs;
+    "\n== Section 3.1 aside: demultiplexing map locks (UDP recv, %d CPUs) ==\n" p;
   Printf.printf "maps locked:   %8.1f Mbit/s\n" locked;
   Printf.printf "maps unlocked: %8.1f Mbit/s  (+%.1f%%; paper: ~10%%)\n" unlocked
     (100.0 *. (unlocked -. locked) /. locked);
@@ -80,16 +104,23 @@ let lock_profile_data opts =
     let results = Run.run_seeds cfg ~seeds:opts.Opts.seeds in
     Pnp_util.Stats.mean (List.map (fun r -> r.Run.lock_wait_pct) results)
   in
-  (wait Config.Recv, wait Config.Send)
+  let recv = wait Config.Recv in
+  let send = wait Config.Send in
+  [
+    Report.table ~title:"Connection-lock wait profile" ~unit_label:"% of thread time"
+      [ one_point "recv" p recv; one_point "send" p send ];
+  ]
 
-let lock_profile opts =
-  let recv, send = lock_profile_data opts in
+let lock_profile_present opts tables =
   let p = opts.Opts.max_procs in
-  Json_out.add_table ~title:"Connection-lock wait profile" ~unit_label:"% of thread time"
-    ~series:[ ("recv", [ (p, recv, 0.0) ]); ("send", [ (p, send, 0.0) ]) ];
+  let recv, send =
+    match tables with
+    | { Report.series = [ r; s ]; _ } :: _ -> (Report.value_at r p, Report.value_at s p)
+    | _ -> (0.0, 0.0)
+  in
   Printf.printf
     "\n== Section 3 profile: time waiting on the TCP connection-state lock (%d CPUs) ==\n"
-    opts.Opts.max_procs;
+    p;
   Printf.printf "receive side: %5.1f%% of thread time  (paper: 90%%)\n" recv;
   Printf.printf "send side:    %5.1f%% of thread time  (paper: 85%%)\n" send;
   flush stdout

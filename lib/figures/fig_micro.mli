@@ -6,20 +6,25 @@
     - Section 3.1's aside: running the receive test without locking the
       demultiplexing maps buys about 10%.
     - Section 3's profile: at 8 CPUs, 90% (receive) / 85% (send) of time
-      is spent waiting for the TCP connection-state lock. *)
+      is spent waiting for the TCP connection-state lock.
 
-val checksum_bandwidth_data : Opts.t -> (int * float) list
+    Each measurement is split into a pure [_data] phase (safe on worker
+    domains) and a [_present] phase that reprints the table in the
+    prose-style format the text uses (stdout, main domain only). *)
+
+val checksum_points : Opts.t -> (int * float) list
 (** (processors, aggregate MB/s) for pure checksumming. *)
 
-val checksum_bandwidth : Opts.t -> unit
+val checksum_bandwidth_data : Opts.t -> Pnp_harness.Report.table list
+val checksum_bandwidth_present : Opts.t -> Pnp_harness.Report.table list -> unit
 
-val map_locking_data : Opts.t -> float * float
+val map_locking_data : Opts.t -> Pnp_harness.Report.table list
 (** UDP receive throughput at [max_procs] with map locking on and off. *)
 
-val map_locking : Opts.t -> unit
+val map_locking_present : Opts.t -> Pnp_harness.Report.table list -> unit
 
-val lock_profile_data : Opts.t -> float * float
+val lock_profile_data : Opts.t -> Pnp_harness.Report.table list
 (** (recv, send) percentage of thread time spent waiting on the TCP
     connection-state lock at [max_procs] CPUs. *)
 
-val lock_profile : Opts.t -> unit
+val lock_profile_present : Opts.t -> Pnp_harness.Report.table list -> unit

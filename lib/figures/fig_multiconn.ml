@@ -1,7 +1,7 @@
 open Pnp_engine
 open Pnp_harness
 
-let data opts =
+let series opts =
   let series label ~side ~checksum =
     Report.throughput_series ~label ~procs:(Opts.procs opts) ~seeds:opts.Opts.seeds
       (fun procs ->
@@ -17,8 +17,10 @@ let data opts =
     series "send ck-on" ~side:Config.Send ~checksum:true;
   ]
 
-let fig12 opts =
-  Report.print_table
-    ~title:
-      "Figure 12: TCP with Multiple Connections (4KB, MCS, no ticketing, one conn/CPU)"
-    ~unit_label:"Mbit/s" (data opts)
+let fig12_data opts =
+  [
+    Report.table
+      ~title:
+        "Figure 12: TCP with Multiple Connections (4KB, MCS, no ticketing, one conn/CPU)"
+      ~unit_label:"Mbit/s" (series opts);
+  ]

@@ -2,7 +2,9 @@
 
     One connection per processor, TCP-1 with MCS locks and no ticketing:
     throughput grows steadily as connections (and processors) are added,
-    because the per-connection state lock is no longer shared. *)
+    because the per-connection state lock is no longer shared.
 
-val data : Opts.t -> Pnp_harness.Report.series list
-val fig12 : Opts.t -> unit
+    Data phase only (pure sweep; safe on worker domains). *)
+
+val series : Opts.t -> Pnp_harness.Report.series list
+val fig12_data : Opts.t -> Pnp_harness.Report.table list

@@ -7,7 +7,7 @@ let recv_cfg opts ?(lock_disc = Lock.Unfair) ?(assume_in_order = false)
     (Config.v ~protocol:Config.Tcp ~side:Config.Recv ~payload:4096 ~checksum ~lock_disc
        ~assume_in_order ~ticketing ~procs ())
 
-let fig10_data opts =
+let fig10_series opts =
   let series label mk =
     Report.throughput_series ~label ~procs:(Opts.procs opts) ~seeds:opts.Opts.seeds mk
   in
@@ -17,12 +17,14 @@ let fig10_data opts =
     series "Mutex Locks" (fun p -> recv_cfg opts p);
   ]
 
-let fig10 opts =
-  Report.print_table
-    ~title:"Figure 10: Ordering Effects in TCP (recv, 4KB, checksum on)"
-    ~unit_label:"Mbit/s" (fig10_data opts)
+let fig10_data opts =
+  [
+    Report.table
+      ~title:"Figure 10: Ordering Effects in TCP (recv, 4KB, checksum on)"
+      ~unit_label:"Mbit/s" (fig10_series opts);
+  ]
 
-let table1_data opts =
+let table1_series opts =
   let series label disc =
     Report.metric_series ~label ~procs:(Opts.procs opts) ~seeds:opts.Opts.seeds
       ~metric:(fun r -> r.Run.ooo_pct)
@@ -30,27 +32,31 @@ let table1_data opts =
   in
   [ series "Mutex Locks" Lock.Unfair; series "MCS Locks" Lock.Fifo ]
 
-let table1 opts =
-  Report.print_table
-    ~title:"Table 1: Percentage of packets out-of-order (recv, 4KB, checksum on)"
-    ~unit_label:"% out-of-order" (table1_data opts)
+let table1_data opts =
+  [
+    Report.table
+      ~title:"Table 1: Percentage of packets out-of-order (recv, 4KB, checksum on)"
+      ~unit_label:"% out-of-order" (table1_series opts);
+  ]
 
-let fig11 opts =
+let fig11_data opts =
   let series label ~checksum ~ticketing =
     Report.throughput_series ~label ~procs:(Opts.procs opts) ~seeds:opts.Opts.seeds
       (fun p -> recv_cfg opts ~checksum ~ticketing p)
   in
-  Report.print_table
-    ~title:"Figure 11: Ticketing Effects in TCP (recv, 4KB)"
-    ~unit_label:"Mbit/s"
-    [
-      series "ck-off no-ticket" ~checksum:false ~ticketing:false;
-      series "ck-on  no-ticket" ~checksum:true ~ticketing:false;
-      series "ck-off ticketing" ~checksum:false ~ticketing:true;
-      series "ck-on  ticketing" ~checksum:true ~ticketing:true;
-    ]
+  [
+    Report.table
+      ~title:"Figure 11: Ticketing Effects in TCP (recv, 4KB)"
+      ~unit_label:"Mbit/s"
+      [
+        series "ck-off no-ticket" ~checksum:false ~ticketing:false;
+        series "ck-on  no-ticket" ~checksum:true ~ticketing:false;
+        series "ck-off ticketing" ~checksum:false ~ticketing:true;
+        series "ck-on  ticketing" ~checksum:true ~ticketing:true;
+      ];
+  ]
 
-let send_side_misordering_data opts =
+let send_side_misordering_series opts =
   Report.metric_series ~label:"wire misordered"
     ~procs:(Opts.procs opts) ~seeds:opts.Opts.seeds
     ~metric:(fun r -> r.Run.wire_misorder_pct)
@@ -59,8 +65,10 @@ let send_side_misordering_data opts =
         (Config.v ~protocol:Config.Tcp ~side:Config.Send ~payload:4096 ~checksum:true
            ~procs ()))
 
-let send_side_misordering opts =
-  Report.print_table
-    ~title:"Section 4.1 aside: send-side misordering below TCP (expect < 1%)"
-    ~unit_label:"% of data segments"
-    [ send_side_misordering_data opts ]
+let send_side_misordering_data opts =
+  [
+    Report.table
+      ~title:"Section 4.1 aside: send-side misordering below TCP (expect < 1%)"
+      ~unit_label:"% of data segments"
+      [ send_side_misordering_series opts ];
+  ]

@@ -5,15 +5,18 @@
     upper bound).  Table 1 gives the percentage of out-of-order packets
     under both lock types.  Figure 11 measures the cost of preserving
     order above TCP with the ticketing scheme, and Section 4.1's aside
-    measures send-side misordering below TCP (< 1%). *)
+    measures send-side misordering below TCP (< 1%).
 
-val fig10_data : Opts.t -> Pnp_harness.Report.series list
-val fig10 : Opts.t -> unit
+    All functions are data phase only (pure sweeps; safe on worker
+    domains); the registry's default presenter prints the tables. *)
 
-val table1_data : Opts.t -> Pnp_harness.Report.series list
-val table1 : Opts.t -> unit
+val fig10_series : Opts.t -> Pnp_harness.Report.series list
+val fig10_data : Opts.t -> Pnp_harness.Report.table list
 
-val fig11 : Opts.t -> unit
+val table1_series : Opts.t -> Pnp_harness.Report.series list
+val table1_data : Opts.t -> Pnp_harness.Report.table list
 
-val send_side_misordering_data : Opts.t -> Pnp_harness.Report.series
-val send_side_misordering : Opts.t -> unit
+val fig11_data : Opts.t -> Pnp_harness.Report.table list
+
+val send_side_misordering_series : Opts.t -> Pnp_harness.Report.series
+val send_side_misordering_data : Opts.t -> Pnp_harness.Report.table list

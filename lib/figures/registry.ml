@@ -1,81 +1,70 @@
-type entry = { id : string; title : string; run : Opts.t -> unit }
+open Pnp_harness
+
+type entry = {
+  id : string;
+  title : string;
+  data : Opts.t -> Report.table list;
+  present : Opts.t -> Report.table list -> unit;
+}
+
+let print_tables _opts tables = List.iter Report.print tables
+let entry ?(present = print_tables) id title data = { id; title; data; present }
 
 let all =
   [
-    { id = "fig2-3"; title = "UDP send throughput & speedup"; run = Fig_baseline.fig2_3 };
-    { id = "fig4-5"; title = "UDP receive throughput & speedup"; run = Fig_baseline.fig4_5 };
-    { id = "fig6-7"; title = "TCP send throughput & speedup"; run = Fig_baseline.fig6_7 };
-    { id = "fig8-9"; title = "TCP receive throughput & speedup"; run = Fig_baseline.fig8_9 };
-    { id = "fig10"; title = "Ordering effects in TCP"; run = Fig_ordering.fig10 };
-    { id = "table1"; title = "% packets out-of-order, mutex vs MCS"; run = Fig_ordering.table1 };
-    { id = "fig11"; title = "Ticketing effects in TCP"; run = Fig_ordering.fig11 };
-    {
-      id = "send-ooo";
-      title = "Send-side misordering below TCP (Section 4.1)";
-      run = Fig_ordering.send_side_misordering;
-    };
-    { id = "fig12"; title = "TCP with multiple connections"; run = Fig_multiconn.fig12 };
-    { id = "fig13"; title = "TCP send-side locking comparison"; run = Fig_locking.fig13 };
-    { id = "fig14"; title = "TCP receive-side locking comparison"; run = Fig_locking.fig14 };
-    { id = "fig15"; title = "Atomic operations impact"; run = Fig_atomics.fig15 };
-    { id = "fig16"; title = "Message caching impact"; run = Fig_caching.fig16 };
-    { id = "fig17-18"; title = "TCP across architectures"; run = Fig_archcmp.fig17_18 };
-    {
-      id = "micro-cksum";
-      title = "Checksum bandwidth micro-benchmark (Section 3.2)";
-      run = Fig_micro.checksum_bandwidth;
-    };
-    {
-      id = "micro-maps";
-      title = "Demux map locking aside (Section 3.1)";
-      run = Fig_micro.map_locking;
-    };
-    {
-      id = "micro-lockwait";
-      title = "Connection-lock wait profile (Section 3)";
-      run = Fig_micro.lock_profile;
-    };
-    {
-      id = "ext-clp";
-      title = "Future work (Section 8): connection-level vs packet-level parallelism";
-      run = Fig_extensions.clp_vs_plp;
-    };
-    {
-      id = "ext-grant";
-      title = "Ablation: lock grant policy vs misordering";
-      run = Fig_extensions.grant_policy;
-    };
-    {
-      id = "ext-coherency";
-      title = "Ablation: cache-line migration penalty";
-      run = Fig_extensions.coherency;
-    };
-    {
-      id = "ext-jitter";
-      title = "Ablation: driver jitter vs MCS misordering";
-      run = Fig_extensions.jitter;
-    };
-    {
-      id = "ext-pres";
-      title = "Extension: presentation-layer conversion vs speedup (Section 3.2 contrast)";
-      run = Fig_extensions.presentation;
-    };
-    {
-      id = "ext-cksum-lock";
-      title = "Ablation: checksum placement relative to the state lock";
-      run = Fig_extensions.cksum_placement;
-    };
+    entry "fig2-3" "UDP send throughput & speedup" Fig_baseline.fig2_3_data;
+    entry "fig4-5" "UDP receive throughput & speedup" Fig_baseline.fig4_5_data;
+    entry "fig6-7" "TCP send throughput & speedup" Fig_baseline.fig6_7_data;
+    entry "fig8-9" "TCP receive throughput & speedup" Fig_baseline.fig8_9_data;
+    entry "fig10" "Ordering effects in TCP" Fig_ordering.fig10_data;
+    entry "table1" "% packets out-of-order, mutex vs MCS" Fig_ordering.table1_data;
+    entry "fig11" "Ticketing effects in TCP" Fig_ordering.fig11_data;
+    entry "send-ooo" "Send-side misordering below TCP (Section 4.1)"
+      Fig_ordering.send_side_misordering_data;
+    entry "fig12" "TCP with multiple connections" Fig_multiconn.fig12_data;
+    entry "fig13" "TCP send-side locking comparison" Fig_locking.fig13_data;
+    entry "fig14" "TCP receive-side locking comparison" Fig_locking.fig14_data;
+    entry "fig15" "Atomic operations impact" Fig_atomics.fig15_data;
+    entry "fig16" "Message caching impact" Fig_caching.fig16_data;
+    entry "fig17-18" "TCP across architectures" Fig_archcmp.fig17_18_data;
+    entry "micro-cksum" "Checksum bandwidth micro-benchmark (Section 3.2)"
+      Fig_micro.checksum_bandwidth_data ~present:Fig_micro.checksum_bandwidth_present;
+    entry "micro-maps" "Demux map locking aside (Section 3.1)" Fig_micro.map_locking_data
+      ~present:Fig_micro.map_locking_present;
+    entry "micro-lockwait" "Connection-lock wait profile (Section 3)"
+      Fig_micro.lock_profile_data ~present:Fig_micro.lock_profile_present;
+    entry "ext-clp"
+      "Future work (Section 8): connection-level vs packet-level parallelism"
+      Fig_extensions.clp_vs_plp_data ~present:Fig_extensions.clp_vs_plp_present;
+    entry "ext-grant" "Ablation: lock grant policy vs misordering"
+      Fig_extensions.grant_policy_data;
+    entry "ext-coherency" "Ablation: cache-line migration penalty"
+      Fig_extensions.coherency_data;
+    entry "ext-jitter" "Ablation: driver jitter vs MCS misordering"
+      Fig_extensions.jitter_data;
+    entry "ext-pres"
+      "Extension: presentation-layer conversion vs speedup (Section 3.2 contrast)"
+      Fig_extensions.presentation_data;
+    entry "ext-cksum-lock" "Ablation: checksum placement relative to the state lock"
+      Fig_extensions.cksum_placement_data;
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all
 
-(* Run one entry with its tables mirrored to BENCH_<id>.json when JSON
-   export is on (Json_out.set_dir); a plain pass-through otherwise. *)
-let run_entry e opts = Pnp_harness.Json_out.with_figure e.id (fun () -> e.run opts)
+(* Compute on the pool, then present and export on the calling domain.
+   Wall clock (not CPU time — the whole point of [-j] is that they
+   differ) around the data phase only, so the recorded elapsed_s tracks
+   the parallel sweep and not terminal I/O. *)
+let run_entry ?(json = Json_out.disabled) e opts =
+  let t0 = Unix.gettimeofday () in
+  let tables = e.data opts in
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  e.present opts tables;
+  Json_out.write_figure json ~id:e.id ~jobs:(Pool.jobs ()) ~elapsed_s tables
 
-let run_all opts =
+let run_all ?json opts =
   List.iter
     (fun e ->
       Printf.printf "\n###### %s: %s ######\n%!" e.id e.title;
-      run_entry e opts)
+      run_entry ?json e opts)
     all

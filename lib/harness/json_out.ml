@@ -1,20 +1,8 @@
-type table = {
-  title : string;
-  unit_label : string;
-  series : (string * (int * float * float) list) list;
-}
+type ctx = { dir : string option }
 
-let dir : string option ref = ref None
-let open_figure : string option ref = ref None
-let tables : table list ref = ref []
-
-let set_dir d = dir := d
-let enabled () = !dir <> None
-
-let add_table ~title ~unit_label ~series =
-  match (!dir, !open_figure) with
-  | Some _, Some _ -> tables := { title; unit_label; series } :: !tables
-  | _ -> ()
+let make ?dir () = { dir }
+let disabled = { dir = None }
+let enabled t = t.dir <> None
 
 (* Minimal JSON emission: only strings and finite floats need care. *)
 let escape s =
@@ -33,49 +21,41 @@ let escape s =
 
 let num v = if Float.is_finite v then Printf.sprintf "%.6g" v else "null"
 
-let write_figure id ts =
-  match !dir with
+let figure_json ~id ~jobs ~elapsed_s tables =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"figure\":\"%s\",\"jobs\":%d,\"elapsed_s\":%s,\"tables\":["
+       (escape id) jobs (num elapsed_s));
+  List.iteri
+    (fun i (t : Report.table) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "{\"title\":\"%s\",\"unit\":\"%s\",\"series\":["
+           (escape t.Report.title) (escape t.Report.unit_label));
+      List.iteri
+        (fun j (s : Report.series) ->
+          if j > 0 then Buffer.add_char b ',';
+          Buffer.add_string b
+            (Printf.sprintf "{\"label\":\"%s\",\"points\":[" (escape s.Report.label));
+          List.iteri
+            (fun k (p : Report.point) ->
+              if k > 0 then Buffer.add_char b ',';
+              Buffer.add_string b
+                (Printf.sprintf "{\"procs\":%d,\"mean\":%s,\"ci90\":%s}" p.Report.procs
+                   (num p.Report.mean) (num p.Report.ci90)))
+            s.Report.points;
+          Buffer.add_string b "]}")
+        t.Report.series;
+      Buffer.add_string b "]}")
+    tables;
+  Buffer.add_string b "]}\n";
+  Buffer.contents b
+
+let write_figure t ~id ~jobs ~elapsed_s tables =
+  match t.dir with
   | None -> ()
   | Some d ->
-    let b = Buffer.create 4096 in
-    Buffer.add_string b (Printf.sprintf "{\"figure\":\"%s\",\"tables\":[" (escape id));
-    List.iteri
-      (fun i t ->
-        if i > 0 then Buffer.add_char b ',';
-        Buffer.add_string b
-          (Printf.sprintf "{\"title\":\"%s\",\"unit\":\"%s\",\"series\":["
-             (escape t.title) (escape t.unit_label));
-        List.iteri
-          (fun j (label, points) ->
-            if j > 0 then Buffer.add_char b ',';
-            Buffer.add_string b (Printf.sprintf "{\"label\":\"%s\",\"points\":[" (escape label));
-            List.iteri
-              (fun k (procs, mean, ci90) ->
-                if k > 0 then Buffer.add_char b ',';
-                Buffer.add_string b
-                  (Printf.sprintf "{\"procs\":%d,\"mean\":%s,\"ci90\":%s}" procs (num mean)
-                     (num ci90)))
-              points;
-            Buffer.add_string b "]}")
-          t.series;
-        Buffer.add_string b "]}")
-      ts;
-    Buffer.add_string b "]}\n";
     let path = Filename.concat d (Printf.sprintf "BENCH_%s.json" id) in
     let oc = open_out path in
-    output_string oc (Buffer.contents b);
+    output_string oc (figure_json ~id ~jobs ~elapsed_s tables);
     close_out oc
-
-let with_figure id f =
-  match !open_figure with
-  | Some _ -> f () (* nested: let the outer call own the buffer *)
-  | None ->
-    open_figure := Some id;
-    tables := [];
-    Fun.protect
-      ~finally:(fun () ->
-        let ts = List.rev !tables in
-        tables := [];
-        open_figure := None;
-        write_figure id ts)
-      f

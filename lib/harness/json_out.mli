@@ -1,35 +1,40 @@
 (** Machine-readable export of figure tables.
 
-    Figure runners print fixed-width tables for humans; this module mirrors
-    each table into a JSON document so benchmark runs can be diffed and
-    plotted without scraping stdout.  The flow is:
+    Figure runners print fixed-width tables for humans; this module
+    mirrors each figure's {!Report.table} list into a JSON document so
+    benchmark runs can be diffed and plotted without scraping stdout.
 
-    - [set_dir (Some dir)] turns the exporter on;
-    - [with_figure id f] collects every table added while [f] runs and
-      writes them to [dir ^ "/BENCH_" ^ id ^ ".json"];
-    - [add_table] records one table (called by {!Report.print_table}).
+    The export destination is an explicit context threaded through the
+    presentation path (the registry and the CLIs) rather than global
+    state: the *data* phase of figure generation runs on worker domains
+    and never touches this module, and the *present* phase on the main
+    domain serialises whatever tables the data phase returned.
 
-    With the directory unset (the default) all calls are no-ops, so plain
-    CLI runs behave exactly as before. *)
+    Each [BENCH_<id>.json] document also records the harness's own
+    performance trajectory: the [-j] worker count the figure was
+    generated with and the wall-clock seconds its data phase took.
+    Diffing tools should ignore those two fields (the CI determinism job
+    normalises them) — everything else is a pure function of the sweep
+    configuration and seeds. *)
 
-val set_dir : string option -> unit
-(** Enable ([Some dir]) or disable ([None]) JSON export.  The directory
-    must already exist; files are created inside it. *)
+type ctx
 
-val enabled : unit -> bool
-(** Whether a destination directory is currently set. *)
+val make : ?dir:string -> unit -> ctx
+(** [make ~dir ()] exports into [dir] (which must already exist);
+    [make ()] is a disabled context whose writes are no-ops. *)
 
-val add_table :
-  title:string ->
-  unit_label:string ->
-  series:(string * (int * float * float) list) list ->
-  unit
-(** Record one table: each series is a label plus [(procs, mean, ci90)]
-    points.  Buffered until the enclosing [with_figure] writes it out; a
-    no-op when export is disabled or no figure is open. *)
+val disabled : ctx
+(** A context that never writes — what plain CLI runs use. *)
 
-val with_figure : string -> (unit -> unit) -> unit
-(** [with_figure id f] runs [f], then writes all tables recorded during it
-    to [BENCH_<id>.json] in the export directory.  When export is disabled
-    this just runs [f].  Nested calls are not supported; the inner call
-    simply runs its body. *)
+val enabled : ctx -> bool
+
+val figure_json :
+  id:string -> jobs:int -> elapsed_s:float -> Report.table list -> string
+(** The JSON document for one figure, as written by {!write_figure}.
+    Pure — useful for determinism tests that compare payloads without
+    touching the filesystem. *)
+
+val write_figure :
+  ctx -> id:string -> jobs:int -> elapsed_s:float -> Report.table list -> unit
+(** Write [BENCH_<id>.json] into the context's directory; a no-op when
+    the context is disabled. *)

@@ -1,0 +1,58 @@
+(* Multicore work pool for sweep cells.
+
+   Every sweep cell (one Config x one seed) is an independent, seeded,
+   side-effect-free simulation, so the only thing the pool has to get
+   right is determinism: results are written into a slot per input index
+   and returned in input order, which makes the output of [map]
+   byte-identical to the serial [List.map] regardless of worker count or
+   scheduling.  Workers pull indices from a shared atomic counter (a work
+   queue with the queue compiled down to an integer), so long cells don't
+   convoy behind short ones. *)
+
+let jobs_ref = ref 1
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let set_jobs n =
+  if n < 1 then invalid_arg "Pool.set_jobs: need at least one worker";
+  jobs_ref := n
+
+let jobs () = !jobs_ref
+
+(* Workers must never spawn their own sub-pool: a nested [map] inside a
+   cell falls back to the serial path.  Tracked per-domain so the check
+   is race-free. *)
+let inside_worker = Domain.DLS.new_key (fun () -> false)
+
+let map f xs =
+  let n = List.length xs in
+  let workers = min !jobs_ref n in
+  if workers <= 1 || Domain.DLS.get inside_worker then List.map f xs
+  else begin
+    let items = Array.of_list xs in
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let work () =
+      Domain.DLS.set inside_worker true;
+      let continue_ = ref true in
+      while !continue_ do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n then continue_ := false
+        else results.(i) <- Some (try Ok (f items.(i)) with e -> Error e)
+      done
+    in
+    let spawned = List.init (workers - 1) (fun _ -> Domain.spawn work) in
+    (* The calling domain is the remaining worker; restore its nesting
+       flag afterwards so later top-level [map]s still parallelise. *)
+    let outer = Domain.DLS.get inside_worker in
+    work ();
+    Domain.DLS.set inside_worker outer;
+    List.iter Domain.join spawned;
+    (* Deterministic error propagation: the first failure in input order
+       wins, exactly as it would under List.map. *)
+    Array.to_list results
+    |> List.map (function
+         | Some (Ok v) -> v
+         | Some (Error e) -> raise e
+         | None -> assert false)
+  end

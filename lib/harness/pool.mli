@@ -1,0 +1,34 @@
+(** Multicore scheduler for independent sweep cells.
+
+    The experiment sweeps are embarrassingly parallel: each cell (one
+    {!Config.t} at one seed) builds its own simulator, platform and stack
+    and shares no mutable state with any other cell.  [map] fans cells
+    out across OCaml 5 domains while keeping the result list — and
+    therefore every table, printed or JSON-exported — byte-identical to
+    the serial run: results come back in input order, and a failing cell
+    raises the same (first-in-input-order) exception the serial path
+    would.
+
+    The worker count is a process-wide knob so the [-j] flag reaches
+    every sweep without threading a context through each figure
+    generator.  [1] (the default) is exactly the historical serial
+    path. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — what the CLIs use for [-j]
+    when the flag is absent. *)
+
+val set_jobs : int -> unit
+(** Set the worker count used by subsequent {!map} calls.  [1] runs
+    serially on the calling domain.  @raise Invalid_argument if < 1. *)
+
+val jobs : unit -> int
+(** The current worker count. *)
+
+val map : ('a -> 'b) -> 'a list -> 'b list
+(** [map f xs] is [List.map f xs], computed on up to [jobs ()] domains
+    (the caller included).  [f] must not touch shared mutable state —
+    sweep cells, which build everything per-run, qualify.  Results are
+    gathered in input order, so output is independent of the worker
+    count.  Nested calls from inside a worker run serially rather than
+    oversubscribing. *)

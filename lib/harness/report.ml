@@ -2,16 +2,44 @@ open Pnp_util
 
 type point = { procs : int; mean : float; ci90 : float }
 type series = { label : string; points : point list }
+type table = { title : string; unit_label : string; series : series list }
 
+let table ~title ~unit_label series = { title; unit_label; series }
+
+(* One sweep cell = one (processor count, seed) pair.  The cells are
+   independent seeded simulations, so they fan out across the worker
+   pool; results come back in input order, which keeps every derived
+   table identical to the serial run. *)
 let metric_series ~label ~procs ~seeds ~metric cfg_of_procs =
-  let points =
-    List.map
-      (fun p ->
+  let cells =
+    List.concat_map (fun p -> List.init seeds (fun s -> (p, s))) procs
+  in
+  let results =
+    Pool.map
+      (fun (p, s) ->
         let cfg = cfg_of_procs p in
-        let results = Run.run_seeds cfg ~seeds in
-        let s = Stats.summary (List.map metric results) in
+        metric (Run.run { cfg with Config.seed = cfg.Config.seed + s }))
+      cells
+  in
+  (* Regroup the flat cell results: [seeds] consecutive values per
+     processor count, in sweep order. *)
+  let rec chunk = function
+    | [] -> []
+    | vs ->
+      let rec split i acc = function
+        | rest when i = seeds -> (List.rev acc, rest)
+        | v :: rest -> split (i + 1) (v :: acc) rest
+        | [] -> invalid_arg "Report.metric_series: short result list"
+      in
+      let mine, rest = split 0 [] vs in
+      mine :: chunk rest
+  in
+  let points =
+    List.map2
+      (fun p vs ->
+        let s = Stats.summary vs in
         { procs = p; mean = s.Stats.mean; ci90 = s.Stats.ci90 })
-      procs
+      procs (chunk results)
   in
   { label; points }
 
@@ -34,11 +62,6 @@ let speedup s =
       }
 
 let print_table ~title ~unit_label series =
-  Json_out.add_table ~title ~unit_label
-    ~series:
-      (List.map
-         (fun s -> (s.label, List.map (fun p -> (p.procs, p.mean, p.ci90)) s.points))
-         series);
   Printf.printf "\n== %s ==\n" title;
   let width = List.fold_left (fun w s -> max w (String.length s.label)) 14 series in
   let width = width + 2 in
@@ -61,6 +84,8 @@ let print_table ~title ~unit_label series =
       print_newline ())
     all_procs;
   flush stdout
+
+let print t = print_table ~title:t.title ~unit_label:t.unit_label t.series
 
 let value_at s procs =
   match List.find_opt (fun p -> p.procs = procs) s.points with

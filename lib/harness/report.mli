@@ -2,15 +2,29 @@
 
     Each figure in the paper is a set of series over processor counts;
     this module runs the sweeps, attaches 90% confidence intervals (the
-    paper's error bars) and prints fixed-width tables. *)
+    paper's error bars) and prints fixed-width tables.
+
+    The sweep functions ({!metric_series}, {!throughput_series}) are the
+    *data* phase of figure generation: they build one independent
+    simulation per (processor count, seed) cell, fan the cells out over
+    {!Pool}, and perform no I/O, so they are safe to run on worker
+    domains.  Printing ({!print}, {!print_table}) is the *present* phase
+    and writes to stdout on the calling domain. *)
 
 type point = { procs : int; mean : float; ci90 : float }
 type series = { label : string; points : point list }
 
+type table = { title : string; unit_label : string; series : series list }
+(** One printed/exported table: a titled set of series with a unit. *)
+
+val table : title:string -> unit_label:string -> series list -> table
+
 val throughput_series :
   label:string -> procs:int list -> seeds:int -> (int -> Config.t) -> series
 (** [throughput_series ~label ~procs ~seeds cfg_of_procs] measures
-    throughput at each processor count. *)
+    throughput at each processor count, running the (procs x seeds)
+    sweep cells on the {!Pool} workers.  The result is independent of
+    the worker count. *)
 
 val metric_series :
   label:string ->
@@ -25,8 +39,13 @@ val speedup : series -> series
 (** Normalise to the 1-processor mean, as the paper's speedup figures do
     (each curve relative to its own uniprocessor throughput). *)
 
+val print : table -> unit
+(** Print one table (see {!print_table}). *)
+
 val print_table : title:string -> unit_label:string -> series list -> unit
-(** Aligned table: one row per processor count, one column per series. *)
+(** Aligned table: one row per processor count, one column per series.
+    Pure printing — JSON export happens from the table values in
+    {!Json_out}, not here. *)
 
 val value_at : series -> int -> float
 (** Mean at the given processor count.  @raise Not_found if absent. *)

@@ -454,7 +454,9 @@ let run cfg = fst (run_gen cfg)
 let run_traced cfg = run_gen ~trace:true cfg
 
 let run_seeds cfg ~seeds =
-  List.init seeds (fun i -> run { cfg with Config.seed = cfg.Config.seed + i })
+  Pool.map
+    (fun i -> run { cfg with Config.seed = cfg.Config.seed + i })
+    (List.init seeds Fun.id)
 
 let throughput_summary cfg ~seeds =
   Stats.summary (List.map (fun r -> r.throughput_mbps) (run_seeds cfg ~seeds))

@@ -30,7 +30,9 @@ val run_traced : Config.t -> result * Pnp_engine.Trace.t
     what [run] returns for the same configuration and seed. *)
 
 val run_seeds : Config.t -> seeds:int -> result list
-(** [run] repeated with seeds [cfg.seed .. cfg.seed+seeds-1]. *)
+(** [run] repeated with seeds [cfg.seed .. cfg.seed+seeds-1], fanned out
+    over the {!Pool} workers; the result list is in seed order and
+    independent of the worker count. *)
 
 val throughput_summary : Config.t -> seeds:int -> Pnp_util.Stats.summary
 (** Summary (mean, 90% CI) of throughput across seeds. *)

@@ -7,7 +7,7 @@ let fold s =
 
 let add a b = fold (a + b)
 
-let sum_bytes b off len =
+let sum_bytes_bytewise b off len =
   let s = ref 0 in
   let i = ref off in
   let stop = off + len - 1 in
@@ -17,6 +17,60 @@ let sum_bytes b off len =
   done;
   if !i = stop then s := !s + (Char.code (Bytes.unsafe_get b !i) lsl 8);
   fold !s
+
+(* Reduce an arbitrary non-negative partial sum to 16 bits with
+   end-around carries (the two-round [fold] only handles 32-bit
+   inputs). *)
+let fold_carries s =
+  let s = ref s in
+  while !s > 0xffff do
+    s := (!s land 0xffff) + (!s lsr 16)
+  done;
+  !s
+
+let swap16 s = ((s land 0xff) lsl 8) lor (s lsr 8)
+
+(* Word-at-a-time sum: 8 bytes per iteration.  Because 2^16 = 1
+   (mod 2^16 - 1), a 64-bit word is congruent to the sum of its four
+   16-bit lanes, so we accumulate whole words (as two 32-bit halves to
+   stay inside the 63-bit native int) and fold once at the end.  On a
+   little-endian host the lanes are the byte-swapped network-order
+   words; the RFC 1071 byte-order-independence property says the one's-
+   complement sum of swapped words is the swap of the sum, so a single
+   [swap16] of the folded head corrects the whole prefix.  The <8-byte
+   tail (whose first byte is always at even parity, since the head
+   consumes multiples of 8) uses the byte-wise scheme. *)
+let sum_bytes b off len =
+  if len <= 0 then 0
+  else begin
+    let stop = off + len in
+    let s = ref 0 in
+    let i = ref off in
+    let last8 = stop - 8 in
+    if !i <= last8 then begin
+      let acc = ref 0 in
+      while !i <= last8 do
+        let w = Bytes.get_int64_ne b !i in
+        acc :=
+          !acc
+          + Int64.to_int (Int64.shift_right_logical w 32)
+          + (Int64.to_int w land 0xffff_ffff);
+        i := !i + 8
+      done;
+      let folded = fold_carries !acc in
+      s := if Sys.big_endian then folded else swap16 folded
+    end;
+    let stop1 = stop - 1 in
+    while !i < stop1 do
+      s :=
+        !s
+        + (Char.code (Bytes.unsafe_get b !i) lsl 8)
+        + Char.code (Bytes.unsafe_get b (!i + 1));
+      i := !i + 2
+    done;
+    if !i = stop1 then s := !s + (Char.code (Bytes.unsafe_get b !i) lsl 8);
+    fold !s
+  end
 
 (* Summing a multi-slice message must respect byte positions: a slice of
    odd length shifts the parity of every following byte.  We track the

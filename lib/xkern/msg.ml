@@ -106,17 +106,50 @@ let set_u8 t off v =
   let p, i = locate t.parts off in
   Bytes.set (Mpool.data p.node) (p.off + i) (Char.chr (v land 0xff))
 
-let get_u16 t off = (get_u8 t off lsl 8) lor get_u8 t (off + 1)
+(* Multi-byte accessors locate the containing part once and read/write
+   within it when the whole range fits (the overwhelmingly common case —
+   headers live in a single pushed node), falling back to the byte path
+   only when the range straddles a part boundary.  The old code walked
+   the part list once per byte: four list walks for a u32. *)
+
+let get_u16 t off =
+  if off < 0 || off + 2 > t.total then invalid_arg "Msg.get_u16: out of bounds";
+  let p, i = locate t.parts off in
+  if i + 2 <= p.len then Bytes.get_uint16_be (Mpool.data p.node) (p.off + i)
+  else (get_u8 t off lsl 8) lor get_u8 t (off + 1)
 
 let set_u16 t off v =
-  set_u8 t off (v lsr 8);
-  set_u8 t (off + 1) v
+  if off < 0 || off + 2 > t.total then invalid_arg "Msg.set_u16: out of bounds";
+  let p, i = locate t.parts off in
+  if i + 2 <= p.len then Bytes.set_uint16_be (Mpool.data p.node) (p.off + i) (v land 0xffff)
+  else begin
+    set_u8 t off (v lsr 8);
+    set_u8 t (off + 1) v
+  end
 
-let get_u32 t off = (get_u16 t off lsl 16) lor get_u16 t (off + 2)
+let get_u32 t off =
+  if off < 0 || off + 4 > t.total then invalid_arg "Msg.get_u32: out of bounds";
+  let p, i = locate t.parts off in
+  if i + 4 <= p.len then begin
+    let b = Mpool.data p.node in
+    let j = p.off + i in
+    (Bytes.get_uint16_be b j lsl 16) lor Bytes.get_uint16_be b (j + 2)
+  end
+  else (get_u16 t off lsl 16) lor get_u16 t (off + 2)
 
 let set_u32 t off v =
-  set_u16 t off (v lsr 16);
-  set_u16 t (off + 2) v
+  if off < 0 || off + 4 > t.total then invalid_arg "Msg.set_u32: out of bounds";
+  let p, i = locate t.parts off in
+  if i + 4 <= p.len then begin
+    let b = Mpool.data p.node in
+    let j = p.off + i in
+    Bytes.set_uint16_be b j ((v lsr 16) land 0xffff);
+    Bytes.set_uint16_be b (j + 2) (v land 0xffff)
+  end
+  else begin
+    set_u16 t off (v lsr 16);
+    set_u16 t (off + 2) v
+  end
 
 let iter_slices t f =
   List.iter (fun p -> if p.len > 0 then f (Mpool.data p.node) p.off p.len) t.parts

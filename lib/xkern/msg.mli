@@ -43,7 +43,10 @@ val destroy : t -> unit
 (** {2 Byte access}
 
     Offsets are message-relative.  Multi-byte accessors are big-endian
-    (network order) and may span node boundaries. *)
+    (network order) and may span node boundaries; when the whole range
+    lies inside one node (the common case for headers) they locate the
+    node once and use direct 16-bit loads/stores instead of one
+    part-list walk per byte. *)
 
 val get_u8 : t -> int -> int
 val set_u8 : t -> int -> int -> unit

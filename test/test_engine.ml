@@ -30,6 +30,20 @@ let test_eventq_pop_empty () =
   Alcotest.(check bool) "none" true (Eventq.pop q = None);
   Alcotest.(check bool) "peek none" true (Eventq.peek_time q = None)
 
+let test_eventq_pop_exn () =
+  let q = Eventq.create () in
+  Eventq.add q ~time:20 "b";
+  Eventq.add q ~time:10 "a";
+  Alcotest.(check int) "peek_time_exn" 10 (Eventq.peek_time_exn q);
+  Alcotest.(check string) "earliest payload" "a" (Eventq.pop_exn q);
+  Alcotest.(check string) "then next" "b" (Eventq.pop_exn q);
+  (match Eventq.pop_exn q with
+   | _ -> Alcotest.fail "pop_exn on empty must raise"
+   | exception Eventq.Empty -> ());
+  match Eventq.peek_time_exn q with
+  | _ -> Alcotest.fail "peek_time_exn on empty must raise"
+  | exception Eventq.Empty -> ()
+
 let prop_eventq_sorted =
   QCheck.Test.make ~name:"eventq pops sorted" ~count:200
     QCheck.(list_of_size Gen.(0 -- 100) small_nat)
@@ -669,6 +683,7 @@ let suites =
         Alcotest.test_case "pops in time order" `Quick test_eventq_order;
         Alcotest.test_case "FIFO at equal times" `Quick test_eventq_fifo_ties;
         Alcotest.test_case "pop empty" `Quick test_eventq_pop_empty;
+        Alcotest.test_case "pop_exn / peek_time_exn" `Quick test_eventq_pop_exn;
         QCheck_alcotest.to_alcotest prop_eventq_sorted;
       ] );
     ( "engine.sim",

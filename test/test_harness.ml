@@ -192,7 +192,7 @@ let test_map_unlocking_helps_a_little () =
 
 let test_checksum_microbench () =
   let opts = { Pnp_figures.Opts.quick with Pnp_figures.Opts.max_procs = 8 } in
-  let data = Pnp_figures.Fig_micro.checksum_bandwidth_data opts in
+  let data = Pnp_figures.Fig_micro.checksum_points opts in
   List.iter
     (fun (p, mb) ->
       let per_cpu = mb /. float_of_int p in

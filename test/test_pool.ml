@@ -1,0 +1,87 @@
+(* The multicore sweep pool (Pool) and the determinism guarantee that
+   rides on it: figure tables are byte-identical at any -j level. *)
+
+open Pnp_harness
+
+let with_jobs n f =
+  let old = Pool.jobs () in
+  Pool.set_jobs n;
+  Fun.protect ~finally:(fun () -> Pool.set_jobs old) f
+
+let test_map_matches_serial () =
+  let xs = List.init 100 Fun.id in
+  let f x = (x * x) - (3 * x) in
+  let serial = List.map f xs in
+  List.iter
+    (fun j ->
+      with_jobs j (fun () ->
+          Alcotest.(check (list int)) (Printf.sprintf "-j %d" j) serial (Pool.map f xs)))
+    [ 1; 2; 3; 8 ]
+
+let test_map_degenerate_inputs () =
+  with_jobs 4 (fun () ->
+      Alcotest.(check (list int)) "empty" [] (Pool.map succ []);
+      Alcotest.(check (list int)) "singleton" [ 2 ] (Pool.map succ [ 1 ]);
+      Alcotest.(check (list int)) "fewer items than workers" [ 2; 3 ]
+        (Pool.map succ [ 1; 2 ]))
+
+exception Boom of int
+
+let test_first_error_in_input_order () =
+  with_jobs 4 (fun () ->
+      let f x = if x mod 3 = 0 then raise (Boom x) else x in
+      match Pool.map f (List.init 20 (fun i -> i + 1)) with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom x -> Alcotest.(check int) "first failing input wins" 3 x)
+
+let test_nested_map_serialises () =
+  with_jobs 4 (fun () ->
+      let expect = List.init 4 (fun x -> List.init 5 (fun y -> (x * 10) + y)) in
+      let got =
+        Pool.map
+          (fun x -> Pool.map (fun y -> (x * 10) + y) (List.init 5 Fun.id))
+          (List.init 4 Fun.id)
+      in
+      Alcotest.(check (list (list int))) "nested map result" expect got)
+
+let test_set_jobs_validates () =
+  match Pool.set_jobs 0 with
+  | () -> Alcotest.fail "set_jobs 0 must be rejected"
+  | exception Invalid_argument _ -> ()
+
+(* The pinned guarantee of the -j flag: a real sweep (Table 1, reduced)
+   produces byte-identical JSON payloads serially and on four worker
+   domains.  The payload covers every table, series, point, mean and CI
+   the figure would print or export; jobs/elapsed_s are pinned so only
+   sweep results are compared. *)
+let sweep_opts =
+  {
+    Pnp_figures.Opts.max_procs = 2;
+    seeds = 2;
+    warmup = Pnp_util.Units.ms 30.0;
+    measure = Pnp_util.Units.ms 60.0;
+  }
+
+let table1_payload () =
+  Json_out.figure_json ~id:"table1" ~jobs:1 ~elapsed_s:0.0
+    (Pnp_figures.Fig_ordering.table1_data sweep_opts)
+
+let test_parallel_sweep_deterministic () =
+  let serial = with_jobs 1 table1_payload in
+  let parallel = with_jobs 4 table1_payload in
+  Alcotest.(check string) "-j 1 and -j 4 byte-identical" serial parallel
+
+let suites =
+  [
+    ( "harness.pool",
+      [
+        Alcotest.test_case "map matches serial" `Quick test_map_matches_serial;
+        Alcotest.test_case "degenerate inputs" `Quick test_map_degenerate_inputs;
+        Alcotest.test_case "first error in input order" `Quick
+          test_first_error_in_input_order;
+        Alcotest.test_case "nested map serialises" `Quick test_nested_map_serialises;
+        Alcotest.test_case "set_jobs validates" `Quick test_set_jobs_validates;
+        Alcotest.test_case "-j 1 = -j 4 on a real sweep" `Slow
+          test_parallel_sweep_deterministic;
+      ] );
+  ]

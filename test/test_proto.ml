@@ -70,6 +70,38 @@ let test_cksum_odd_middle_slice () =
       Msg.destroy tail;
       Msg.destroy flat)
 
+(* The word-at-a-time [sum_bytes] against the byte-wise oracle it
+   replaced: every offset parity and every tail length, including
+   all-zero and all-ones buffers (the 0 vs 0xffff representatives of the
+   same one's-complement class). *)
+let test_cksum_word_vs_bytewise_exhaustive () =
+  let check b off len =
+    Alcotest.(check int)
+      (Printf.sprintf "off=%d len=%d" off len)
+      (Inet_cksum.sum_bytes_bytewise b off len)
+      (Inet_cksum.sum_bytes b off len)
+  in
+  let mixed = Bytes.init 96 (fun i -> Char.chr ((i * 131 + 17) land 0xff)) in
+  let zeros = Bytes.make 96 '\000' in
+  let ones = Bytes.make 96 '\xff' in
+  List.iter
+    (fun b ->
+      for off = 0 to 9 do
+        for len = 0 to Bytes.length b - off do
+          check b off len
+        done
+      done)
+    [ mixed; zeros; ones ]
+
+let prop_cksum_word_vs_bytewise =
+  QCheck.Test.make ~name:"sum_bytes agrees with the byte-wise oracle" ~count:300
+    QCheck.(pair (list_of_size Gen.(0 -- 90) (0 -- 255)) (0 -- 9))
+    (fun (payload, off) ->
+      let len = List.length payload in
+      let b = Bytes.make (off + len + 3) '\xa5' in
+      List.iteri (fun i v -> Bytes.set b (off + i) (Char.chr v)) payload;
+      Inet_cksum.sum_bytes b off len = Inet_cksum.sum_bytes_bytewise b off len)
+
 let prop_cksum_verifies =
   QCheck.Test.make ~name:"stored checksum verifies; corruption detected" ~count:60
     QCheck.(string_of_size Gen.(2 -- 300))
@@ -805,6 +837,9 @@ let suites =
         Alcotest.test_case "odd middle slice" `Quick test_cksum_odd_middle_slice;
         Alcotest.test_case "incremental matches full" `Quick
           test_cksum_incremental_matches_full;
+        Alcotest.test_case "word sum = byte-wise oracle (exhaustive)" `Quick
+          test_cksum_word_vs_bytewise_exhaustive;
+        QCheck_alcotest.to_alcotest prop_cksum_word_vs_bytewise;
         QCheck_alcotest.to_alcotest prop_cksum_verifies;
       ] );
     ( "proto.seq",

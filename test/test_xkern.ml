@@ -242,6 +242,30 @@ let test_msg_accessors_span_parts () =
       Alcotest.(check int) "spanning u16" 0xab7a (Msg.get_u16 m 0);
       Msg.destroy m)
 
+(* The single-part fast path and the byte-wise fallback must agree when a
+   value straddles a part boundary; writes through the fallback must read
+   back through the fast path and vice versa. *)
+let test_msg_accessors_straddle_parts () =
+  let p, pool = msg_env () in
+  in_sim p (fun () ->
+      let m = Msg.of_string pool "abcdefgh" in
+      Msg.push m 3;
+      (* Parts: [3-byte header][8-byte payload]; offsets 0-2 are in the
+         header, 3+ in the payload. *)
+      Msg.set_u32 m 1 0xdeadbeef;
+      Alcotest.(check int) "u32 across the boundary" 0xdeadbeef (Msg.get_u32 m 1);
+      Msg.set_u16 m 2 0x7b2d;
+      Alcotest.(check int) "u16 across the boundary" 0x7b2d (Msg.get_u16 m 2);
+      (* Bytes land where the byte path would put them. *)
+      Alcotest.(check int) "high byte in the header part" 0x7b (Msg.get_u8 m 2);
+      Alcotest.(check int) "low byte in the payload part" 0x2d (Msg.get_u8 m 3);
+      (* Flush against the boundary but inside one part: the fast path. *)
+      Msg.set_u32 m 3 0x01020304;
+      Alcotest.(check int) "u32 at the part start" 0x01020304 (Msg.get_u32 m 3);
+      Msg.set_u16 m 0 0xfeed;
+      Alcotest.(check int) "u16 inside the header part" 0xfeed (Msg.get_u16 m 0);
+      Msg.destroy m)
+
 let test_msg_pattern_fill_check () =
   let p, pool = msg_env () in
   in_sim p (fun () ->
@@ -537,6 +561,8 @@ let suites =
         Alcotest.test_case "dup then pop independent" `Quick test_msg_dup_then_pop_independent;
         Alcotest.test_case "multibyte accessors" `Quick test_msg_multibyte_accessors;
         Alcotest.test_case "accessors span parts" `Quick test_msg_accessors_span_parts;
+        Alcotest.test_case "accessors straddle parts" `Quick
+          test_msg_accessors_straddle_parts;
         Alcotest.test_case "pattern fill/check" `Quick test_msg_pattern_fill_check;
         Alcotest.test_case "append moves contents" `Quick test_msg_append_moves_contents;
         Alcotest.test_case "iter_slices covers all" `Quick test_msg_iter_slices_covers_all;
