@@ -1,0 +1,17 @@
+(* Source-invariant lint runner: walks the given source roots (default
+   lib, bin and test) and exits non-zero if any invariant is violated.
+   Wired into [dune build @lint] and CI. *)
+
+let () =
+  let roots =
+    match Array.to_list Sys.argv with [] | [ _ ] -> [ "lib"; "bin"; "test" ] | _ :: rest -> rest
+  in
+  let findings = Pnp_analysis.Lint.check_tree ~roots in
+  List.iter
+    (fun f -> Format.printf "%a@." Pnp_analysis.Lint.pp_finding f)
+    findings;
+  match findings with
+  | [] -> Format.printf "lint: %s clean@." (String.concat " " roots)
+  | fs ->
+    Format.printf "lint: %d finding(s)@." (List.length fs);
+    exit 1

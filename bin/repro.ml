@@ -242,6 +242,116 @@ let run_cmd =
       $ locked_refs $ no_caching $ arch $ seed $ presentation $ cksum_under_lock
       $ jitter_us $ trace_file)
 
+(* Trace-driven concurrency checking: run reference scenarios with the
+   tracer on and feed the trace to Pnp_analysis (lockset, lock-order,
+   FIFO grant order, reorder windows). *)
+let check_cmd =
+  let open Pnp_harness in
+  let scenario ?(side = Config.Recv) ?(tcp_locking = Pnp_proto.Tcp.One)
+      ?(lock_disc = Pnp_engine.Lock.Unfair) ?(ticketing = false) () =
+    Config.v ~arch:Pnp_engine.Arch.challenge_100 ~procs:4 ~side
+      ~protocol:Config.Tcp ~payload:4096 ~checksum:true ~lock_disc ~tcp_locking
+      ~ticketing
+      ~warmup:(Pnp_util.Units.ms 20.0)
+      ~measure:(Pnp_util.Units.ms 80.0)
+      ~seed:1 ()
+  in
+  (* (fig tag, label, order-comparison role, config) *)
+  let scenarios =
+    [
+      ("fig8-9", "tcp-recv locking=1 mutex", None, scenario ());
+      ("fig8-9", "tcp-send locking=1 mutex", None, scenario ~side:Config.Send ());
+      ("fig13", "tcp-recv locking=2 mutex", None,
+       scenario ~tcp_locking:Pnp_proto.Tcp.Two ());
+      ("fig13", "tcp-recv locking=6 mutex", None,
+       scenario ~tcp_locking:Pnp_proto.Tcp.Six ());
+      ("fig14", "tcp-send locking=2 mutex", None,
+       scenario ~side:Config.Send ~tcp_locking:Pnp_proto.Tcp.Two ());
+      ("fig14", "tcp-send locking=6 mutex", None,
+       scenario ~side:Config.Send ~tcp_locking:Pnp_proto.Tcp.Six ());
+      ("fig10", "tcp-recv locking=1 mutex (order baseline)", Some `Unfair,
+       scenario ());
+      ("fig10", "tcp-recv locking=1 mcs", Some `Fifo,
+       scenario ~lock_disc:Pnp_engine.Lock.Fifo ());
+      ("table1", "tcp-recv locking=1 mcs ticketing", None,
+       scenario ~lock_disc:Pnp_engine.Lock.Fifo ~ticketing:true ());
+    ]
+  in
+  let figs_term =
+    let doc =
+      "Only check scenarios tagged with figure $(docv) (repeatable); e.g. \
+       fig10, fig13."
+    in
+    Arg.(value & opt_all string [] & info [ "fig" ] ~docv:"ID" ~doc)
+  in
+  let all_term =
+    let doc = "Check every scenario (the default when no $(b,--fig) is given)." in
+    Arg.(value & flag & info [ "all" ] ~doc)
+  in
+  let exec figs all_flag =
+    let tags = List.sort_uniq compare (List.map (fun (t, _, _, _) -> t) scenarios) in
+    List.iter
+      (fun f ->
+        if not (List.mem f tags) then begin
+          Printf.eprintf "unknown check tag %S; available: %s\n" f
+            (String.concat " " tags);
+          exit 1
+        end)
+      figs;
+    let selected =
+      if figs = [] || all_flag then scenarios
+      else List.filter (fun (t, _, _, _) -> List.mem t figs) scenarios
+    in
+    let total = ref 0 in
+    let order_totals = ref [] in
+    List.iter
+      (fun (tag, label, role, cfg) ->
+        let _result, tracer = Run.run_traced cfg in
+        let findings = Pnp_analysis.Check.all tracer in
+        let stats = Pnp_analysis.Order_check.stats tracer in
+        let reordered, grants = Pnp_analysis.Order_check.reordered_total stats in
+        Printf.printf "%-8s %-42s %6d events  %4d/%d reordered grants  %d finding(s)\n"
+          tag label
+          (Pnp_engine.Trace.count tracer)
+          reordered grants (List.length findings);
+        (match role with
+         | Some r -> order_totals := (r, reordered) :: !order_totals
+         | None -> ());
+        List.iter
+          (fun f -> Format.printf "  %a@." Pnp_analysis.Finding.pp f)
+          findings;
+        total := !total + List.length findings)
+      selected;
+    (* Figure 10 as an assertion: the FIFO (MCS) discipline must not
+       reorder more grants than the unfair mutex on the same workload. *)
+    (match
+       (List.assoc_opt `Unfair !order_totals, List.assoc_opt `Fifo !order_totals)
+     with
+     | Some unfair, Some fifo ->
+       Printf.printf "fig10    reordered grants: mutex=%d mcs=%d\n" unfair fifo;
+       if fifo > unfair then begin
+         incr total;
+         Printf.printf
+           "  FINDING [fig10-direction] FIFO locking reordered more grants \
+            (%d) than the unfair mutex (%d); Figure 10 expects the opposite\n"
+           fifo unfair
+       end
+     | _ -> ());
+    if !total = 0 then
+      Printf.printf "check: %d scenario(s), no findings\n" (List.length selected)
+    else begin
+      Printf.printf "check: %d scenario(s), %d finding(s)\n"
+        (List.length selected) !total;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Run the trace-driven concurrency checkers (lockset, lock order, \
+          grant order) over reference scenarios.")
+    Term.(const exec $ figs_term $ all_term)
+
 (* A short annotated wire trace of a TCP connection over the in-memory
    driver: handshake, data, acks. *)
 let trace_cmd =
@@ -288,6 +398,7 @@ let main =
   let doc =
     "Reproduction of 'Performance Issues in Parallelized Network Protocols' (OSDI '94)"
   in
-  Cmd.group (Cmd.info "repro" ~doc) [ list_cmd; fig_cmd; all_cmd; run_cmd; trace_cmd ]
+  Cmd.group (Cmd.info "repro" ~doc)
+    [ list_cmd; fig_cmd; all_cmd; run_cmd; check_cmd; trace_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,3 @@
+let all tracer =
+  Finding.sort
+    (Lockset.check tracer @ Lock_order.check tracer @ Order_check.check tracer)

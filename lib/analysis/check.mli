@@ -1,0 +1,5 @@
+(** Run every trace-driven checker over one trace. *)
+
+val all : Pnp_engine.Trace.t -> Finding.t list
+(** Lockset, lock-order and FIFO grant-order findings, merged and
+    sorted with {!Finding.sort}. *)

@@ -1,0 +1,57 @@
+open Pnp_engine
+
+type severity = Error | Warning
+
+type t = {
+  checker : string;
+  severity : severity;
+  subject : string;
+  message : string;
+  witnesses : Trace.record list;
+}
+
+let v ?(severity = Error) ?(witnesses = []) ~checker ~subject message =
+  { checker; severity; subject; message; witnesses }
+
+let ev_label (ev : Trace.ev) =
+  match ev with
+  | Trace.Thread_spawn { name } -> "spawn " ^ name
+  | Thread_block -> "block"
+  | Thread_resume -> "resume"
+  | Lock_request { lock; waiters } -> Printf.sprintf "request %s (waiters %d)" lock waiters
+  | Lock_grant { lock; wait_ns; _ } -> Printf.sprintf "grant %s (waited %d ns)" lock wait_ns
+  | Lock_handoff { lock; to_tid; _ } -> Printf.sprintf "handoff %s -> tid %d" lock to_tid
+  | Lock_release { lock; hold_ns } -> Printf.sprintf "release %s (held %d ns)" lock hold_ns
+  | Gate_take { gate; ticket } -> Printf.sprintf "ticket %d of %s" ticket gate
+  | Gate_pass { gate; ticket; _ } -> Printf.sprintf "pass %d of %s" ticket gate
+  | Membus_charge { bytes; _ } -> Printf.sprintf "membus %d B" bytes
+  | Mpool_alloc { hit } -> if hit then "mpool hit" else "mpool miss"
+  | Span_begin { seq; phase } -> Printf.sprintf "begin %s seq %d" (Trace.pp_phase phase) seq
+  | Span_end { seq; phase } -> Printf.sprintf "end %s seq %d" (Trace.pp_phase phase) seq
+  | Access { state; write } ->
+    Printf.sprintf "%s %s" (if write then "write" else "read") state
+
+let severity_label = function Error -> "error" | Warning -> "warning"
+
+let pp fmt t =
+  Format.fprintf fmt "[%s] %s: %s: %s" (severity_label t.severity) t.checker t.subject
+    t.message;
+  List.iter
+    (fun (r : Trace.record) ->
+      Format.fprintf fmt "@\n    witness: t=%d ns tid=%d cpu=%d  %s" r.Trace.ts
+        r.Trace.tid r.Trace.cpu (ev_label r.Trace.ev))
+    t.witnesses
+
+let to_string t = Format.asprintf "%a" pp t
+
+let sort ts =
+  let sev_rank = function Error -> 0 | Warning -> 1 in
+  List.stable_sort
+    (fun a b ->
+      match compare (sev_rank a.severity) (sev_rank b.severity) with
+      | 0 -> (
+        match compare a.checker b.checker with
+        | 0 -> compare a.subject b.subject
+        | c -> c)
+      | c -> c)
+    ts

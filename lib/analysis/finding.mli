@@ -1,0 +1,37 @@
+(** A reported violation from one of the concurrency checkers or the
+    source lint.
+
+    Findings are the common currency of the analysis subsystem: every
+    checker returns a list of them, `repro check` and `bin/lint` print
+    them and exit non-zero when any exist, and the seeded-defect tests
+    assert on their contents. *)
+
+type severity = Error | Warning
+
+type t = {
+  checker : string;  (** which analysis produced it: "lockset", "lock-order", ... *)
+  severity : severity;
+  subject : string;  (** the state id, lock name or [file:line] concerned *)
+  message : string;
+  witnesses : Pnp_engine.Trace.record list;
+      (** the trace events that prove the violation, in time order *)
+}
+
+val v :
+  ?severity:severity ->
+  ?witnesses:Pnp_engine.Trace.record list ->
+  checker:string ->
+  subject:string ->
+  string ->
+  t
+
+val ev_label : Pnp_engine.Trace.ev -> string
+(** One-line description of an event, used when printing witnesses. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line rendering: headline plus one indented line per witness. *)
+
+val to_string : t -> string
+
+val sort : t list -> t list
+(** Errors before warnings, then by checker and subject. *)

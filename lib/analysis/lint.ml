@@ -1,0 +1,348 @@
+type finding = { file : string; line : int; rule : string; message : string }
+
+let pp_finding fmt f =
+  if f.line > 0 then
+    Format.fprintf fmt "%s:%d: [%s] %s" f.file f.line f.rule f.message
+  else Format.fprintf fmt "%s: [%s] %s" f.file f.rule f.message
+
+(* ------------------------------------------------------------------ *)
+(* Lexical scrubbing: blank comments, strings and char literals so the
+   line-based rules below only ever see real code.  All the scanning
+   functions are tail-recursive over the character index. *)
+
+let scrub src =
+  let n = String.length src in
+  let out = Bytes.of_string src in
+  let blank i = if Bytes.get out i <> '\n' then Bytes.set out i ' ' in
+  let is_ident c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+    || c = '_' || c = '\''
+  in
+  let is_lower c = (c >= 'a' && c <= 'z') || c = '_' in
+  let rec code i =
+    if i >= n then ()
+    else
+      match src.[i] with
+      | '(' when i + 1 < n && src.[i + 1] = '*' ->
+        blank i;
+        blank (i + 1);
+        comment 1 (i + 2)
+      | '"' ->
+        blank i;
+        string_lit (i + 1)
+      | '{' ->
+        (* {| ... |} and {id| ... |id} quoted strings *)
+        let j = ref (i + 1) in
+        while !j < n && is_lower src.[!j] do
+          incr j
+        done;
+        if !j < n && src.[!j] = '|' then begin
+          let id = String.sub src (i + 1) (!j - i - 1) in
+          for k = i to !j do
+            blank k
+          done;
+          quoted id (!j + 1)
+        end
+        else code (i + 1)
+      | '\'' when i = 0 || not (is_ident src.[i - 1]) ->
+        (* Char literal, or a type variable such as 'a.  A literal is a
+           single non-backslash char or a backslash escape of at most
+           five characters, closed by a quote. *)
+        if i + 2 < n && src.[i + 1] <> '\\' && src.[i + 1] <> '\''
+           && src.[i + 2] = '\''
+        then begin
+          blank i;
+          blank (i + 1);
+          blank (i + 2);
+          code (i + 3)
+        end
+        else if i + 1 < n && src.[i + 1] = '\\' then begin
+          let close = ref 0 in
+          (let j = ref (i + 2) in
+           while !close = 0 && !j < n && !j <= i + 6 do
+             if src.[!j] = '\'' then close := !j;
+             incr j
+           done);
+          if !close > 0 then begin
+            for k = i to !close do
+              blank k
+            done;
+            code (!close + 1)
+          end
+          else code (i + 1)
+        end
+        else code (i + 1)
+      | _ -> code (i + 1)
+  and string_lit i =
+    if i >= n then ()
+    else if src.[i] = '\\' && i + 1 < n then begin
+      blank i;
+      blank (i + 1);
+      string_lit (i + 2)
+    end
+    else if src.[i] = '"' then begin
+      blank i;
+      code (i + 1)
+    end
+    else begin
+      blank i;
+      string_lit (i + 1)
+    end
+  and quoted id i =
+    if i >= n then ()
+    else
+      let idn = String.length id in
+      if
+        src.[i] = '|'
+        && i + idn + 1 < n
+        && String.sub src (i + 1) idn = id
+        && src.[i + idn + 1] = '}'
+      then begin
+        for k = i to i + idn + 1 do
+          blank k
+        done;
+        code (i + idn + 2)
+      end
+      else begin
+        blank i;
+        quoted id (i + 1)
+      end
+  and comment depth i =
+    if i >= n then ()
+    else if src.[i] = '(' && i + 1 < n && src.[i + 1] = '*' then begin
+      blank i;
+      blank (i + 1);
+      comment (depth + 1) (i + 2)
+    end
+    else if src.[i] = '*' && i + 1 < n && src.[i + 1] = ')' then begin
+      blank i;
+      blank (i + 1);
+      if depth = 1 then code (i + 2) else comment (depth - 1) (i + 2)
+    end
+    else if src.[i] = '"' then begin
+      (* Strings are lexed inside comments: a close-comment sequence
+         inside such a string does not close the comment. *)
+      blank i;
+      comment_string depth (i + 1)
+    end
+    else begin
+      blank i;
+      comment depth (i + 1)
+    end
+  and comment_string depth i =
+    if i >= n then ()
+    else if src.[i] = '\\' && i + 1 < n then begin
+      blank i;
+      blank (i + 1);
+      comment_string depth (i + 2)
+    end
+    else if src.[i] = '"' then begin
+      blank i;
+      comment depth (i + 1)
+    end
+    else begin
+      blank i;
+      comment_string depth (i + 1)
+    end
+  in
+  code 0;
+  Bytes.to_string out
+
+(* ------------------------------------------------------------------ *)
+(* Token matching with identifier boundaries, so e.g. "sprintf" never
+   matches a search for "printf". *)
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_' || c = '.'
+
+let count_token line tok =
+  let nl = String.length line and nt = String.length tok in
+  let hits = ref 0 in
+  let i = ref 0 in
+  while !i + nt <= nl do
+    if
+      String.sub line !i nt = tok
+      && (!i = 0 || not (is_ident_char line.[!i - 1]))
+      && (!i + nt = nl || not (is_ident_char line.[!i + nt]))
+    then begin
+      incr hits;
+      i := !i + nt
+    end
+    else incr i
+  done;
+  !hits
+
+let has_token line tok = count_token line tok > 0
+
+(* ------------------------------------------------------------------ *)
+(* Rules *)
+
+let print_tokens =
+  [
+    "Printf.printf"; "Printf.eprintf"; "Printf.fprintf"; "Format.printf";
+    "Format.eprintf"; "Format.fprintf"; "Format.print_string"; "print_string";
+    "print_endline"; "print_newline"; "print_int"; "print_float"; "print_char";
+    "prerr_string"; "prerr_endline"; "prerr_newline";
+  ]
+
+let wallclock_tokens =
+  [ "Unix.gettimeofday"; "Unix.time"; "Sys.time"; "Random.self_init" ]
+
+let allow_marker = "lint:allow"
+
+let path_parts file = String.split_on_char '/' file
+
+let is_fig_file file =
+  let base = Filename.basename file in
+  String.length base > 4
+  && String.sub base 0 4 = "fig_"
+  && Filename.check_suffix base ".ml"
+
+let in_tests file = List.mem "test" (path_parts file)
+
+(* Name of the top-level binding a fig line belongs to: lines starting
+   with "let " in column 0 open a new one. *)
+let toplevel_binding line current =
+  if String.length line > 4 && String.sub line 0 4 = "let " then begin
+    let rest = String.sub line 4 (String.length line - 4) in
+    let rest =
+      if String.length rest > 4 && String.sub rest 0 4 = "rec " then
+        String.sub rest 4 (String.length rest - 4)
+      else rest
+    in
+    let j = ref 0 in
+    while
+      !j < String.length rest
+      && (let c = rest.[!j] in
+          (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+          || (c >= '0' && c <= '9') || c = '_' || c = '\'')
+    do
+      incr j
+    done;
+    if !j > 0 then String.sub rest 0 !j else current
+  end
+  else current
+
+let ends_with s suffix =
+  let ls = String.length s and lx = String.length suffix in
+  ls >= lx && String.sub s (ls - lx) lx = suffix
+
+let check_source ~file src =
+  let scrubbed = scrub src in
+  let raw_lines = Array.of_list (String.split_on_char '\n' src) in
+  let lines = Array.of_list (String.split_on_char '\n' scrubbed) in
+  let findings = ref [] in
+  let report line rule message = findings := { file; line; rule; message } :: !findings in
+  let allowed i =
+    (* The marker lives in a comment, so look at the raw line. *)
+    let raw = raw_lines.(i) in
+    let nl = String.length raw and nm = String.length allow_marker in
+    let rec scan j =
+      j + nm <= nl && (String.sub raw j nm = allow_marker || scan (j + 1))
+    in
+    scan 0
+  in
+  let fig = is_fig_file file in
+  let binding = ref "" in
+  let acquires = ref 0 and releases = ref 0 in
+  Array.iteri
+    (fun i line ->
+      if not (allowed i) then begin
+        let lineno = i + 1 in
+        binding := toplevel_binding line !binding;
+        (* Figure data phases must stay pure and deterministic. *)
+        if fig && not (ends_with !binding "_present") then begin
+          List.iter
+            (fun tok ->
+              if has_token line tok then
+                report lineno "no-print"
+                  (Printf.sprintf
+                     "%s in figure data phase (binding %S); only *_present \
+                      bindings may write to the console"
+                     tok !binding))
+            print_tokens;
+          List.iter
+            (fun tok ->
+              if has_token line tok then
+                report lineno "no-wallclock"
+                  (Printf.sprintf
+                     "%s in figure data phase (binding %S); figure data must \
+                      be deterministic in sim time"
+                     tok !binding))
+            wallclock_tokens
+        end;
+        if
+          fig
+          && String.length line > 4
+          && String.sub line 0 4 = "let "
+          && (has_token line "ref" && has_token line "=")
+        then
+          report lineno "no-global-mutable"
+            "top-level mutable state in a figure module; keep figure data \
+             functional";
+        (* Lock pairing (production code only: tests exercise the
+           unpaired paths on purpose). *)
+        if not (in_tests file) then begin
+          acquires :=
+            !acquires + count_token line "Lock.acquire"
+            + count_token line "Lock.Counting.acquire"
+            + count_token line "Counting.acquire";
+          releases :=
+            !releases + count_token line "Lock.release"
+            + count_token line "Lock.Counting.release"
+            + count_token line "Counting.release"
+        end;
+        (* Every Trace.emit must sit under a Trace.enabled guard so the
+           disabled path stays free. *)
+        if has_token line "Trace.emit" && Filename.basename file <> "trace.ml"
+        then begin
+          let guarded = ref false in
+          for j = max 0 (i - 6) to i do
+            if has_token lines.(j) "Trace.enabled" then guarded := true
+          done;
+          if not !guarded then
+            report lineno "trace-guard"
+              "Trace.emit without a Trace.enabled test in the preceding \
+               lines; unguarded emission costs sim time even when tracing \
+               is off"
+        end
+      end)
+    lines;
+  if !acquires > !releases then
+    report 0 "lock-pairing"
+      (Printf.sprintf
+         "%d Lock.acquire call site(s) but only %d Lock.release; some path \
+          leaks a lock — prefer Lock.with_lock"
+         !acquires !releases);
+  List.rev !findings
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let check_file path = check_source ~file:path (read_file path)
+
+let check_tree ~roots =
+  let files = ref [] in
+  let rec walk dir =
+    match Sys.readdir dir with
+    | entries ->
+      Array.sort compare entries;
+      Array.iter
+        (fun entry ->
+          let path = Filename.concat dir entry in
+          if Sys.is_directory path then begin
+            if entry <> "_build" && entry.[0] <> '.' then walk path
+          end
+          else if Filename.check_suffix entry ".ml" then
+            files := path :: !files)
+        entries
+    | exception Sys_error _ -> ()
+  in
+  List.iter (fun r -> if Sys.file_exists r && Sys.is_directory r then walk r) roots;
+  List.concat_map check_file (List.sort compare (List.rev !files))
+  |> List.sort (fun a b ->
+         match compare a.file b.file with 0 -> compare a.line b.line | c -> c)

@@ -1,0 +1,105 @@
+open Pnp_engine
+
+type lock_stat = {
+  lock : string;
+  discipline : string option;
+  grants : int;
+  reordered : int;
+  max_window : int;
+}
+
+type acc = {
+  mutable grants : int;
+  mutable reordered : int;
+  mutable max_window : int;
+  mutable max_seq : int; (* highest packet seq granted so far *)
+  mutable any_seq : bool;
+}
+
+let stats tracer =
+  let tbl : (string, acc) Hashtbl.t = Hashtbl.create 32 in
+  Replay.replay tracer (fun ctx r ->
+      match r.Trace.ev with
+      | Trace.Lock_grant { lock; _ } -> (
+        match Replay.current_seq ctx ~tid:r.Trace.tid with
+        | None -> ()
+        | Some seq ->
+          let a =
+            match Hashtbl.find_opt tbl lock with
+            | Some a -> a
+            | None ->
+              let a =
+                { grants = 0; reordered = 0; max_window = 0; max_seq = 0; any_seq = false }
+              in
+              Hashtbl.replace tbl lock a;
+              a
+          in
+          a.grants <- a.grants + 1;
+          if a.any_seq && seq < a.max_seq then begin
+            a.reordered <- a.reordered + 1;
+            a.max_window <- max a.max_window (a.max_seq - seq)
+          end;
+          if (not a.any_seq) || seq > a.max_seq then begin
+            a.max_seq <- seq;
+            a.any_seq <- true
+          end)
+      | _ -> ());
+  Hashtbl.fold
+    (fun lock a rows ->
+      {
+        lock;
+        discipline = Trace.lock_discipline tracer lock;
+        grants = a.grants;
+        reordered = a.reordered;
+        max_window = a.max_window;
+      }
+      :: rows)
+    tbl []
+  |> List.sort (fun (x : lock_stat) y ->
+         match compare y.reordered x.reordered with
+         | 0 -> compare x.lock y.lock
+         | c -> c)
+
+let reordered_total rows =
+  List.fold_left
+    (fun (r, g) (s : lock_stat) -> (r + s.reordered, g + s.grants))
+    (0, 0) rows
+
+(* FIFO grant-order assertion: replay each lock's request queue and
+   require grants to pop the head. *)
+let check tracer =
+  let pending : (string, (int * Trace.record) list) Hashtbl.t = Hashtbl.create 32 in
+  let findings = ref [] in
+  let flagged : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  Replay.replay tracer (fun _ctx r ->
+      match r.Trace.ev with
+      | Trace.Lock_request { lock; _ } ->
+        let q = Option.value ~default:[] (Hashtbl.find_opt pending lock) in
+        Hashtbl.replace pending lock (q @ [ (r.Trace.tid, r) ])
+      | Trace.Lock_grant { lock; _ } -> (
+        let q = Option.value ~default:[] (Hashtbl.find_opt pending lock) in
+        (* A grant whose request predates trace start is not in the queue;
+           ignore it rather than mistake it for an overtake. *)
+        if List.exists (fun (tid, _) -> tid = r.Trace.tid) q then
+          match q with
+          | (head_tid, head_req) :: rest when head_tid <> r.Trace.tid ->
+            (* Overtake.  Only a violation for FIFO locks. *)
+            (if Trace.lock_discipline tracer lock = Some "fifo"
+                && not (Hashtbl.mem flagged lock) then begin
+               Hashtbl.add flagged lock ();
+               findings :=
+                 Finding.v ~checker:"fifo-order" ~subject:lock
+                   ~witnesses:[ head_req; r ]
+                   (Printf.sprintf
+                      "FIFO lock granted out of arrival order: tid %d overtook the \
+                       pending request of tid %d"
+                      r.Trace.tid head_tid)
+                 :: !findings
+             end);
+            ignore rest;
+            Hashtbl.replace pending lock
+              (List.filter (fun (tid, _) -> tid <> r.Trace.tid) q)
+          | _ :: rest -> Hashtbl.replace pending lock rest
+          | [] -> ())
+      | _ -> ());
+  Finding.sort !findings

@@ -1,0 +1,37 @@
+(** FIFO-discipline and packet-order checking over the lock-grant stream.
+
+    Two related analyses on every lock that appears in the trace:
+
+    - {b Grant-order assertion}: a lock registered with the ["fifo"]
+      discipline (the MCS lock) must grant in request-arrival order.
+      Any grant that overtakes an earlier, still-pending request is a
+      finding — this turns the {!Pnp_engine.Lock.Fifo} contract into a
+      machine-checked invariant.
+
+    - {b Reorder-window quantification}: cross-referencing each grant
+      with the packet sequence number the grantee thread is carrying
+      (its latest [Span_begin Enqueue]) measures how far the lock's
+      grant order deviates from packet arrival order — the Figure 10
+      mechanism (non-FIFO locks reorder packets inside TCP) as numbers
+      instead of a chart.  [reordered] counts grants whose packet seq is
+      lower than one already granted; [max_window] is the deepest such
+      overtake in sequence-number distance (bytes). *)
+
+type lock_stat = {
+  lock : string;
+  discipline : string option;  (** from {!Pnp_engine.Trace.lock_discipline} *)
+  grants : int;                (** grants attributable to a carried packet *)
+  reordered : int;
+  max_window : int;            (** in packets, 0 when order was preserved *)
+}
+
+val stats : Pnp_engine.Trace.t -> lock_stat list
+(** Per-lock reorder statistics, restricted to locks whose grantees
+    carried packets; sorted by reordered count descending. *)
+
+val reordered_total : lock_stat list -> int * int
+(** [(reordered, grants)] summed over all locks. *)
+
+val check : Pnp_engine.Trace.t -> Finding.t list
+(** Grant-order violations on FIFO locks, witnessed by the overtaken
+    request and the overtaking grant. *)

@@ -1,0 +1,59 @@
+open Pnp_engine
+
+(* Per thread: held locks as (name, grant record), oldest first, and the
+   seq of the packet it is currently carrying up the stack. *)
+type thread_state = {
+  mutable locks : (string * Trace.record) list;
+  mutable seq : int option;
+}
+
+type ctx = (int, thread_state) Hashtbl.t
+
+let state ctx tid =
+  match Hashtbl.find_opt ctx tid with
+  | Some s -> s
+  | None ->
+    let s = { locks = []; seq = None } in
+    Hashtbl.replace ctx tid s;
+    s
+
+let held ctx ~tid =
+  match Hashtbl.find_opt ctx tid with
+  | None -> []
+  | Some s -> List.map fst s.locks
+
+let grant_record ctx ~tid ~lock =
+  match Hashtbl.find_opt ctx tid with
+  | None -> None
+  | Some s -> List.assoc_opt lock s.locks
+
+let current_seq ctx ~tid =
+  match Hashtbl.find_opt ctx tid with None -> None | Some s -> s.seq
+
+(* Remove the most recent occurrence: a Counting lock's underlying lock
+   appears once, but be robust to repeated names. *)
+let remove_last name locks =
+  let rec go = function
+    | [] -> []
+    | (n, _) :: rest when n = name && not (List.mem_assoc name rest) -> rest
+    | entry :: rest -> entry :: go rest
+  in
+  go locks
+
+let apply ctx (r : Trace.record) =
+  match r.Trace.ev with
+  | Trace.Lock_grant { lock; _ } ->
+    let s = state ctx r.Trace.tid in
+    s.locks <- s.locks @ [ (lock, r) ]
+  | Trace.Lock_release { lock; _ } ->
+    let s = state ctx r.Trace.tid in
+    s.locks <- remove_last lock s.locks
+  | Trace.Span_begin { seq; phase = Trace.Enqueue } ->
+    (state ctx r.Trace.tid).seq <- Some seq
+  | _ -> ()
+
+let replay tracer f =
+  let ctx : ctx = Hashtbl.create 64 in
+  Trace.iter tracer (fun r ->
+      f ctx r;
+      apply ctx r)

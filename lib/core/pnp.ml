@@ -12,6 +12,8 @@
       assembly and the in-memory drivers of the paper's Section 2.3.
     - {!Config}, {!Run}, {!Report} — the experiment harness.
     - {!Figures} — the generators for every figure and table in the paper.
+    - {!Analysis} — trace-driven concurrency checkers (lockset,
+      lock-order, grant-order) and the source-invariant lint.
 
     {1 Thirty-second tour}
 
@@ -67,6 +69,17 @@ module Link = Pnp_driver.Link
 module Config = Pnp_harness.Config
 module Run = Pnp_harness.Run
 module Report = Pnp_harness.Report
+
+(* trace-driven checkers and lint *)
+module Analysis = struct
+  module Finding = Pnp_analysis.Finding
+  module Replay = Pnp_analysis.Replay
+  module Lockset = Pnp_analysis.Lockset
+  module Lock_order = Pnp_analysis.Lock_order
+  module Order_check = Pnp_analysis.Order_check
+  module Check = Pnp_analysis.Check
+  module Lint = Pnp_analysis.Lint
+end
 
 (* figure generators *)
 module Figures = struct

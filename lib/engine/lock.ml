@@ -20,12 +20,18 @@ type t = {
   mutable total_hold_ns : int;
 }
 
+let discipline_name = function
+  | Unfair -> "unfair"
+  | Fifo -> "fifo"
+  | Barging -> "barging"
+
 let create sim arch disc ~name =
   let acquire_ns =
     match disc with
     | Unfair | Barging -> arch.Arch.mutex_ns
     | Fifo -> arch.Arch.mcs_ns
   in
+  Trace.register_lock (Sim.tracer sim) ~name ~discipline:(discipline_name disc);
   {
     sim;
     arch;
@@ -121,11 +127,23 @@ let pick_waiter t =
       t.waiters <- List.filteri (fun j _ -> j <> i) ws;
       Some w)
 
+(* A non-owner release is always a caller bug; name everyone involved so
+   the report is actionable without a debugger. *)
+let non_owner_release ~what ~lock ~owner th =
+  let owner_desc =
+    match owner with
+    | Some o -> Printf.sprintf "owned by tid %d (%s)" (Sim.tid o) (Sim.thread_name o)
+    | None -> "not held"
+  in
+  invalid_arg
+    (Printf.sprintf "%s %S: caller tid %d (%s) is not the owner; lock is %s" what lock
+       (Sim.tid th) (Sim.thread_name th) owner_desc)
+
 let release t =
   let th = Sim.self t.sim in
   (match t.owner with
    | Some o when o == th -> ()
-   | _ -> failwith (Printf.sprintf "Lock.release %S: caller is not the owner" t.name));
+   | owner -> non_owner_release ~what:"Lock.release" ~lock:t.name ~owner th);
   let now = Sim.now t.sim in
   t.total_hold_ns <- t.total_hold_ns + (now - t.hold_start);
   if Trace.enabled (Sim.tracer t.sim) then
@@ -184,7 +202,8 @@ module Counting = struct
     let th = Sim.self t.lock.sim in
     (match t.owner with
      | Some o when o == th -> ()
-     | _ -> failwith "Lock.Counting.release: caller is not the owner");
+     | owner ->
+       non_owner_release ~what:"Lock.Counting.release" ~lock:t.lock.name ~owner th);
     t.depth <- t.depth - 1;
     if t.depth = 0 then begin
       t.owner <- None;

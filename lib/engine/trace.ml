@@ -14,6 +14,7 @@ type ev =
   | Mpool_alloc of { hit : bool }
   | Span_begin of { seq : int; phase : pkt_phase }
   | Span_end of { seq : int; phase : pkt_phase }
+  | Access of { state : string; write : bool }
 
 type record = { ts : int; tid : int; cpu : int; ev : ev }
 
@@ -22,9 +23,11 @@ type t = {
   mutable rev : record list;
   mutable n : int;
   names : (int, string * int) Hashtbl.t; (* tid -> (name, cpu); always kept *)
+  locks : (string, string) Hashtbl.t; (* lock name -> discipline; always kept *)
 }
 
-let create () = { on = false; rev = []; n = 0; names = Hashtbl.create 16 }
+let create () =
+  { on = false; rev = []; n = 0; names = Hashtbl.create 16; locks = Hashtbl.create 16 }
 let enabled t = t.on
 let enable t = t.on <- true
 let disable t = t.on <- false
@@ -32,6 +35,15 @@ let disable t = t.on <- false
 (* Registered at every spawn regardless of [on], so threads created before
    tracing starts still get names in the exported view. *)
 let register_thread t ~tid ~cpu name = Hashtbl.replace t.names tid (name, cpu)
+
+(* Registered at creation regardless of [on]: locks mostly exist before
+   tracing starts, and the order checkers need their disciplines. *)
+let register_lock t ~name ~discipline = Hashtbl.replace t.locks name discipline
+let lock_discipline t name = Hashtbl.find_opt t.locks name
+
+let registered_locks t =
+  Hashtbl.fold (fun name disc acc -> (name, disc) :: acc) t.locks []
+  |> List.sort compare
 
 let clear t =
   t.rev <- [];
@@ -45,6 +57,12 @@ let emit t ~ts ~tid ~cpu ev =
 
 let events t = List.rev t.rev
 let count t = t.n
+let iter t f = List.iter f (List.rev t.rev)
+
+let fold t ~init ~f =
+  (* The store is newest-first; fold right-to-left to replay in emission
+     order without materialising the reversed list. *)
+  List.fold_right (fun r acc -> f acc r) t.rev init
 
 let pp_phase = function
   | Enqueue -> "enqueue"
@@ -212,7 +230,10 @@ let to_chrome_string t =
       | Mpool_alloc { hit } ->
         instant ~name:(if hit then "mpool hit" else "mpool miss") ~cat:"mpool" r ~args:""
       | Span_begin { seq; phase } -> async "b" r ~seq ~phase
-      | Span_end { seq; phase } -> async "e" r ~seq ~phase)
+      | Span_end { seq; phase } -> async "e" r ~seq ~phase
+      | Access { state; write } ->
+        instant ~name:((if write then "write " else "read ") ^ state) ~cat:"access" r
+          ~args:"")
     evs;
   Buffer.add_string buf "\n]}\n";
   Buffer.contents buf

@@ -42,6 +42,12 @@ type ev =
   | Mpool_alloc of { hit : bool }
   | Span_begin of { seq : int; phase : pkt_phase }
   | Span_end of { seq : int; phase : pkt_phase }
+  | Access of { state : string; write : bool }
+      (** A read or write of a named piece of shared state, annotated by
+          the engine/protocol layers at the access site.  The lockset
+          checker ({!Pnp_analysis.Lockset}) intersects the locks held at
+          each access; identifiers use a ["owner#field"] convention to
+          keep them distinct from lock names. *)
 
 type record = { ts : int; tid : int; cpu : int; ev : ev }
 
@@ -65,10 +71,36 @@ val register_thread : t -> tid:int -> cpu:int -> string -> unit
     works even while disabled, so threads spawned before tracing starts
     still appear named in Chrome. *)
 
+val register_lock : t -> name:string -> discipline:string -> unit
+(** Remember a lock's grant discipline (["fifo"], ["unfair"], ["barging"])
+    for trace consumers.  Like {!register_thread} this works even while
+    disabled: locks are usually created during setup, before tracing is
+    enabled, and the order checkers need to know which locks promise
+    FIFO grants. *)
+
+val lock_discipline : t -> string -> string option
+(** The discipline registered for a lock name, if any. *)
+
+val registered_locks : t -> (string * string) list
+(** All [(name, discipline)] registrations, sorted by name. *)
+
 val events : t -> record list
 (** All recorded events in emission (= time) order. *)
 
 val count : t -> int
+
+(** {2 Structured consumption}
+
+    The replay interface for trace-driven analyses
+    ({!Pnp_analysis}): a recorded trace is re-delivered as the same
+    typed records, in emission order, without building an intermediate
+    list when folding. *)
+
+val iter : t -> (record -> unit) -> unit
+(** [iter t f] applies [f] to every record in emission order. *)
+
+val fold : t -> init:'a -> f:('a -> record -> 'a) -> 'a
+(** [fold t ~init ~f] folds over the records in emission order. *)
 
 (** {2 Contention attribution}
 

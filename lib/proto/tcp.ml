@@ -175,6 +175,7 @@ and session = {
   proto : t;
   key : Conn_key.t;
   tcb : tcb;
+  state_ns : string; (* namespace for shared-state access annotations *)
   locks : locks;
   gate : Gate.t;
   sess_ref : Atomic_ctr.t;
@@ -201,6 +202,20 @@ let span plat ev =
 
 let span_begin plat ~seq phase = span plat (Trace.Span_begin { seq; phase })
 let span_end plat ~seq phase = span plat (Trace.Span_end { seq; phase })
+
+(* Shared-state access annotations for the Eraser-style lockset checker
+   (Pnp_analysis.Lockset).  Each annotated site names the piece of
+   per-connection state it touches ("<conn>#snd", "#rcv", "#reass",
+   "#sb"); the checker intersects the locks held across all accesses of
+   the same name and reports when the intersection goes empty.  Guarded
+   on the tracer so the disabled path costs one field read. *)
+let access sess ~write field =
+  let sim = sess.proto.plat.Platform.sim in
+  let tracer = Sim.tracer sim in
+  if Trace.enabled tracer && Sim.in_thread sim then
+    let th = Sim.self sim in
+    Trace.emit tracer ~ts:(Sim.now sim) ~tid:(Sim.tid th) ~cpu:(Sim.cpu th)
+      (Trace.Access { state = sess.state_ns ^ "#" ^ field; write })
 
 (* ------------------------------------------------------------------ *)
 (* Locking disciplines                                                 *)
@@ -329,16 +344,16 @@ let fresh_tcb t =
   }
 
 let fresh_session t key =
+  let base =
+    Printf.sprintf "%s.conn:%d-%x:%d" t.name key.Conn_key.lport key.Conn_key.raddr
+      key.Conn_key.rport
+  in
   {
     proto = t;
     key;
     tcb = fresh_tcb t;
-    locks =
-      make_locks t.plat t.plat.Platform.lock_disc
-        ~name:
-          (Printf.sprintf "%s.conn:%d-%x:%d" t.name key.Conn_key.lport key.Conn_key.raddr
-             key.Conn_key.rport)
-        t.cfg.locking;
+    state_ns = base;
+    locks = make_locks t.plat t.plat.Platform.lock_disc ~name:base t.cfg.locking;
     gate = Gate.create t.plat.Platform.sim t.plat.Platform.arch ~name:"tcp.order";
     sess_ref = Platform.refcnt t.plat ~name:"tcp.sess" ~init:1;
     receiver = (fun msg -> Msg.destroy msg);
@@ -437,6 +452,7 @@ let set_rexmt_timer tcb =
 let build_one sess =
   let t = sess.proto in
   let tcb = sess.tcb in
+  access sess ~write:false "snd";
   let in_flight = Tcp_seq.diff tcb.snd_nxt tcb.snd_una in
   let wnd = min tcb.snd_wnd tcb.snd_cwnd in
   let off = in_flight in
@@ -451,7 +467,12 @@ let build_one sess =
   in
   if len > 0 && not nagle_holds then begin
     Costs.charge t.plat Costs.tcp_output_locked;
-    let payload = with_rexmt_lock sess (fun () -> Sockbuf.peek tcb.sb ~off ~len) in
+    access sess ~write:true "snd";
+    let payload =
+      with_rexmt_lock sess (fun () ->
+          access sess ~write:false "sb";
+          Sockbuf.peek tcb.sb ~off ~len)
+    in
     let seq = tcb.snd_nxt in
     tcb.snd_nxt <- Tcp_seq.add tcb.snd_nxt len;
     tcb.snd_max <- Tcp_seq.max tcb.snd_max tcb.snd_nxt;
@@ -476,6 +497,7 @@ let build_one sess =
   end
   else if tcb.fin_queued && (not tcb.fin_sent) && unsent <= 0 then begin
     Costs.charge t.plat Costs.tcp_conn_setup;
+    access sess ~write:true "snd";
     let seq = tcb.snd_nxt in
     tcb.snd_nxt <- Tcp_seq.add tcb.snd_nxt 1;
     tcb.snd_max <- Tcp_seq.max tcb.snd_max tcb.snd_nxt;
@@ -530,6 +552,7 @@ let process_ack sess ~ack ~now acc =
   let acked = Tcp_seq.diff ack tcb.snd_una in
   if acked <= 0 then acc
   else begin
+    access sess ~write:true "snd";
     if tcb.t_rtttime <> 0 && Tcp_seq.gt ack tcb.t_rtseq then update_rtt tcb ~now;
     (* Congestion window growth (Tahoe). *)
     let incr_ =
@@ -542,7 +565,11 @@ let process_ack sess ~ack ~now acc =
       && Tcp_seq.diff tcb.snd_max tcb.snd_una = Sockbuf.cc tcb.sb + 1
     in
     let data_acked = min acked (Sockbuf.cc tcb.sb) in
-    with_rexmt_lock sess (fun () -> if data_acked > 0 then Sockbuf.drop tcb.sb data_acked);
+    with_rexmt_lock sess (fun () ->
+        if data_acked > 0 then begin
+          access sess ~write:true "sb";
+          Sockbuf.drop tcb.sb data_acked
+        end);
     tcb.snd_una <- ack;
     if Tcp_seq.lt tcb.snd_nxt tcb.snd_una then tcb.snd_nxt <- tcb.snd_una;
     tcb.dupacks <- 0;
@@ -567,10 +594,15 @@ let retransmit sess acc =
   let tcb = sess.tcb in
   sess.st.rexmits <- sess.st.rexmits + 1;
   Costs.charge t.plat Costs.tcp_output_locked;
+  access sess ~write:true "snd";
   let len = min t.cfg.mss (Sockbuf.cc tcb.sb) in
   tcb.snd_nxt <- Tcp_seq.max tcb.snd_nxt (Tcp_seq.add tcb.snd_una len);
   if len > 0 then begin
-    let payload = with_rexmt_lock sess (fun () -> Sockbuf.peek tcb.sb ~off:0 ~len) in
+    let payload =
+      with_rexmt_lock sess (fun () ->
+          access sess ~write:false "sb";
+          Sockbuf.peek tcb.sb ~off:0 ~len)
+    in
     emit sess ~flags:Tcp_wire.flag_ack ~seq:tcb.snd_una ~payload:(Some payload) acc
   end
   else if tcb.fin_sent then
@@ -585,6 +617,7 @@ let reass_insert sess seq msg =
   sess.st.reass_inserts <- sess.st.reass_inserts + 1;
   Costs.charge sess.proto.plat Costs.tcp_reass_insert;
   with_reass_lock sess (fun () ->
+      access sess ~write:true "reass";
       let rec ins = function
         | [] -> [ (seq, msg) ]
         | (s, m) :: rest as all ->
@@ -601,6 +634,7 @@ let reass_insert sess seq msg =
 (* Drain now-contiguous segments from the reassembly queue. *)
 let reass_drain sess deliveries =
   let tcb = sess.tcb in
+  if tcb.reass <> [] then access sess ~write:true "reass";
   let rec go acc =
     match tcb.reass with
     | (s, m) :: rest when s = tcb.rcv_nxt ->
@@ -654,6 +688,7 @@ let slow_path sess (hdr : Tcp_wire.header) msg ~now acc deliveries =
   end;
   (* Window update. *)
   if hdr.flags.Tcp_wire.ack then begin
+    access sess ~write:true "snd";
     tcb.snd_wnd <- hdr.win;
     if hdr.win > 0 then begin
       tcb.t_persist <- 0;
@@ -683,6 +718,7 @@ let slow_path sess (hdr : Tcp_wire.header) msg ~now acc deliveries =
   let len = Msg.length msg in
   if len > 0 then begin
     if !seq = tcb.rcv_nxt then begin
+      access sess ~write:true "rcv";
       tcb.rcv_nxt <- Tcp_seq.add tcb.rcv_nxt len;
       deliveries := deliver_in_order sess msg !deliveries;
       deliveries := reass_drain sess !deliveries;
@@ -700,6 +736,7 @@ let slow_path sess (hdr : Tcp_wire.header) msg ~now acc deliveries =
   if hdr.flags.Tcp_wire.fin then begin
     let fin_seq = Tcp_seq.add !seq len in
     if fin_seq = tcb.rcv_nxt then begin
+      access sess ~write:true "rcv";
       tcb.rcv_nxt <- Tcp_seq.add tcb.rcv_nxt 1;
       ack_now := true;
       if len = 0 then Msg.destroy msg;
@@ -785,6 +822,7 @@ let established_input sess (hdr : Tcp_wire.header) msg ~now acc deliveries =
     (* Fast path 2: pure in-order data. *)
     Costs.charge t.plat Costs.tcp_input_pred_locked;
     sess.st.pred_hits <- sess.st.pred_hits + 1;
+    access sess ~write:true "rcv";
     tcb.rcv_nxt <- Tcp_seq.add tcb.rcv_nxt len;
     let deliveries = deliver_in_order sess msg deliveries in
     (* Net/2 acks every other segment: the first leaves a delayed ack
@@ -1063,7 +1101,12 @@ let persist_timeout sess =
     if unsent > 0 && tcb.snd_wnd = 0 && tcb.state = Established then begin
       sess.st.persist_probes <- sess.st.persist_probes + 1;
       Costs.charge t.plat Costs.tcp_output_locked;
-      let payload = with_rexmt_lock sess (fun () -> Sockbuf.peek tcb.sb ~off:in_flight ~len:1) in
+      access sess ~write:true "snd";
+      let payload =
+        with_rexmt_lock sess (fun () ->
+            access sess ~write:false "sb";
+            Sockbuf.peek tcb.sb ~off:in_flight ~len:1)
+      in
       let seq = tcb.snd_nxt in
       tcb.snd_nxt <- Tcp_seq.add tcb.snd_nxt 1;
       tcb.snd_max <- Tcp_seq.max tcb.snd_max tcb.snd_nxt;
@@ -1214,7 +1257,9 @@ let send sess msg =
     output_acquire sess
   done;
   sess.st.bytes_out <- sess.st.bytes_out + len;
-  with_rexmt_lock sess (fun () -> Sockbuf.append tcb.sb msg);
+  with_rexmt_lock sess (fun () ->
+      access sess ~write:true "sb";
+      Sockbuf.append tcb.sb msg);
   output_release sess;
   (* The data checksum pass runs here, outside every connection-state lock
      (Section 5.1); the header is folded in at transmit time.  The Six

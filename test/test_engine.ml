@@ -330,14 +330,45 @@ let test_lock_unfair_grants_pinned () =
 
 let test_lock_release_by_non_owner_fails () =
   let sim = Sim.create () in
-  let lock = Lock.create sim arch Lock.Unfair ~name:"l" in
+  let lock = Lock.create sim arch Lock.Unfair ~name:"demux" in
+  let contains msg sub =
+    let n = String.length msg and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub msg i m = sub || go (i + 1)) in
+    go 0
+  in
+  (* Released while not held at all: the message names the lock and says so. *)
   let _ =
     Sim.spawn sim ~name:"bad" (fun () ->
         match Lock.release lock with
         | () -> Alcotest.fail "release without acquire should fail"
-        | exception Failure _ -> ())
+        | exception Invalid_argument msg ->
+          Alcotest.(check bool) "names the lock" true (contains msg "\"demux\"");
+          Alcotest.(check bool) "says not held" true (contains msg "not held"))
   in
-  Sim.run sim
+  Sim.run sim;
+  (* Released by a thread other than the owner: both tids are named. *)
+  let sim = Sim.create () in
+  let lock = Lock.create sim arch Lock.Unfair ~name:"demux" in
+  let owner = Sim.spawn sim ~name:"owner" (fun () ->
+      Lock.acquire lock;
+      Sim.delay sim 1_000_000;
+      Lock.release lock)
+  in
+  let intruder = ref None in
+  let it = Sim.spawn sim ~name:"intruder" (fun () ->
+      Sim.delay sim 1_000;
+      match Lock.release lock with
+      | () -> Alcotest.fail "non-owner release should fail"
+      | exception Invalid_argument msg -> intruder := Some msg)
+  in
+  Sim.run sim;
+  match !intruder with
+  | None -> Alcotest.fail "intruder never ran"
+  | Some msg ->
+    Alcotest.(check bool) "names caller tid" true
+      (contains msg (Printf.sprintf "tid %d (intruder)" (Sim.tid it)));
+    Alcotest.(check bool) "names owner tid" true
+      (contains msg (Printf.sprintf "tid %d (owner)" (Sim.tid owner)))
 
 let test_lock_with_lock_releases_on_exception () =
   let sim = Sim.create () in
@@ -467,6 +498,49 @@ let test_counting_lock_excludes_others () =
     "second waits for full release"
     [ "first-release"; "second-acquired" ]
     (List.rev !order)
+
+let test_lock_barging_grant_order () =
+  (* With every waiter queued by release time, the barging spinlock is
+     LIFO: the newest arrival wins each test-and-set race.  No randomness
+     is involved, so this holds for every seed. *)
+  List.iter
+    (fun seed ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "seed %d: newest waiter first" seed)
+        [ 6; 5; 4; 3; 2; 1 ]
+        (grant_sequence Lock.Barging ~seed))
+    [ 1; 2; 3 ]
+
+let test_counting_release_balance () =
+  let sim = Sim.create () in
+  let cl = Lock.Counting.create sim arch Lock.Unfair ~name:"map" in
+  let contains msg sub =
+    let n = String.length msg and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub msg i m = sub || go (i + 1)) in
+    go 0
+  in
+  let done_ = ref false in
+  let _ =
+    Sim.spawn sim ~name:"recurser" (fun () ->
+        Lock.Counting.with_lock cl (fun () ->
+            Lock.Counting.with_lock cl (fun () ->
+                Alcotest.(check int) "nested depth" 2 (Lock.Counting.depth cl));
+            Alcotest.(check int) "after inner" 1 (Lock.Counting.depth cl));
+        Alcotest.(check int) "after outer" 0 (Lock.Counting.depth cl);
+        (* A fresh acquire after full release starts a new depth-1 hold;
+           the extra release beyond balance must raise, naming the lock. *)
+        Lock.Counting.acquire cl;
+        Alcotest.(check int) "re-acquired" 1 (Lock.Counting.depth cl);
+        Lock.Counting.release cl;
+        (match Lock.Counting.release cl with
+         | () -> Alcotest.fail "unbalanced release must raise"
+         | exception Invalid_argument msg ->
+           Alcotest.(check bool) "names the lock" true (contains msg "\"map\"");
+           Alcotest.(check bool) "says not held" true (contains msg "not held"));
+        done_ := true)
+  in
+  Sim.run sim;
+  Alcotest.(check bool) "completed" true !done_
 
 (* ------------------------------------------------------------------ *)
 (* Gate                                                                *)
@@ -721,6 +795,10 @@ let suites =
         Alcotest.test_case "counting lock recursion" `Quick test_counting_lock_recursion;
         Alcotest.test_case "counting lock excludes others" `Quick
           test_counting_lock_excludes_others;
+        Alcotest.test_case "barging grants newest first" `Quick
+          test_lock_barging_grant_order;
+        Alcotest.test_case "counting release balance" `Quick
+          test_counting_release_balance;
       ] );
     ( "engine.gate",
       [
