@@ -168,6 +168,14 @@ let run_cmd =
       value & opt float 8.0
       & info [ "jitter-us" ] ~doc:"Mean driver service jitter in microseconds.")
   in
+  let loss =
+    Arg.(
+      value & opt float 0.0
+      & info [ "loss" ]
+          ~doc:
+            "Bernoulli segment-loss probability on the receiving peer (TCP send \
+             side only): exercises the full retransmission machinery.")
+  in
   let trace_file =
     Arg.(
       value
@@ -181,7 +189,7 @@ let run_cmd =
   in
   let exec opts jobs protocol side procs payload no_cksum locks tcp_locking connections
       placement skew offered ticketing assume locked_refs no_caching arch seed
-      presentation cksum_under_lock jitter_us trace_file =
+      presentation cksum_under_lock jitter_us loss trace_file =
     Pool.set_jobs jobs;
     let arch =
       match Pnp_engine.Arch.by_name arch with
@@ -197,8 +205,8 @@ let run_cmd =
         ~refcnt_mode:
           (if locked_refs then Pnp_engine.Atomic_ctr.Locked else Pnp_engine.Atomic_ctr.Ll_sc)
         ~message_caching:(not no_caching) ~presentation ~cksum_under_lock
-        ~driver_jitter_ns:(jitter_us *. 1000.0) ~warmup:opts.Pnp_figures.Opts.warmup
-        ~measure:opts.Pnp_figures.Opts.measure ~seed ()
+        ~driver_jitter_ns:(jitter_us *. 1000.0) ~loss_rate:loss
+        ~warmup:opts.Pnp_figures.Opts.warmup ~measure:opts.Pnp_figures.Opts.measure ~seed ()
     in
     (* Fail on an unwritable trace destination before running the whole
        simulation, not after. *)
@@ -240,7 +248,7 @@ let run_cmd =
       const exec $ opts_term $ jobs_term $ protocol $ side $ procs $ payload $ no_cksum $ locks
       $ tcp_locking $ connections $ placement $ skew $ offered $ ticketing $ assume
       $ locked_refs $ no_caching $ arch $ seed $ presentation $ cksum_under_lock
-      $ jitter_us $ trace_file)
+      $ jitter_us $ loss $ trace_file)
 
 (* Trace-driven concurrency checking: run reference scenarios with the
    tracer on and feed the trace to Pnp_analysis (lockset, lock-order,
@@ -248,10 +256,10 @@ let run_cmd =
 let check_cmd =
   let open Pnp_harness in
   let scenario ?(side = Config.Recv) ?(tcp_locking = Pnp_proto.Tcp.One)
-      ?(lock_disc = Pnp_engine.Lock.Unfair) ?(ticketing = false) () =
+      ?(lock_disc = Pnp_engine.Lock.Unfair) ?(ticketing = false) ?(loss_rate = 0.0) () =
     Config.v ~arch:Pnp_engine.Arch.challenge_100 ~procs:4 ~side
       ~protocol:Config.Tcp ~payload:4096 ~checksum:true ~lock_disc ~tcp_locking
-      ~ticketing
+      ~ticketing ~loss_rate
       ~warmup:(Pnp_util.Units.ms 20.0)
       ~measure:(Pnp_util.Units.ms 80.0)
       ~seed:1 ()
@@ -275,6 +283,12 @@ let check_cmd =
        scenario ~lock_disc:Pnp_engine.Lock.Fifo ());
       ("table1", "tcp-recv locking=1 mcs ticketing", None,
        scenario ~lock_disc:Pnp_engine.Lock.Fifo ~ticketing:true ());
+      (* The retransmission machinery holds locks on paths idle traffic
+         never exercises; check them under forced loss too. *)
+      ("faults", "tcp-send locking=1 mcs loss=2%", None,
+       scenario ~side:Config.Send ~lock_disc:Pnp_engine.Lock.Fifo ~loss_rate:0.02 ());
+      ("faults", "tcp-send locking=6 mutex loss=2%", None,
+       scenario ~side:Config.Send ~tcp_locking:Pnp_proto.Tcp.Six ~loss_rate:0.02 ());
     ]
   in
   let figs_term =
@@ -352,6 +366,77 @@ let check_cmd =
           grant order) over reference scenarios.")
     Term.(const exec $ figs_term $ all_term)
 
+(* Deterministic fault injection with an end-to-end recovery oracle: each
+   cell transfers a golden byte stream over a faulted link and must
+   recover it exactly (TCP) and account for every datagram (UDP). *)
+let chaos_cmd =
+  let open Pnp_harness in
+  let plan_term =
+    let doc =
+      "Run one built-in fault plan against both lock disciplines (see \
+       $(b,--list-plans)); default: the full plan x discipline matrix."
+    in
+    Arg.(value & opt (some string) None & info [ "plan" ] ~docv:"NAME" ~doc)
+  in
+  let matrix_term =
+    let doc = "Run every built-in plan x {mutex, mcs} (the default)." in
+    Arg.(value & flag & info [ "matrix" ] ~doc)
+  in
+  let list_plans_term =
+    let doc = "List the built-in fault plans and exit." in
+    Arg.(value & flag & info [ "list-plans" ] ~doc)
+  in
+  let bytes_term =
+    Arg.(
+      value & opt int 200_000
+      & info [ "bytes" ] ~doc:"TCP golden-stream length per cell (bytes).")
+  in
+  let datagrams_term =
+    Arg.(value & opt int 600 & info [ "datagrams" ] ~doc:"Paced UDP datagrams per cell.")
+  in
+  let seed_term = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Base random seed.") in
+  let exec jobs plan matrix list_plans bytes datagrams seed =
+    if list_plans then
+      List.iter (fun (name, _) -> print_endline name) Pnp_faults.Faults.builtin
+    else begin
+      Pool.set_jobs jobs;
+      let outcomes =
+        match plan with
+        | Some name when not matrix -> (
+          match Pnp_faults.Faults.find name with
+          | None ->
+            Printf.eprintf "unknown fault plan %S; try `repro chaos --list-plans`\n" name;
+            exit 1
+          | Some p ->
+            List.map
+              (fun disc -> Chaos.run_cell ~bytes ~datagrams ~seed ~plan:p ~disc ())
+              [ Pnp_engine.Lock.Unfair; Pnp_engine.Lock.Fifo ])
+        | _ -> Chaos.matrix ~bytes ~datagrams ~seed ()
+      in
+      let failed = ref 0 in
+      List.iter
+        (fun o ->
+          print_endline (Chaos.to_line o);
+          if not (Chaos.passed o) then begin
+            incr failed;
+            List.iter
+              (fun f -> Format.printf "  %a@." Pnp_analysis.Finding.pp f)
+              o.Chaos.findings
+          end)
+        outcomes;
+      Printf.printf "chaos: %d cell(s), %d failed\n" (List.length outcomes) !failed;
+      if !failed > 0 then exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Inject deterministic link faults (loss, bursts, duplication, reordering, \
+          corruption, jitter, blackouts) and verify end-to-end recovery.")
+    Term.(
+      const exec $ jobs_term $ plan_term $ matrix_term $ list_plans_term $ bytes_term
+      $ datagrams_term $ seed_term)
+
 (* A short annotated wire trace of a TCP connection over the in-memory
    driver: handshake, data, acks. *)
 let trace_cmd =
@@ -399,6 +484,6 @@ let main =
     "Reproduction of 'Performance Issues in Parallelized Network Protocols' (OSDI '94)"
   in
   Cmd.group (Cmd.info "repro" ~doc)
-    [ list_cmd; fig_cmd; all_cmd; run_cmd; check_cmd; trace_cmd ]
+    [ list_cmd; fig_cmd; all_cmd; run_cmd; check_cmd; chaos_cmd; trace_cmd ]
 
 let () = exit (Cmd.eval main)

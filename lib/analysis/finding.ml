@@ -30,6 +30,10 @@ let ev_label (ev : Trace.ev) =
   | Span_end { seq; phase } -> Printf.sprintf "end %s seq %d" (Trace.pp_phase phase) seq
   | Access { state; write } ->
     Printf.sprintf "%s %s" (if write then "write" else "read") state
+  | Fault_drop { cause } -> "fault drop " ^ cause
+  | Fault_dup { copies } -> Printf.sprintf "fault dup +%d" copies
+  | Fault_corrupt { off; bit } -> Printf.sprintf "fault corrupt byte %d bit %d" off bit
+  | Fault_reorder { delay_ns } -> Printf.sprintf "fault reorder +%d ns" delay_ns
 
 let severity_label = function Error -> "error" | Warning -> "warning"
 

@@ -1,0 +1,95 @@
+type tcp_stream = {
+  label : string;
+  sent_bytes : int;
+  received_bytes : int;
+  sent_digest : int;
+  received_digest : int;
+  established : bool;
+  drained : bool;
+  rexmits : int;
+}
+
+type corruption = { injected : int; caught : int }
+
+type udp_account = {
+  injected : int;
+  duplicated : int;
+  delivered : int;
+  dropped_link : int;
+  dropped_proto : int;
+}
+
+type obs = {
+  run : string;
+  streams : tcp_stream list;
+  corruption : corruption option;
+  udp : udp_account option;
+}
+
+(* FNV-1a, 64-bit.  Order-sensitive and cheap; OCaml's native int is 63
+   bits, so the offset basis is folded into range — equality checking
+   only needs a consistent, well-mixed value. *)
+let fnv_offset = 0x4bf29ce484222325
+let fnv_prime = 0x100000001b3
+
+let digest_add acc s =
+  let h = ref acc in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * fnv_prime)
+    s;
+  !h
+
+let digest s = digest_add fnv_offset s
+
+let checker = "recovery"
+
+let check obs =
+  let findings = ref [] in
+  let fail ~subject msg = findings := Finding.v ~checker ~subject msg :: !findings in
+  List.iter
+    (fun s ->
+      let subject = obs.run ^ "/" ^ s.label in
+      if not s.established then
+        fail ~subject "connection never reached ESTABLISHED under the fault plan"
+      else begin
+        if not s.drained then
+          fail ~subject
+            (Printf.sprintf
+               "connection did not drain: %d of %d bytes delivered, %d rexmits — a \
+                fault-triggered retransmission never resolved"
+               s.received_bytes s.sent_bytes s.rexmits);
+        if s.received_bytes <> s.sent_bytes then
+          fail ~subject
+            (Printf.sprintf "stream length mismatch: sent %d bytes, delivered %d"
+               s.sent_bytes s.received_bytes)
+        else if s.received_digest <> s.sent_digest then
+          fail ~subject
+            (Printf.sprintf
+               "stream digest mismatch over %d bytes: corrupted or misordered data \
+                reached the application"
+               s.sent_bytes)
+      end)
+    obs.streams;
+  (match obs.corruption with
+  | Some c when c.caught < c.injected ->
+    fail ~subject:(obs.run ^ "/corruption")
+      (Printf.sprintf
+         "silent corruption: %d bit flips injected but only %d checksum rejections \
+          observed — %d damaged frame(s) passed verification"
+         c.injected c.caught (c.injected - c.caught))
+  | Some _ | None -> ());
+  (match obs.udp with
+  | Some u ->
+    let offered = u.injected + u.duplicated in
+    let accounted = u.delivered + u.dropped_link + u.dropped_proto in
+    if offered <> accounted then
+      fail ~subject:(obs.run ^ "/udp")
+        (Printf.sprintf
+           "datagram accounting does not balance: %d offered (%d + %d dup) but %d \
+            accounted (%d delivered + %d link drops + %d proto drops)"
+           offered u.injected u.duplicated accounted u.delivered u.dropped_link
+           u.dropped_proto)
+  | None -> ());
+  Finding.sort !findings

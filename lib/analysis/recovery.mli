@@ -1,0 +1,74 @@
+(** End-to-end recovery oracle for fault-injected runs.
+
+    The fault pipeline ({!Pnp_faults.Faults}) damages the wire on
+    purpose; this checker decides whether the protocols above it
+    {e recovered}.  Four families of verdicts, from the chaos harness's
+    observations of one run:
+
+    - {b Stream integrity}: every TCP byte stream delivered to a
+      receiving application must equal the stream the sender wrote —
+      same length, same {!digest} — and the connection must have reached
+      a drained terminal state (no retransmission left unresolved, no
+      frame still in flight).
+    - {b Zero silent corruption}: every payload bit flip the pipeline
+      injected must have been caught by an Internet checksum (IP header,
+      TCP or UDP) before reaching the socket layer.  Checksum failures
+      [>=] injections is required; an excess is legal (a corrupt frame
+      can be counted once per fragment), a deficit means a damaged byte
+      may have been delivered as data.
+    - {b UDP accounting}: datagrams have no recovery, so every injected
+      datagram must be accounted for exactly:
+      [injected + duplicated = delivered + dropped_link + dropped_proto].
+    - {b Liveness}: a run that hits its horizon without draining fails
+      ([drained = false] in the stream observation).
+
+    The oracle is pure: it inspects an {!obs} record assembled by the
+    caller (the chaos harness or a test) and returns findings — an empty
+    list is a clean bill of health. *)
+
+type tcp_stream = {
+  label : string;  (** e.g. ["chaos/loss/tcp"] — names the finding subject *)
+  sent_bytes : int;
+  received_bytes : int;
+  sent_digest : int;
+  received_digest : int;
+  established : bool;  (** handshake completed *)
+  drained : bool;
+      (** terminal: sender closed, receiver saw EOF, nothing in flight *)
+  rexmits : int;  (** informational, echoed into the liveness message *)
+}
+
+type corruption = {
+  injected : int;  (** bit flips the pipeline applied *)
+  caught : int;
+      (** checksum rejections observed above the MAC layer, summed over
+          IP header failures and TCP/UDP checksum failures at both ends *)
+}
+
+type udp_account = {
+  injected : int;  (** datagrams offered to the link *)
+  duplicated : int;  (** extra copies the pipeline created *)
+  delivered : int;  (** datagrams handed to the receiving application *)
+  dropped_link : int;  (** consumed by the fault pipeline *)
+  dropped_proto : int;
+      (** discarded above the wire: MAC filter, IP header/reassembly,
+          UDP checksum or no-listener drops *)
+}
+
+type obs = {
+  run : string;  (** subject prefix, e.g. the plan name *)
+  streams : tcp_stream list;
+  corruption : corruption option;
+  udp : udp_account option;
+}
+
+val digest : string -> int
+(** Order-sensitive 64-bit FNV-1a digest of a byte stream, for comparing
+    sent and received streams without retaining either. *)
+
+val digest_add : int -> string -> int
+(** Extend a running {!digest}: [digest s = digest_add (digest "") s];
+    feeding chunks in delivery order gives the whole-stream digest. *)
+
+val check : obs -> Finding.t list
+(** All recovery violations in the observation, sorted; [] = recovered. *)

@@ -10,6 +10,8 @@
       {!Sockbuf}, {!Inet_cksum}) — the protocol stack.
     - {!Stack}, {!Tcp_peer}, {!Tcp_source}, {!Udp_sink}, {!Udp_source} —
       assembly and the in-memory drivers of the paper's Section 2.3.
+    - {!Faults}, {!Chaos}, {!Recovery} — deterministic link-fault
+      injection and the end-to-end recovery oracle behind [repro chaos].
     - {!Config}, {!Run}, {!Report} — the experiment harness.
     - {!Figures} — the generators for every figure and table in the paper.
     - {!Analysis} — trace-driven concurrency checkers (lockset,
@@ -64,6 +66,11 @@ module Udp_sink = Pnp_driver.Udp_sink
 module Udp_source = Pnp_driver.Udp_source
 module Sniffer = Pnp_driver.Sniffer
 module Link = Pnp_driver.Link
+
+(* fault injection and recovery verification *)
+module Faults = Pnp_faults.Faults
+module Chaos = Pnp_harness.Chaos
+module Recovery = Pnp_analysis.Recovery
 
 (* harness *)
 module Config = Pnp_harness.Config

@@ -1,28 +1,40 @@
 open Pnp_engine
 open Pnp_util
 open Pnp_xkern
+open Pnp_faults
 open Pnp_proto
 
 (* One direction of the link: a serialising transmitter feeding a receive
-   thread through a delivery queue. *)
+   thread through a delivery queue.  Every offered frame runs through the
+   direction's fault pipeline before it reaches the wire. *)
 type direction = {
   dest : Stack.t;
   queue : Msg.t Queue.t;
   mutable rx_wakeup : (int -> unit) option; (* receive thread parked here *)
   mutable busy_until : int; (* transmitter serialisation horizon *)
-  mutable frames : int;
+  mutable frames : int; (* frames OFFERED to this direction *)
+  faults : Faults.t;
 }
 
 type t = {
   plat : Platform.t;
   latency : Units.ns;
   bandwidth_mbps : float;
-  loss_rate : float;
-  rng : Prng.t;
   ab : direction;
   ba : direction;
-  mutable dropped : int;
   mutable in_flight : int;
+}
+
+type fault_stats = {
+  offered : int;
+  dropped : int;
+  dropped_loss : int;
+  dropped_burst : int;
+  dropped_blackout : int;
+  corrupted : int;
+  duplicated : int;
+  reordered : int;
+  delayed : int;
 }
 
 let serialisation_ns t bytes =
@@ -52,40 +64,72 @@ let deliver t dir frame =
     resume (Sim.now t.plat.Platform.sim)
   | None -> ()
 
-(* The transmit side: drop or schedule arrival after serialisation +
-   propagation.  Runs in the sender's thread; only the arrival crosses
+let trace_ev_of_fault = function
+  | Faults.Ev_drop cause ->
+    Some (Trace.Fault_drop { cause = Faults.drop_cause_label cause })
+  | Faults.Ev_dup -> Some (Trace.Fault_dup { copies = 1 })
+  | Faults.Ev_corrupt { off; bit } -> Some (Trace.Fault_corrupt { off; bit })
+  | Faults.Ev_reorder { delay_ns } -> Some (Trace.Fault_reorder { delay_ns })
+  | Faults.Ev_delay _ -> None (* jitter perturbs timing only; not a fault event *)
+
+let trace_fault t ev =
+  let sim = t.plat.Platform.sim in
+  let tracer = Sim.tracer sim in
+  let ids () =
+    if Sim.in_thread sim then
+      let th = Sim.self sim in
+      (Sim.tid th, Sim.cpu th)
+    else (-1, -1)
+  in
+  if Trace.enabled tracer then
+    let tid, cpu = ids () in
+    Trace.emit tracer ~ts:(Sim.now sim) ~tid ~cpu ev
+
+(* The transmit side: run the fault pipeline, then schedule each surviving
+   frame's arrival after serialisation + propagation (+ any fault-injected
+   extra delay).  Runs in the sender's thread; only the arrival crosses
    into the receive thread. *)
 let transmit t dir frame =
-  if t.loss_rate > 0.0 && Prng.float t.rng 1.0 < t.loss_rate then begin
-    t.dropped <- t.dropped + 1;
-    Msg.destroy frame
-  end
-  else begin
-    let now = Sim.now t.plat.Platform.sim in
-    let start = max now dir.busy_until in
-    let ser = serialisation_ns t (Msg.length frame) in
-    dir.busy_until <- start + ser;
-    dir.frames <- dir.frames + 1;
-    t.in_flight <- t.in_flight + 1;
-    Sim.at t.plat.Platform.sim (start + ser + t.latency) (fun () -> deliver t dir frame)
-  end
+  dir.frames <- dir.frames + 1;
+  let sim = t.plat.Platform.sim in
+  let now = Sim.now sim in
+  let deliveries =
+    Faults.feed dir.faults ~now
+      ~on_event:(fun ev ->
+        match trace_ev_of_fault ev with Some tev -> trace_fault t tev | None -> ())
+      frame
+  in
+  List.iter
+    (fun (frame, extra_ns) ->
+      let start = max now dir.busy_until in
+      let ser = serialisation_ns t (Msg.length frame) in
+      dir.busy_until <- start + ser;
+      t.in_flight <- t.in_flight + 1;
+      Sim.at sim (start + ser + t.latency + extra_ns) (fun () -> deliver t dir frame))
+    deliveries
 
 let connect plat ?(latency = Units.us 50.0) ?(bandwidth_mbps = 100.0)
-    ?(loss_rate = 0.0) ~(a : Stack.t) ~(b : Stack.t) () =
-  let mk dest = { dest; queue = Queue.create (); rx_wakeup = None; busy_until = 0; frames = 0 } in
-  let t =
+    ?(loss_rate = 0.0) ?(plan = Faults.none) ~(a : Stack.t) ~(b : Stack.t) () =
+  (* [?loss_rate] is sugar for a Bernoulli stage prepended to the plan. *)
+  let eff_plan =
+    if loss_rate <= 0.0 then plan
+    else if plan.Faults.stages = [] then Faults.bernoulli loss_rate
+    else
+      Faults.plan ~name:plan.Faults.name
+        (Faults.Bernoulli_loss { p = loss_rate } :: plan.Faults.stages)
+  in
+  let rng = Prng.split (Sim.prng plat.Platform.sim) in
+  let mk dest =
     {
-      plat;
-      latency;
-      bandwidth_mbps;
-      loss_rate;
-      rng = Prng.split (Sim.prng plat.Platform.sim);
-      ab = mk b;
-      ba = mk a;
-      dropped = 0;
-      in_flight = 0;
+      dest;
+      queue = Queue.create ();
+      rx_wakeup = None;
+      busy_until = 0;
+      frames = 0;
+      faults = Faults.instantiate eff_plan ~prng:rng ~skip_bytes:Fddi.header_bytes;
     }
   in
+  let t = { plat; latency; bandwidth_mbps; ab = mk b; ba = mk a; in_flight = 0 } in
   Fddi.set_transmit a.Stack.fddi (fun frame -> transmit t t.ab frame);
   Fddi.set_transmit b.Stack.fddi (fun frame -> transmit t t.ba frame);
   start_rx t t.ab ~name:"link.rx.b" ~cpu:100;
@@ -94,5 +138,21 @@ let connect plat ?(latency = Units.us 50.0) ?(bandwidth_mbps = 100.0)
 
 let frames_ab t = t.ab.frames
 let frames_ba t = t.ba.frames
-let dropped t = t.dropped
+
+let fault_stats t =
+  let f g = g t.ab.faults + g t.ba.faults in
+  {
+    offered = f Faults.offered;
+    dropped = f Faults.dropped;
+    dropped_loss = f Faults.dropped_loss;
+    dropped_burst = f Faults.dropped_burst;
+    dropped_blackout = f Faults.dropped_blackout;
+    corrupted = f Faults.corrupted;
+    duplicated = f Faults.duplicated;
+    reordered = f Faults.reordered;
+    delayed = f Faults.delayed;
+  }
+
+let dropped t = Faults.dropped t.ab.faults + Faults.dropped t.ba.faults
+let plan_name t = (Faults.plan_of t.ab.faults).Faults.name
 let in_flight t = t.in_flight

@@ -5,12 +5,17 @@
     the role of an infinitely fast peer), a link connects two {e real}
     stacks: both ends run the full protocol machinery, the handshake and
     every acknowledgement crosses the wire, and the link itself models
-    propagation latency, serialisation at a finite bandwidth, and random
-    loss.  This is the configuration a user of the library would deploy.
+    propagation latency, serialisation at a finite bandwidth, and an
+    arbitrary fault pipeline ({!Pnp_faults.Faults.plan}): loss (uniform
+    and bursty), duplication, bounded reordering, checksum-detectable
+    payload corruption, delay jitter and timed blackouts.  This is the
+    configuration a user of the library would deploy.
 
     Frames are delivered to each end by a per-direction receive thread
     (the "interrupt context"), so protocol input runs in a context that
-    may take locks. *)
+    may take locks.  When tracing is enabled, every pipeline action is
+    emitted as a [Trace.Fault_*] event, so retransmissions seen later in
+    the trace are attributable to the injected fault that caused them. *)
 
 type t
 
@@ -19,17 +24,54 @@ val connect :
   ?latency:Pnp_util.Units.ns ->
   ?bandwidth_mbps:float ->
   ?loss_rate:float ->
+  ?plan:Pnp_faults.Faults.plan ->
   a:Stack.t ->
   b:Stack.t ->
   unit ->
   t
 (** Wire the two stacks together (replaces both FDDI transmit hooks).
     Defaults: 50 us propagation latency, 100 Mbit/s serialisation, no
-    loss.  Both stacks must share [plat]'s simulation. *)
+    faults.  [?loss_rate] is sugar for a [Bernoulli_loss] stage prepended
+    to [?plan] (by default the empty plan).  Each direction instantiates
+    its own pipeline with independent PRNG streams split off the
+    simulation's seed, so a faulted run replays byte-identically for a
+    fixed seed.  Both stacks must share [plat]'s simulation. *)
 
 val frames_ab : t -> int
+(** Frames {e offered} to the a->b direction, i.e. counted before the
+    fault pipeline — dropped and corrupted frames are included. *)
+
 val frames_ba : t -> int
+(** Same for b->a. *)
+
 val dropped : t -> int
+(** Frames consumed by the pipeline (both directions, all causes: uniform
+    loss + burst loss + blackout windows).  Corrupted frames are {e not}
+    counted here: they are delivered damaged and discarded above the MAC
+    layer by an Internet checksum, where the protocol's own
+    [checksum_failures] counters account for them. *)
+
+(** Cumulative pipeline accounting summed over both directions.  [offered]
+    equals [frames_ab + frames_ba]; [dropped] splits by cause into
+    [dropped_loss] (Bernoulli), [dropped_burst] (Gilbert-Elliott) and
+    [dropped_blackout]; [duplicated] counts extra copies injected (each
+    also adds to [offered]'s deliveries but not to [offered] itself). *)
+type fault_stats = {
+  offered : int;
+  dropped : int;
+  dropped_loss : int;
+  dropped_burst : int;
+  dropped_blackout : int;
+  corrupted : int;
+  duplicated : int;
+  reordered : int;
+  delayed : int;
+}
+
+val fault_stats : t -> fault_stats
+
+val plan_name : t -> string
+(** Name of the effective fault plan both directions run. *)
 
 val in_flight : t -> int
 (** Frames queued or propagating in either direction. *)

@@ -14,8 +14,9 @@ type t = {
   local_addr : int;
 }
 
-let create plat ?(tcp_config = Tcp.default_config) ?(udp_checksum = true) ~local_addr () =
-  let pool = Mpool.create plat in
+let create plat ?(tcp_config = Tcp.default_config) ?(udp_checksum = true) ?pool_capacity
+    ~local_addr () =
+  let pool = Mpool.create ?capacity:pool_capacity plat in
   let wheel = Timewheel.create plat ~name:"evmgr" () in
   let fddi = Fddi.create plat ~local_mac:local_addr ~name:"fddi" in
   let ip = Ip.create plat pool ~wheel ~fddi ~local_addr ~name:"ip" in

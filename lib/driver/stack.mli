@@ -21,8 +21,11 @@ val create :
   Pnp_engine.Platform.t ->
   ?tcp_config:Pnp_proto.Tcp.config ->
   ?udp_checksum:bool ->
+  ?pool_capacity:int ->
   local_addr:int ->
   unit ->
   t
 (** Build the full stack.  [tcp_config] defaults to
-    {!Pnp_proto.Tcp.default_config}; [udp_checksum] defaults to [true]. *)
+    {!Pnp_proto.Tcp.default_config}; [udp_checksum] defaults to [true];
+    [pool_capacity] bounds the stack's MNode pool (default unbounded) —
+    allocations beyond it raise {!Pnp_xkern.Mpool.Out_of_mnodes}. *)

@@ -15,6 +15,10 @@ type ev =
   | Span_begin of { seq : int; phase : pkt_phase }
   | Span_end of { seq : int; phase : pkt_phase }
   | Access of { state : string; write : bool }
+  | Fault_drop of { cause : string }
+  | Fault_dup of { copies : int }
+  | Fault_corrupt of { off : int; bit : int }
+  | Fault_reorder of { delay_ns : int }
 
 type record = { ts : int; tid : int; cpu : int; ev : ev }
 
@@ -233,7 +237,17 @@ let to_chrome_string t =
       | Span_end { seq; phase } -> async "e" r ~seq ~phase
       | Access { state; write } ->
         instant ~name:((if write then "write " else "read ") ^ state) ~cat:"access" r
-          ~args:"")
+          ~args:""
+      | Fault_drop { cause } -> instant ~name:("fault drop " ^ cause) ~cat:"fault" r ~args:""
+      | Fault_dup { copies } ->
+        instant ~name:"fault dup" ~cat:"fault" r
+          ~args:(Printf.sprintf "\"copies\":%d" copies)
+      | Fault_corrupt { off; bit } ->
+        instant ~name:"fault corrupt" ~cat:"fault" r
+          ~args:(Printf.sprintf "\"off\":%d,\"bit\":%d" off bit)
+      | Fault_reorder { delay_ns } ->
+        instant ~name:"fault reorder" ~cat:"fault" r
+          ~args:(Printf.sprintf "\"delay_ns\":%d" delay_ns))
     evs;
   Buffer.add_string buf "\n]}\n";
   Buffer.contents buf

@@ -48,6 +48,16 @@ type ev =
           checker ({!Pnp_analysis.Lockset}) intersects the locks held at
           each access; identifiers use a ["owner#field"] convention to
           keep them distinct from lock names. *)
+  | Fault_drop of { cause : string }
+      (** the link's fault pipeline consumed a frame; [cause] is the
+          stage's label (["loss"], ["burst"], ["blackout"]) *)
+  | Fault_dup of { copies : int }
+      (** the pipeline injected [copies] extra copies of a frame *)
+  | Fault_corrupt of { off : int; bit : int }
+      (** bit [bit] of frame byte [off] was flipped on the wire; the
+          recovery oracle demands a checksum failure accounts for it *)
+  | Fault_reorder of { delay_ns : int }
+      (** a frame was held back [delay_ns] so later traffic overtakes it *)
 
 type record = { ts : int; tid : int; cpu : int; ev : ev }
 

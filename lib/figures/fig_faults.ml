@@ -1,0 +1,49 @@
+open Pnp_engine
+open Pnp_harness
+
+(* Loss rates chosen to bracket the goodput knee: 0.3% is mostly repaired
+   by fast retransmit, 1% forces regular retransmission timeouts, and 3%
+   keeps TCP in recovery most of the time. *)
+let losses = [ 0.0; 0.003; 0.01; 0.03 ]
+
+(* Loss recovery runs on the BSD slow-timeout clock: the retransmission
+   timer is floored at two 500 ms ticks, so every lost recovery segment
+   stalls the connection for about a second.  The measurement window must
+   span several such stall/burst cycles or the per-seed numbers
+   degenerate into "caught a stall" zeros versus "missed every stall"
+   full rate — hence 8x the sweep's usual window (4 s under the
+   defaults; the residual cycle-lottery variance shows up honestly in
+   the printed confidence intervals). *)
+let measure_scale = 8
+
+let send_cfg opts ~lock_disc ~loss_rate procs =
+  let cfg =
+    Opts.apply opts
+      (Config.v ~protocol:Config.Tcp ~side:Config.Send ~payload:4096 ~checksum:true
+         ~lock_disc ~loss_rate ~procs ())
+  in
+  { cfg with Config.measure = cfg.Config.measure * measure_scale }
+
+let sweep ~metric opts =
+  List.concat_map
+    (fun loss_rate ->
+      List.map
+        (fun (dname, lock_disc) ->
+          Report.metric_series
+            ~label:(Printf.sprintf "loss %g%% (%s)" (loss_rate *. 100.0) dname)
+            ~procs:(Opts.procs opts) ~seeds:opts.Opts.seeds ~metric
+            (fun p -> send_cfg opts ~lock_disc ~loss_rate p))
+        [ ("mutex", Lock.Unfair); ("MCS", Lock.Fifo) ])
+    losses
+
+let faults_data opts =
+  [
+    Report.table
+      ~title:
+        "Extension: goodput under segment loss (TCP send, 4KB, ck-on; unique bytes only)"
+      ~unit_label:"Mbit/s goodput"
+      (sweep ~metric:(fun r -> r.Run.goodput_mbps) opts);
+    Report.table ~title:"The same sweep: retransmitted share of segments sent"
+      ~unit_label:"% rexmit"
+      (sweep ~metric:(fun r -> r.Run.rexmit_pct) opts);
+  ]

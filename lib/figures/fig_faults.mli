@@ -1,0 +1,10 @@
+(** Extension figure [ext-faults]: TCP goodput and retransmission rate
+    under segment loss, mutex vs MCS locking.
+
+    The paper measures loss-free throughput; this extension asks how the
+    lock-discipline comparison holds up once loss forces the
+    retransmission machinery to run.  Goodput counts unique application
+    bytes only, so retransmitted copies of a segment inflate the
+    retransmit-rate table without inflating the goodput one. *)
+
+val faults_data : Opts.t -> Pnp_harness.Report.table list

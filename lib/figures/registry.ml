@@ -47,6 +47,8 @@ let all =
       Fig_extensions.presentation_data;
     entry "ext-cksum-lock" "Ablation: checksum placement relative to the state lock"
       Fig_extensions.cksum_placement_data;
+    entry "ext-faults" "Extension: goodput & retransmit rate under segment loss"
+      Fig_faults.faults_data;
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all

@@ -25,6 +25,7 @@ type t = {
   skew : float;
   driver_jitter_ns : float;
   offered_mbps : float option;
+  loss_rate : float;
   cksum_under_lock : bool;
   presentation : bool;
   warmup : Units.ns;
@@ -53,6 +54,7 @@ let baseline =
     skew = 0.0;
     driver_jitter_ns = 8000.0;
     offered_mbps = None;
+    loss_rate = 0.0;
     cksum_under_lock = false;
     presentation = false;
     warmup = Units.ms 200.0;
@@ -69,6 +71,7 @@ let v ?(arch = baseline.arch) ?(procs = baseline.procs) ?(side = baseline.side)
     ?(map_locking = baseline.map_locking) ?(connections = baseline.connections)
     ?(placement = baseline.placement) ?(skew = baseline.skew)
     ?(driver_jitter_ns = baseline.driver_jitter_ns) ?offered_mbps
+    ?(loss_rate = baseline.loss_rate)
     ?(cksum_under_lock = baseline.cksum_under_lock)
     ?(presentation = baseline.presentation)
     ?(warmup = baseline.warmup) ?(measure = baseline.measure) ?(seed = baseline.seed) () =
@@ -92,6 +95,7 @@ let v ?(arch = baseline.arch) ?(procs = baseline.procs) ?(side = baseline.side)
     skew;
     driver_jitter_ns;
     offered_mbps;
+    loss_rate;
     cksum_under_lock;
     presentation;
     warmup;
@@ -103,10 +107,11 @@ let side_to_string = function Send -> "send" | Recv -> "recv"
 let protocol_to_string = function Udp -> "UDP" | Tcp -> "TCP"
 
 let describe t =
-  Printf.sprintf "%s %s-side %dB cksum=%b procs=%d conns=%d locks=%s"
+  Printf.sprintf "%s %s-side %dB cksum=%b procs=%d conns=%d locks=%s%s"
     (protocol_to_string t.protocol) (side_to_string t.side) t.payload t.checksum t.procs
     t.connections
     (match t.lock_disc with
      | Lock.Unfair -> "mutex"
      | Lock.Fifo -> "mcs"
      | Lock.Barging -> "barging")
+    (if t.loss_rate > 0.0 then Printf.sprintf " loss=%g%%" (t.loss_rate *. 100.0) else "")

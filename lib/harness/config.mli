@@ -41,6 +41,11 @@ type t = {
           arrivals to [rate] Mbit/s in total, split over the connections
           by the Zipf weights — an arrival-limited workload that exposes
           load imbalance under connection-level placement *)
+  loss_rate : float;
+      (** Bernoulli per-segment loss applied by the in-memory peer on the
+          TCP send side (0 = lossless, the default).  Drives the
+          [ext-faults] goodput/retransmission figure; end-to-end fault
+          plans over a real link use {!Pnp_faults.Faults} instead. *)
   cksum_under_lock : bool;
       (** compute TCP checksums inside the connection-state lock(s) — the
           unrestructured placement Section 5.1 argues against *)
@@ -77,6 +82,7 @@ val v :
   ?skew:float ->
   ?driver_jitter_ns:float ->
   ?offered_mbps:float ->
+  ?loss_rate:float ->
   ?cksum_under_lock:bool ->
   ?presentation:bool ->
   ?warmup:Pnp_util.Units.ns ->

@@ -6,10 +6,12 @@ open Pnp_driver
 
 type result = {
   throughput_mbps : float;
+  goodput_mbps : float;
   packets : int;
   ooo_pct : float;
   wire_misorder_pct : float;
   pred_miss_pct : float;
+  rexmit_pct : float;
   lock_wait_pct : float;
   cache_hit_pct : float;
   gate_wait_ns : int;
@@ -20,6 +22,7 @@ let receiver_addr = 0x0a000002
 
 type probe = {
   bytes : unit -> int;              (* payload bytes forwarded so far *)
+  unique : unit -> int;             (* in-order bytes net of retransmitted dups *)
   packets : unit -> int;
   ooo : unit -> int * int;          (* (ooo segments, data segments) *)
   wire : unit -> int * int;         (* (misordered, data segments) on the wire *)
@@ -27,6 +30,7 @@ type probe = {
   lock_wait : unit -> int;
   cache : unit -> int * int;        (* (cache hits, allocations) *)
   gate_wait : unit -> int;
+  rexmit : unit -> int * int;       (* (retransmitted segments, segments out) *)
 }
 
 let pct num den = if den <= 0 then 0.0 else 100.0 *. float_of_int num /. float_of_int den
@@ -40,10 +44,11 @@ let sum_sessions tcp f = List.fold_left (fun acc s -> acc + f s) 0 (Tcp.sessions
 
 let tcp_data_segs st = st.Tcp.segs_in - st.Tcp.acks_in
 
-let make_tcp_probe stack ~app_bytes ~app_packets ~peer ~gates =
+let make_tcp_probe stack ?app_unique ~app_bytes ~app_packets ~peer ~gates () =
   let tcp = stack.Stack.tcp in
   {
     bytes = app_bytes;
+    unique = Option.value app_unique ~default:app_bytes;
     packets = app_packets;
     ooo =
       (fun () ->
@@ -63,10 +68,15 @@ let make_tcp_probe stack ~app_bytes ~app_packets ~peer ~gates =
     lock_wait = (fun () -> sum_sessions tcp Tcp.lock_wait_ns);
     cache = (fun () -> (Mpool.cache_hits stack.Stack.pool, Mpool.allocations stack.Stack.pool));
     gate_wait = (fun () -> List.fold_left (fun acc g -> acc + Gate.total_wait_ns g) 0 gates);
+    rexmit =
+      (fun () ->
+        ( sum_sessions tcp (fun s -> (Tcp.stats s).Tcp.rexmits),
+          sum_sessions tcp (fun s -> (Tcp.stats s).Tcp.segs_out) ));
   }
 
 type snapshot = {
   s_bytes : int;
+  s_unique : int;
   s_packets : int;
   s_ooo : int * int;
   s_wire : int * int;
@@ -74,11 +84,13 @@ type snapshot = {
   s_lock_wait : int;
   s_cache : int * int;
   s_gate : int;
+  s_rexmit : int * int;
 }
 
 let take probe =
   {
     s_bytes = probe.bytes ();
+    s_unique = probe.unique ();
     s_packets = probe.packets ();
     s_ooo = probe.ooo ();
     s_wire = probe.wire ();
@@ -86,6 +98,7 @@ let take probe =
     s_lock_wait = probe.lock_wait ();
     s_cache = probe.cache ();
     s_gate = probe.gate_wait ();
+    s_rexmit = probe.rexmit ();
   }
 
 (* ------------------------------------------------------------------ *)
@@ -275,6 +288,7 @@ let setup (cfg : Config.t) plat =
     done;
     {
       bytes = (fun () -> Udp_sink.bytes_received sink);
+      unique = (fun () -> Udp_sink.bytes_received sink);
       packets = (fun () -> Udp_sink.frames_received sink);
       ooo = (fun () -> (0, 0));
       wire = (fun () -> (0, 0));
@@ -282,6 +296,7 @@ let setup (cfg : Config.t) plat =
       lock_wait = (fun () -> 0);
       cache = (fun () -> (Mpool.cache_hits stack.Stack.pool, Mpool.allocations stack.Stack.pool));
       gate_wait = (fun () -> 0);
+      rexmit = (fun () -> (0, 0));
     }
   | Config.Udp, Config.Recv ->
     let stack =
@@ -319,6 +334,7 @@ let setup (cfg : Config.t) plat =
     done;
     {
       bytes = (fun () -> Array.fold_left (fun acc a -> acc + a.app_bytes) 0 apps);
+      unique = (fun () -> Array.fold_left (fun acc a -> acc + a.app_bytes) 0 apps);
       packets = (fun () -> Array.fold_left (fun acc a -> acc + a.app_packets) 0 apps);
       ooo = (fun () -> (0, 0));
       wire = (fun () -> (0, 0));
@@ -326,6 +342,7 @@ let setup (cfg : Config.t) plat =
       lock_wait = (fun () -> 0);
       cache = (fun () -> (Mpool.cache_hits stack.Stack.pool, Mpool.allocations stack.Stack.pool));
       gate_wait = (fun () -> 0);
+      rexmit = (fun () -> (0, 0));
     }
   | Config.Tcp, Config.Send ->
     let stack =
@@ -333,7 +350,7 @@ let setup (cfg : Config.t) plat =
     in
     let peer =
       Tcp_peer.attach stack ~peer_addr:receiver_addr ~ack_window:(1 lsl 20)
-        ~checksum:cfg.Config.checksum ()
+        ~checksum:cfg.Config.checksum ~loss_rate:cfg.Config.loss_rate ()
     in
     let sessions = Array.make conns None in
     ignore
@@ -370,9 +387,15 @@ let setup (cfg : Config.t) plat =
              done))
     done;
     make_tcp_probe stack
+      ~app_unique:(fun () ->
+        let u = ref 0 in
+        for j = 0 to conns - 1 do
+          u := !u + Tcp_peer.unique_bytes peer ~port:(5000 + j)
+        done;
+        !u)
       ~app_bytes:(fun () -> Tcp_peer.bytes_received peer)
       ~app_packets:(fun () -> Tcp_peer.data_segments peer)
-      ~peer:(Some peer) ~gates:[]
+      ~peer:(Some peer) ~gates:[] ()
   | Config.Tcp, Config.Recv ->
     let stack =
       Stack.create plat ~tcp_config:(tcp_config cfg) ~local_addr:receiver_addr ()
@@ -418,7 +441,7 @@ let setup (cfg : Config.t) plat =
       ~app_bytes:(fun () -> Array.fold_left (fun acc a -> acc + a.app_bytes) 0 apps)
       ~app_packets:(fun () -> Array.fold_left (fun acc a -> acc + a.app_packets) 0 apps)
       ~peer:None
-      ~gates:!gates
+      ~gates:!gates ()
 
 let run_gen ?(trace = false) (cfg : Config.t) =
   let plat = make_platform cfg in
@@ -439,10 +462,13 @@ let run_gen ?(trace = false) (cfg : Config.t) =
   ( {
       throughput_mbps =
         Units.mbits_per_sec ~bytes_transferred:(s1.s_bytes - s0.s_bytes) ~duration;
+      goodput_mbps =
+        Units.mbits_per_sec ~bytes_transferred:(s1.s_unique - s0.s_unique) ~duration;
       packets = s1.s_packets - s0.s_packets;
       ooo_pct = percent_between s0.s_ooo s1.s_ooo;
       wire_misorder_pct = percent_between s0.s_wire s1.s_wire;
       pred_miss_pct = percent_between s0.s_pred s1.s_pred;
+      rexmit_pct = percent_between s0.s_rexmit s1.s_rexmit;
       lock_wait_pct =
         pct (s1.s_lock_wait - s0.s_lock_wait) (cfg.Config.procs * duration);
       cache_hit_pct = percent_between s0.s_cache s1.s_cache;

@@ -8,10 +8,15 @@
 
 type result = {
   throughput_mbps : float;   (** user payload over the measurement window *)
+  goodput_mbps : float;
+      (** in-order bytes net of retransmitted duplicates — equals
+          [throughput_mbps] on a lossless path, and falls below it as
+          [Config.loss_rate] forces retransmissions *)
   packets : int;             (** payload-carrying packets in the window *)
   ooo_pct : float;           (** TCP data segments arriving out of order, % *)
   wire_misorder_pct : float; (** send side: segments passed below TCP, % *)
   pred_miss_pct : float;     (** header-prediction misses among data segments, % *)
+  rexmit_pct : float;        (** retransmitted segments among segments sent, % *)
   lock_wait_pct : float;     (** share of thread time blocked on connection locks, % *)
   cache_hit_pct : float;     (** MNode allocations served by per-thread caches, % *)
   gate_wait_ns : int;        (** total ticketing wait in the window *)

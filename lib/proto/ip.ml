@@ -42,6 +42,7 @@ type t = {
   mutable datagrams_in : int;
   mutable reassemblies : int;
   mutable dropped : int;
+  mutable header_failures : int; (* datagrams rejected by header verification *)
 }
 
 let make plat pool ~wheel ~fddi ~local_addr ~name =
@@ -64,6 +65,7 @@ let make plat pool ~wheel ~fddi ~local_addr ~name =
       datagrams_in = 0;
       reassemblies = 0;
       dropped = 0;
+      header_failures = 0;
     }
   in
   t
@@ -175,6 +177,7 @@ let input t msg =
   Costs.charge t.plat Costs.ip_input;
   if not (verify_header msg) then begin
     t.dropped <- t.dropped + 1;
+    t.header_failures <- t.header_failures + 1;
     Msg.destroy msg
   end
   else begin
@@ -261,3 +264,4 @@ let fragments_out t = t.fragments_out
 let datagrams_in t = t.datagrams_in
 let reassemblies t = t.reassemblies
 let datagrams_dropped t = t.dropped
+let header_failures t = t.header_failures

@@ -43,3 +43,8 @@ val datagrams_in : t -> int
 val reassemblies : t -> int
 val datagrams_dropped : t -> int
 (** Bad header checksum, unknown protocol, or reassembly timeout. *)
+
+val header_failures : t -> int
+(** Datagrams rejected by header verification (bad version, length or
+    header checksum) — the subset of [datagrams_dropped] the
+    fault-injection oracle can attribute to wire corruption. *)

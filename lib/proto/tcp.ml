@@ -169,6 +169,7 @@ type t = {
   mutable accepting : (Conn_key.t * (session -> unit)) list; (* listen ports *)
   mutable timers_running : bool;
   mutable shutdown : bool;
+  mutable cksum_failures : int; (* segments discarded by checksum verification *)
 }
 
 and session = {
@@ -951,12 +952,15 @@ let segment_arrives sess (hdr : Tcp_wire.header) msg =
      upcall ();
      Gate.advance sess.gate
    | None -> upcall ());
-  (* Tell the application about an in-order FIN (idempotent upcall). *)
+  (* Tell the application about an in-order FIN (idempotent upcall).  The
+     state, not this segment's FIN flag, is what matters: a FIN that
+     arrived out of order sits in [rcv_fin_seq] until a retransmission
+     fills the gap, and the segment that completes it carries no FIN. *)
   if
-    hdr.flags.Tcp_wire.fin
-    && (match sess.tcb.state with
-        | Close_wait | Closing | Last_ack | Time_wait | Closed -> true
-        | _ -> false)
+    (match sess.tcb.state with
+     | Close_wait | Closing | Last_ack | Time_wait -> true
+     | Closed -> hdr.flags.Tcp_wire.fin
+     | _ -> false)
   then sess.on_fin ()
 
 (* ------------------------------------------------------------------ *)
@@ -1013,6 +1017,7 @@ let input t ~src ~dst msg =
       | One | Two | Six -> true (* verified under locks below *)
     in
     if not cksum_ok then begin
+      t.cksum_failures <- t.cksum_failures + 1;
       end_ip_span ();
       Msg.destroy msg
     end
@@ -1029,6 +1034,7 @@ let input t ~src ~dst msg =
              | Six
                when t.cfg.checksum && hdr.cksum <> 0
                     && not (Tcp_wire.verify_checksum t.plat ~src ~dst msg) ->
+               t.cksum_failures <- t.cksum_failures + 1;
                proceed := false
              | One | Two | Six -> ());
             if !proceed then Tcp_wire.strip msg);
@@ -1185,6 +1191,7 @@ let create plat pool ~wheel ~ip cfg ~name =
       accepting = [];
       timers_running = false;
       shutdown = false;
+      cksum_failures = 0;
     }
   in
   Ip.register ip ~proto:Tcp_wire.protocol_number (fun ~src ~dst msg ->
@@ -1285,6 +1292,7 @@ let close sess =
 let state_name sess = state_to_string sess.tcb.state
 let stats sess = sess.st
 let config t = t.cfg
+let checksum_failures t = t.cksum_failures
 let sessions t = t.all_sessions
 
 let lock_wait_ns sess =

@@ -120,6 +120,11 @@ val stats : session -> stats
 val config : t -> config
 val sessions : t -> session list
 
+val checksum_failures : t -> int
+(** Segments discarded because checksum verification failed (any locking
+    discipline).  The fault-injection recovery oracle balances this
+    against the corruptions the link pipeline injected. *)
+
 val lock_wait_ns : session -> Pnp_util.Units.ns
 (** Total time threads spent waiting on this session's state lock(s) — the
     paper's Pixie observation (85-90% of time at 8 CPUs). *)

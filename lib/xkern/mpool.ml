@@ -16,8 +16,11 @@ let class_of n =
 
 let cache_limit = 64
 
+exception Out_of_mnodes of { requested : int; live : int; capacity : int }
+
 type t = {
   plat : Platform.t;
+  capacity : int; (* max live mnodes; max_int = unbounded *)
   malloc_lock : Lock.t;
   caches : (int, mnode list array) Hashtbl.t; (* thread id -> per-class LIFO *)
   mutable next_id : int;
@@ -41,9 +44,11 @@ let trace_alloc t ~hit =
     Trace.emit tracer ~ts:(Sim.now sim) ~tid:(Sim.tid th) ~cpu:(Sim.cpu th)
       (Trace.Mpool_alloc { hit })
 
-let create plat =
+let create ?(capacity = max_int) plat =
+  if capacity <= 0 then invalid_arg "Mpool.create: capacity must be positive";
   {
     plat;
+    capacity;
     malloc_lock =
       Lock.create plat.Platform.sim plat.Platform.arch Lock.Unfair ~name:"malloc";
     caches = Hashtbl.create 16;
@@ -89,6 +94,8 @@ let global_alloc t n cls =
 
 let alloc t n =
   if n < 0 then invalid_arg "Mpool.alloc: negative size";
+  if t.live >= t.capacity then
+    raise (Out_of_mnodes { requested = n; live = t.live; capacity = t.capacity });
   t.allocations <- t.allocations + 1;
   t.live <- t.live + 1;
   let cls = class_of n in
@@ -150,6 +157,7 @@ let data node = node.data
 let capacity node = Bytes.length node.data
 let refs node = Atomic_ctr.get node.refs
 
+let pool_capacity t = t.capacity
 let allocations t = t.allocations
 let cache_hits t = t.cache_hits
 let global_allocations t = t.global_allocations

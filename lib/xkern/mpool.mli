@@ -16,11 +16,23 @@ type t
 type mnode
 (** A reference-counted buffer. *)
 
-val create : Pnp_engine.Platform.t -> t
+exception Out_of_mnodes of { requested : int; live : int; capacity : int }
+(** Raised by {!alloc} when the pool is exhausted: [live] nodes are
+    already out (per-thread caches hold only dead nodes, so they cannot
+    help) and the pool was created with a bound of [capacity].  A real
+    x-kernel returns [MSG_ERROR] here; in the simulator the exception
+    propagates out of [Sim.run] so tests can assert on exhaustion
+    instead of silently growing the heap without bound. *)
+
+val create : ?capacity:int -> Pnp_engine.Platform.t -> t
+(** [capacity] bounds the number of simultaneously live MNodes
+    (default: unbounded).  Must be positive. *)
 
 val alloc : t -> int -> mnode
 (** [alloc t n] returns an MNode with capacity at least [n] and reference
-    count 1. *)
+    count 1.
+
+    @raise Out_of_mnodes when [capacity] live nodes are already out. *)
 
 val incref : t -> mnode -> unit
 val decref : t -> mnode -> unit
@@ -38,3 +50,6 @@ val cache_hits : t -> int
 val global_allocations : t -> int
 val live_nodes : t -> int
 (** Nodes currently allocated (refcount > 0); zero after clean teardown. *)
+
+val pool_capacity : t -> int
+(** The bound given at creation ([max_int] when unbounded). *)

@@ -1,4 +1,4 @@
-type part = { node : Mpool.mnode; mutable off : int; mutable len : int }
+type part = { mutable node : Mpool.mnode; mutable off : int; mutable len : int }
 
 type t = { pool : Mpool.t; mutable parts : part list; mutable total : int }
 
@@ -88,6 +88,22 @@ let destroy t =
   List.iter (fun p -> Mpool.decref t.pool p.node) t.parts;
   t.parts <- [];
   t.total <- 0
+
+let unshare t ~off =
+  if off < 0 || off >= t.total then invalid_arg "Msg.unshare: out of bounds";
+  let rec find parts off =
+    match parts with
+    | [] -> assert false
+    | p :: rest -> if off < p.len then p else find rest (off - p.len)
+  in
+  let p = find t.parts off in
+  if Mpool.refs p.node > 1 then begin
+    let fresh = Mpool.alloc t.pool p.len in
+    Bytes.blit (Mpool.data p.node) p.off (Mpool.data fresh) 0 p.len;
+    Mpool.decref t.pool p.node;
+    p.node <- fresh;
+    p.off <- 0
+  end
 
 (* Locate message offset [off]: the part containing it and the index
    within that part's view. *)

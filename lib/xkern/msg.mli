@@ -33,6 +33,15 @@ val truncate : t -> int -> unit
 val dup : t -> t
 (** Share the same bytes under a new message (reference counts bumped). *)
 
+val unshare : t -> off:int -> unit
+(** Make the node viewed by the part containing offset [off] exclusive to
+    this message, copying the viewed bytes into a fresh node when the
+    reference count shows sharing.  Writes through this message inside
+    that part are then invisible to every other message.  Fault injection
+    needs this: damaging a frame "on the wire" must not reach the
+    sender's retransmission buffers, which {!dup} left sharing the same
+    nodes. *)
+
 val append : t -> t -> unit
 (** [append t u] moves [u]'s contents to the tail of [t]; [u] becomes
     empty (its node references transfer, so no copying happens). *)

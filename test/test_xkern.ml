@@ -536,6 +536,67 @@ let test_wheel_reschedule_after_idle () =
   Sim.run p.Platform.sim;
   Alcotest.(check int) "both fired" 2 !count
 
+let test_wheel_cancel_after_fire () =
+  let p = plat () in
+  let w = Timewheel.create p ~name:"w" () in
+  let fired = ref false in
+  let _ =
+    Sim.spawn p.Platform.sim ~name:"sched" (fun () ->
+        let h = Timewheel.schedule w ~after:(Pnp_util.Units.ms 5.0) (fun () -> fired := true) in
+        Sim.delay p.Platform.sim (Pnp_util.Units.ms 50.0);
+        Alcotest.(check bool) "event already fired" true !fired;
+        Alcotest.(check bool) "late cancel reports false" false (Timewheel.cancel w h))
+  in
+  Sim.run p.Platform.sim;
+  Alcotest.(check int) "fired once" 1 (Timewheel.fired w);
+  Alcotest.(check int) "none pending" 0 (Timewheel.pending w)
+
+let test_wheel_rearm_in_callback () =
+  (* A callback that re-arms itself: the retransmission-timer shape.  The
+     wheel must accept a schedule from inside an expiry callback. *)
+  let p = plat () in
+  let w = Timewheel.create p ~name:"w" () in
+  let count = ref 0 in
+  let rec tick () =
+    incr count;
+    if !count < 5 then ignore (Timewheel.schedule w ~after:(Pnp_util.Units.ms 7.0) tick)
+  in
+  let _ =
+    Sim.spawn p.Platform.sim ~name:"sched" (fun () ->
+        ignore (Timewheel.schedule w ~after:(Pnp_util.Units.ms 7.0) tick))
+  in
+  Sim.run p.Platform.sim;
+  Alcotest.(check int) "periodic timer fired 5 times" 5 !count;
+  Alcotest.(check int) "fired counter" 5 (Timewheel.fired w);
+  Alcotest.(check int) "none pending" 0 (Timewheel.pending w)
+
+let test_wheel_mass_cancel () =
+  (* Teardown shape: a connection dying with many timers outstanding
+     cancels them all; the wheel must survive and stay usable. *)
+  let p = plat () in
+  let w = Timewheel.create p ~slot_ns:(Pnp_util.Units.ms 1.0) ~slots:8 ~name:"w" () in
+  let fired = ref 0 in
+  let late = ref false in
+  let _ =
+    Sim.spawn p.Platform.sim ~name:"sched" (fun () ->
+        let handles =
+          List.init 50 (fun i ->
+              Timewheel.schedule w
+                ~after:(Pnp_util.Units.ms (5.0 +. float_of_int i))
+                (fun () -> incr fired))
+        in
+        Alcotest.(check int) "all pending" 50 (Timewheel.pending w);
+        List.iter
+          (fun h -> Alcotest.(check bool) "cancel succeeds" true (Timewheel.cancel w h))
+          handles;
+        Alcotest.(check int) "none pending after mass cancel" 0 (Timewheel.pending w);
+        (* The wheel still works after the teardown. *)
+        ignore (Timewheel.schedule w ~after:(Pnp_util.Units.ms 3.0) (fun () -> late := true)))
+  in
+  Sim.run p.Platform.sim;
+  Alcotest.(check int) "no cancelled event fired" 0 !fired;
+  Alcotest.(check bool) "wheel alive after mass cancel" true !late
+
 let suites =
   [
     ( "xkern.mpool",
@@ -587,5 +648,8 @@ let suites =
         Alcotest.test_case "wraps around" `Quick test_wheel_wraps_around;
         Alcotest.test_case "timer can take locks" `Quick test_wheel_timer_can_take_locks;
         Alcotest.test_case "reschedules after idle" `Quick test_wheel_reschedule_after_idle;
+        Alcotest.test_case "cancel after fire" `Quick test_wheel_cancel_after_fire;
+        Alcotest.test_case "re-arm inside callback" `Quick test_wheel_rearm_in_callback;
+        Alcotest.test_case "mass cancel at teardown" `Quick test_wheel_mass_cancel;
       ] );
   ]
