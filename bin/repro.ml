@@ -45,6 +45,14 @@ let jobs_term =
     & opt int (Pnp_harness.Pool.default_jobs ())
     & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
+let no_memo_term =
+  let doc =
+    "Disable the sweep-cell memo, recomputing every (config, seed) cell even \
+     when figures share it.  Output is byte-identical either way; this only \
+     trades wall clock for a cache-free measurement."
+  in
+  Arg.(value & flag & info [ "no-cell-memo" ] ~doc)
+
 let json_ctx = function
   | None -> Pnp_harness.Json_out.disabled
   | Some dir -> Pnp_harness.Json_out.make ~dir ()
@@ -69,8 +77,9 @@ let fig_cmd =
     let doc = "Figure/table ids (see $(b,list)); e.g. fig8-9, table1." in
     Arg.(non_empty & pos_all string [] & info [] ~docv:"ID" ~doc)
   in
-  let run opts json_dir jobs ids =
+  let run opts json_dir jobs no_memo ids =
     Pnp_harness.Pool.set_jobs jobs;
+    Pnp_harness.Run.set_cell_memo (not no_memo);
     let json = json_ctx json_dir in
     List.iter
       (fun id ->
@@ -82,15 +91,69 @@ let fig_cmd =
       ids
   in
   Cmd.v (Cmd.info "fig" ~doc:"Regenerate specific figures/tables.")
-    Term.(const run $ opts_term $ json_dir_term $ jobs_term $ ids)
+    Term.(const run $ opts_term $ json_dir_term $ jobs_term $ no_memo_term $ ids)
 
 let all_cmd =
-  let run opts json_dir jobs =
+  let run opts json_dir jobs no_memo =
     Pnp_harness.Pool.set_jobs jobs;
+    Pnp_harness.Run.set_cell_memo (not no_memo);
     Pnp_figures.Registry.run_all ~json:(json_ctx json_dir) opts
   in
   Cmd.v (Cmd.info "all" ~doc:"Regenerate every figure and table.")
-    Term.(const run $ opts_term $ json_dir_term $ jobs_term)
+    Term.(const run $ opts_term $ json_dir_term $ jobs_term $ no_memo_term)
+
+(* Profile the harness itself: run figure data phases (no table output)
+   and report how fast the host retires simulated events.  All numbers
+   here describe the host machine, never the modeled system, so this
+   command's stdout is exempt from the byte-for-byte determinism checks
+   that cover [fig] and [all]. *)
+let perf_cmd =
+  let open Pnp_harness in
+  let ids_term =
+    let doc = "Figure ids to profile (default: every figure; see $(b,list))." in
+    Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
+  in
+  let exec opts jobs no_memo ids =
+    Pool.set_jobs jobs;
+    Run.set_cell_memo (not no_memo);
+    let entries =
+      match ids with
+      | [] -> Pnp_figures.Registry.all
+      | ids ->
+        List.map
+          (fun id ->
+            match Pnp_figures.Registry.find id with
+            | Some e -> e
+            | None ->
+              Printf.eprintf "unknown figure id %S; try `repro list`\n" id;
+              exit 1)
+          ids
+    in
+    Printf.printf "host profile: %d figure(s), -j%d, cell memo %s\n\n"
+      (List.length entries) (Pool.jobs ())
+      (if no_memo then "off" else "on");
+    Printf.printf "%-14s %9s %11s %13s %12s %10s\n" "figure" "wall s" "events"
+      "events/sec" "hit/miss" "minor MW";
+    let t0 = Hostprof.snapshot () in
+    List.iter
+      (fun e ->
+        let h0 = Hostprof.snapshot () in
+        ignore (e.Pnp_figures.Registry.data opts);
+        let d = Hostprof.delta h0 (Hostprof.snapshot ()) in
+        Printf.printf "%-14s %9.3f %11d %13.0f %6d/%-5d %10.1f\n"
+          e.Pnp_figures.Registry.id d.Hostprof.elapsed_s d.Hostprof.sim_events
+          (Hostprof.events_per_sec d) d.Hostprof.cell_hits d.Hostprof.cell_misses
+          (d.Hostprof.gc_minor_words /. 1e6))
+      entries;
+    Report.print_host_profile ~title:"Host profile (total)"
+      (Hostprof.delta t0 (Hostprof.snapshot ()))
+  in
+  Cmd.v
+    (Cmd.info "perf"
+       ~doc:
+         "Profile the harness: simulated events per host second, GC traffic and \
+          sweep-cell memo hit rate, per figure and in total.")
+    Term.(const exec $ opts_term $ jobs_term $ no_memo_term $ ids_term)
 
 (* A single custom experiment with every knob exposed. *)
 let run_cmd =
@@ -484,6 +547,13 @@ let main =
     "Reproduction of 'Performance Issues in Parallelized Network Protocols' (OSDI '94)"
   in
   Cmd.group (Cmd.info "repro" ~doc)
-    [ list_cmd; fig_cmd; all_cmd; run_cmd; check_cmd; chaos_cmd; trace_cmd ]
+    [ list_cmd; fig_cmd; all_cmd; perf_cmd; run_cmd; check_cmd; chaos_cmd; trace_cmd ]
 
+(* The sweeps allocate tens of words per simulated event (closures on the
+   event queue, message descriptors), so the default 256k-word minor heap
+   forces a minor collection every few milliseconds of host time.  A 2M-word
+   (16 MB) per-domain minor heap trades a little memory for far fewer
+   collections; it changes nothing observable — GC scheduling never feeds
+   back into simulated time. *)
+let () = Gc.set { (Gc.get ()) with Gc.minor_heap_size = 2 * 1024 * 1024 }
 let () = exit (Cmd.eval main)

@@ -2,17 +2,20 @@
 
     Events at equal timestamps fire in insertion order (a monotone sequence
     number breaks ties), which keeps every run of the simulator bit-for-bit
-    deterministic. *)
+    deterministic.
+
+    The implementation is a structure-of-arrays 4-ary min-heap: timestamps
+    and sequence numbers live in unboxed [int array]s, so the one-event-per
+    simulated-action hot loop ({!add}/{!pop_exn}) allocates nothing per
+    event. *)
 
 type 'a t
 
 val create : unit -> 'a t
 
 val add : 'a t -> time:int -> 'a -> unit
-(** Insert an event at the given absolute time. *)
-
-val pop : 'a t -> (int * 'a) option
-(** Remove and return the earliest event, or [None] if empty. *)
+(** Insert an event at the given absolute time.  Allocation-free except
+    when the heap's backing arrays grow. *)
 
 exception Empty
 
@@ -27,7 +30,8 @@ val peek_time_exn : 'a t -> int
     allocation).  @raise Empty when the queue is empty. *)
 
 val peek_time : 'a t -> int option
-(** Timestamp of the earliest event without removing it. *)
+(** Timestamp of the earliest event without removing it.  Convenience
+    for tests and diagnostics; the hot loop uses {!peek_time_exn}. *)
 
 val size : 'a t -> int
 val is_empty : 'a t -> bool

@@ -7,6 +7,7 @@ type thread = {
   mutable finished : bool;
   mutable runnable : bool; (* has a scheduled resumption (or is running) *)
   mutable waited_ns : int;
+  mutable suspend_gen : int; (* suspension generation; catches stale resumes *)
 }
 
 type t = {
@@ -16,7 +17,7 @@ type t = {
   mutable next_tid : int;
   mutable next_cpu : int;
   mutable current : thread option;
-  mutable threads : thread list; (* newest first; for diagnostics *)
+  mutable threads : thread array; (* tid-indexed; first [next_tid] slots live *)
   mutable stopping : bool;
   mutable processed : int;
   tracer : Trace.t;
@@ -32,7 +33,7 @@ let create ?(seed = 42) () =
     next_tid = 0;
     next_cpu = 0;
     current = None;
-    threads = [];
+    threads = [||];
     stopping = false;
     processed = 0;
     tracer = Trace.create ();
@@ -59,16 +60,24 @@ let self t =
   | Some th -> th
   | None -> failwith "Sim.self: not inside a simulated thread"
 
+(* One burst of a thread's execution: [t.current] is set while [k] runs
+   and cleared when the thread suspends, finishes, or escapes with an
+   exception.  Hand-rolled rather than [Fun.protect] so the per-burst
+   cost is two field writes, not a finaliser closure. *)
+let run_burst t th k =
+  t.current <- Some th;
+  match k () with
+  | () -> t.current <- None
+  | exception e ->
+    t.current <- None;
+    raise e
+
 (* Run [f] as the body of [th]: effects performed inside are handled here.
    Each resumption of the thread's continuation happens from an event-loop
    callback, so [t.current] is set for the duration of each burst of
    execution and cleared when the thread suspends or finishes. *)
 let start_thread t th body =
   let open Effect.Deep in
-  let run_burst k =
-    t.current <- Some th;
-    Fun.protect ~finally:(fun () -> t.current <- None) k
-  in
   let handler =
     {
       retc = (fun () -> th.finished <- true);
@@ -81,24 +90,42 @@ let start_thread t th body =
             else
               Some
                 (fun (k : (a, _) continuation) ->
-                  let resumed = ref false in
+                  (* A fresh generation per suspension: a resume carrying
+                     an old generation (or arriving while the thread is
+                     already runnable) is a double resume.  An int field
+                     on the thread replaces the bool ref the old code
+                     allocated per suspension. *)
+                  th.suspend_gen <- th.suspend_gen + 1;
+                  let gen = th.suspend_gen in
                   th.runnable <- false;
                   trace_thread t th Trace.Thread_block;
                   let resume time =
-                    if !resumed then
+                    if th.runnable || gen <> th.suspend_gen then
                       failwith
                         (Printf.sprintf "Sim: thread %S resumed twice" th.name);
-                    resumed := true;
                     th.runnable <- true;
                     at t time (fun () ->
                         trace_thread t th Trace.Thread_resume;
-                        run_burst (fun () -> continue k ()))
+                        run_burst t th (fun () -> continue k ()))
                   in
                   register resume)
           | _ -> None);
     }
   in
-  run_burst (fun () -> match_with body () handler)
+  run_burst t th (fun () -> match_with body () handler)
+
+(* Append [th] to the tid-indexed table, doubling the backing array as
+   needed (the table replaces the old newest-first list, so diagnostics
+   walk threads in tid order and tid lookups are O(1)). *)
+let register_thread t th =
+  let cap = Array.length t.threads in
+  if t.next_tid >= cap then begin
+    let table = Array.make (max 8 (2 * cap)) th in
+    Array.blit t.threads 0 table 0 t.next_tid;
+    t.threads <- table
+  end;
+  t.threads.(t.next_tid) <- th;
+  t.next_tid <- t.next_tid + 1
 
 let spawn t ?cpu ~name body =
   let cpu =
@@ -110,10 +137,17 @@ let spawn t ?cpu ~name body =
       c
   in
   let th =
-    { tid = t.next_tid; cpu; name; finished = false; runnable = true; waited_ns = 0 }
+    {
+      tid = t.next_tid;
+      cpu;
+      name;
+      finished = false;
+      runnable = true;
+      waited_ns = 0;
+      suspend_gen = 0;
+    }
   in
-  t.next_tid <- t.next_tid + 1;
-  t.threads <- th :: t.threads;
+  register_thread t th;
   Trace.register_thread t.tracer ~tid:th.tid ~cpu:th.cpu name;
   trace_thread t th (Trace.Thread_spawn { name });
   at t t.now (fun () -> start_thread t th body);
@@ -159,10 +193,20 @@ let run ?until t =
   | Some limit when not t.stopping -> t.now <- max t.now limit
   | _ -> ()
 
-let blocked_threads t =
-  List.filter (fun th -> (not th.finished) && not th.runnable) t.threads
+(* Diagnostics below walk the live prefix of the table; results come back
+   in tid (spawn) order. *)
+let filter_threads t pred =
+  let acc = ref [] in
+  for i = t.next_tid - 1 downto 0 do
+    let th = t.threads.(i) in
+    if pred th then acc := th :: !acc
+  done;
+  !acc
 
-let live_threads t = List.filter (fun th -> not th.finished) t.threads
+let blocked_threads t =
+  filter_threads t (fun th -> (not th.finished) && not th.runnable)
+
+let live_threads t = filter_threads t (fun th -> not th.finished)
 
 let pp_blocked fmt t =
   match blocked_threads t with

@@ -99,9 +99,10 @@ val events_processed : t -> int
     never come); these report the suspects. *)
 
 val blocked_threads : t -> thread list
-(** Threads that are suspended with no scheduled resumption. *)
+(** Threads that are suspended with no scheduled resumption, in spawn
+    (tid) order. *)
 
 val live_threads : t -> thread list
-(** Threads that have not finished. *)
+(** Threads that have not finished, in spawn (tid) order. *)
 
 val pp_blocked : Format.formatter -> t -> unit

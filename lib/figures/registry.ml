@@ -58,11 +58,12 @@ let find id = List.find_opt (fun e -> e.id = id) all
    differ) around the data phase only, so the recorded elapsed_s tracks
    the parallel sweep and not terminal I/O. *)
 let run_entry ?(json = Json_out.disabled) e opts =
-  let t0 = Unix.gettimeofday () in
+  let h0 = Hostprof.snapshot () in
   let tables = e.data opts in
-  let elapsed_s = Unix.gettimeofday () -. t0 in
+  let host = Hostprof.delta h0 (Hostprof.snapshot ()) in
   e.present opts tables;
-  Json_out.write_figure json ~id:e.id ~jobs:(Pool.jobs ()) ~elapsed_s tables
+  Json_out.write_figure json ~id:e.id ~jobs:(Pool.jobs ())
+    ~elapsed_s:host.Hostprof.elapsed_s ~host tables
 
 let run_all ?json opts =
   List.iter

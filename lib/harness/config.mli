@@ -95,3 +95,10 @@ val v :
 val side_to_string : side -> string
 val protocol_to_string : protocol -> string
 val describe : t -> string
+
+val canonical : t -> string
+(** Canonical cache key covering {e every} field of [t] (the architecture
+    is rendered field by field; floats in exact hex).  Two configurations
+    have the same key iff a run of one is a run of the other, which is
+    what the sweep-cell memo in {!Run} keys on.  Any field added to [t]
+    must be added to the key. *)

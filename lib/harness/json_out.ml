@@ -21,11 +21,24 @@ let escape s =
 
 let num v = if Float.is_finite v then Printf.sprintf "%.6g" v else "null"
 
-let figure_json ~id ~jobs ~elapsed_s tables =
+let host_json (d : Hostprof.delta) =
+  Printf.sprintf
+    "{\"events\":%d,\"events_per_sec\":%s,\"gc_minor_words\":%s,\"gc_major_words\":%s,\"cell_hits\":%d,\"cell_misses\":%d}"
+    d.Hostprof.sim_events
+    (num (Hostprof.events_per_sec d))
+    (num d.Hostprof.gc_minor_words)
+    (num d.Hostprof.gc_major_words)
+    d.Hostprof.cell_hits d.Hostprof.cell_misses
+
+let figure_json ~id ~jobs ~elapsed_s ?host tables =
   let b = Buffer.create 4096 in
   Buffer.add_string b
-    (Printf.sprintf "{\"figure\":\"%s\",\"jobs\":%d,\"elapsed_s\":%s,\"tables\":["
+    (Printf.sprintf "{\"figure\":\"%s\",\"jobs\":%d,\"elapsed_s\":%s,"
        (escape id) jobs (num elapsed_s));
+  (match host with
+  | Some d -> Buffer.add_string b (Printf.sprintf "\"host\":%s," (host_json d))
+  | None -> ());
+  Buffer.add_string b "\"tables\":[";
   List.iteri
     (fun i (t : Report.table) ->
       if i > 0 then Buffer.add_char b ',';
@@ -51,11 +64,11 @@ let figure_json ~id ~jobs ~elapsed_s tables =
   Buffer.add_string b "]}\n";
   Buffer.contents b
 
-let write_figure t ~id ~jobs ~elapsed_s tables =
+let write_figure t ~id ~jobs ~elapsed_s ?host tables =
   match t.dir with
   | None -> ()
   | Some d ->
     let path = Filename.concat d (Printf.sprintf "BENCH_%s.json" id) in
     let oc = open_out path in
-    output_string oc (figure_json ~id ~jobs ~elapsed_s tables);
+    output_string oc (figure_json ~id ~jobs ~elapsed_s ?host tables);
     close_out oc

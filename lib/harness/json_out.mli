@@ -29,12 +29,27 @@ val disabled : ctx
 val enabled : ctx -> bool
 
 val figure_json :
-  id:string -> jobs:int -> elapsed_s:float -> Report.table list -> string
+  id:string ->
+  jobs:int ->
+  elapsed_s:float ->
+  ?host:Hostprof.delta ->
+  Report.table list ->
+  string
 (** The JSON document for one figure, as written by {!write_figure}.
     Pure — useful for determinism tests that compare payloads without
-    touching the filesystem. *)
+    touching the filesystem.  When [host] is given, a ["host"] object
+    (events retired, events/sec, GC words, sweep-cell memo hits/misses
+    over the figure's data phase) is emitted after ["elapsed_s"]; like
+    [jobs] and [elapsed_s] it describes the harness, not the modeled
+    system, and diffing tools should normalise it away. *)
 
 val write_figure :
-  ctx -> id:string -> jobs:int -> elapsed_s:float -> Report.table list -> unit
+  ctx ->
+  id:string ->
+  jobs:int ->
+  elapsed_s:float ->
+  ?host:Hostprof.delta ->
+  Report.table list ->
+  unit
 (** Write [BENCH_<id>.json] into the context's directory; a no-op when
     the context is disabled. *)

@@ -123,3 +123,20 @@ let print_lock_table ?(max_rows = 20) tracer =
     if hidden > 0 then Printf.printf "  ... %d more locks\n" hidden
   end;
   flush stdout
+
+(* Host-side profile: how fast the harness itself ran a workload.  This
+   is presentation (stdout, main domain) — the numbers describe the host
+   machine, so it must never appear in figure data output that the
+   determinism CI diffs byte-for-byte. *)
+let print_host_profile ?(title = "Host profile") (d : Hostprof.delta) =
+  Printf.printf "\n== %s ==\n" title;
+  Printf.printf "  %-22s %12.3f s\n" "wall clock" d.Hostprof.elapsed_s;
+  Printf.printf "  %-22s %12d\n" "simulated events" d.Hostprof.sim_events;
+  Printf.printf "  %-22s %12.0f\n" "events / host sec" (Hostprof.events_per_sec d);
+  Printf.printf "  %-22s %12.2f M\n" "GC minor words"
+    (d.Hostprof.gc_minor_words /. 1e6);
+  Printf.printf "  %-22s %12.2f M\n" "GC major words"
+    (d.Hostprof.gc_major_words /. 1e6);
+  Printf.printf "  %-22s %6d hit / %d miss (%.1f%% hit)\n" "sweep-cell memo"
+    d.Hostprof.cell_hits d.Hostprof.cell_misses (Hostprof.cell_hit_pct d);
+  flush stdout

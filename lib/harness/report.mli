@@ -50,6 +50,13 @@ val print_table : title:string -> unit_label:string -> series list -> unit
 val value_at : series -> int -> float
 (** Mean at the given processor count.  @raise Not_found if absent. *)
 
+val print_host_profile : ?title:string -> Hostprof.delta -> unit
+(** Human-readable host-side profile (wall clock, simulated events per
+    host second, GC words, sweep-cell memo hit rate) for [repro perf]
+    and the bench harness.  Presentation only — these numbers describe
+    the host machine, never the modeled system, so callers must keep
+    them out of figure output that determinism checks diff. *)
+
 val print_lock_table : ?max_rows:int -> Pnp_engine.Trace.t -> unit
 (** Contention attribution from a trace (see {!Run.run_traced}): one row
     per lock, sorted by total wait time, with acquisition counts, wait /

@@ -24,7 +24,25 @@ type result = {
 
 val run : Config.t -> result
 (** Build the platform, stack, drivers and workers for the configuration,
-    simulate warmup + measurement, and report the steady-state window. *)
+    simulate warmup + measurement, and report the steady-state window.
+
+    Results are memoized on {!Config.canonical} (the sweep-cell memo):
+    a cell is a pure function of its configuration, so when figures share
+    cells — and several do — repeats are served from a process-wide cache.
+    Hits return exactly the value a fresh run would compute, so output is
+    byte-identical with the memo on or off, at any [-j].  The table is
+    mutex-protected and safe from {!Pool} worker domains. *)
+
+val set_cell_memo : bool -> unit
+(** Enable / disable the sweep-cell memo (default: enabled).  The bench
+    harness disables it so micro-benchmarks measure the engine, not the
+    cache. *)
+
+val clear_cell_memo : unit -> unit
+(** Drop every cached cell (tests use this to isolate scenarios). *)
+
+val cell_memo_size : unit -> int
+(** Number of distinct cells currently cached. *)
 
 val run_traced : Config.t -> result * Pnp_engine.Trace.t
 (** Like [run], but enables the simulator's event tracer for exactly the

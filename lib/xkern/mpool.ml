@@ -18,11 +18,19 @@ let cache_limit = 64
 
 exception Out_of_mnodes of { requested : int; live : int; capacity : int }
 
+(* One thread's free cache: a LIFO per size class, with the depth kept
+   alongside so the free path never walks the list to count it. *)
+type tid_cache = {
+  nodes : mnode list array; (* per-class LIFO *)
+  depths : int array;
+}
+
 type t = {
   plat : Platform.t;
   capacity : int; (* max live mnodes; max_int = unbounded *)
   malloc_lock : Lock.t;
-  caches : (int, mnode list array) Hashtbl.t; (* thread id -> per-class LIFO *)
+  mutable caches : tid_cache array; (* tid-indexed; no hashing on the hot path *)
+  mutable cache_table_growths : int;
   mutable next_id : int;
   mutable allocations : int;
   mutable cache_hits : int;
@@ -51,7 +59,8 @@ let create ?(capacity = max_int) plat =
     capacity;
     malloc_lock =
       Lock.create plat.Platform.sim plat.Platform.arch Lock.Unfair ~name:"malloc";
-    caches = Hashtbl.create 16;
+    caches = [||];
+    cache_table_growths = 0;
     next_id = 0;
     allocations = 0;
     cache_hits = 0;
@@ -59,14 +68,23 @@ let create ?(capacity = max_int) plat =
     live = 0;
   }
 
+(* Extend the tid-indexed table to cover [tid], creating a cache per new
+   slot.  The only non-O(1) step in the cache path, and it runs once per
+   table doubling — the fast path below is a bounds check and two array
+   loads, never a hash lookup. *)
+let grow_caches t tid =
+  t.cache_table_growths <- t.cache_table_growths + 1;
+  let cap = max 16 (max (tid + 1) (2 * Array.length t.caches)) in
+  let fresh () = { nodes = Array.make 2 []; depths = Array.make 2 0 } in
+  let table = Array.init cap (fun i ->
+      if i < Array.length t.caches then t.caches.(i) else fresh ())
+  in
+  t.caches <- table
+
 let thread_cache t =
   let tid = Sim.tid (Sim.self t.plat.Platform.sim) in
-  match Hashtbl.find_opt t.caches tid with
-  | Some a -> a
-  | None ->
-    let a = Array.make 2 [] in
-    Hashtbl.replace t.caches tid a;
-    a
+  if tid >= Array.length t.caches then grow_caches t tid;
+  Array.unsafe_get t.caches tid
 
 let fresh_node t n cls =
   let cap = if cls = 2 then n else class_capacities.(cls) in
@@ -108,9 +126,10 @@ let alloc t n =
   end
   else begin
     let cache = thread_cache t in
-    match cache.(cls) with
+    match cache.nodes.(cls) with
     | node :: rest ->
-      cache.(cls) <- rest;
+      cache.nodes.(cls) <- rest;
+      cache.depths.(cls) <- cache.depths.(cls) - 1;
       t.cache_hits <- t.cache_hits + 1;
       trace_alloc t ~hit:true;
       Platform.charge_instrs t.plat cache_hit_instrs;
@@ -144,9 +163,11 @@ let decref t node =
     in
     if use_cache then begin
       let cache = thread_cache t in
-      if List.length cache.(node.size_class) < cache_limit then begin
+      let cls = node.size_class in
+      if cache.depths.(cls) < cache_limit then begin
         Platform.charge_instrs t.plat cache_hit_instrs;
-        cache.(node.size_class) <- node :: cache.(node.size_class)
+        cache.nodes.(cls) <- node :: cache.nodes.(cls);
+        cache.depths.(cls) <- cache.depths.(cls) + 1
       end
       else global_free t
     end
@@ -162,6 +183,7 @@ let allocations t = t.allocations
 let cache_hits t = t.cache_hits
 let global_allocations t = t.global_allocations
 let live_nodes t = t.live
+let cache_table_growths t = t.cache_table_growths
 
 (* id is kept for debugging/printing even though nothing reads it yet. *)
 let _ = fun (n : mnode) -> n.id

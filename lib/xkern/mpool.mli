@@ -8,7 +8,13 @@
     serialises all CPUs (malloc's lock in the paper), or — when the
     platform enables message caching (Section 6) — hits a per-thread LIFO
     free cache, which costs no locking and reuses memory last touched by
-    the same processor. *)
+    the same processor.
+
+    The per-thread caches are held in a tid-indexed array, so the alloc
+    and free fast paths do a bounds check plus two array loads and never
+    a hash-table lookup; the only non-O(1) step is the table growth the
+    first time a new tid touches the pool ({!cache_table_growths} counts
+    those, so tests can pin the fast path to zero table traffic). *)
 
 type t
 (** The allocator. *)
@@ -53,3 +59,10 @@ val live_nodes : t -> int
 
 val pool_capacity : t -> int
 (** The bound given at creation ([max_int] when unbounded). *)
+
+val cache_table_growths : t -> int
+(** Times the tid-indexed cache table had to grow (a new tid beyond the
+    table's capacity touched the pool).  Steady-state allocation and
+    free must not move this counter: the hot path is array indexing
+    only.  Regression tests assert it stays flat across alloc/free
+    bursts once every thread has touched the pool. *)

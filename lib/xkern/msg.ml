@@ -26,8 +26,12 @@ let push t n =
     t.total <- t.total + n
   end
 
-let pop t n =
-  if n < 0 || n > t.total then invalid_arg "Msg.pop: bad length";
+(* Single-part messages dominate the hot paths (a header node pushed on a
+   payload node is consumed part by part), so [pop]/[truncate] and the
+   byte accessors below special-case one-part messages: adjust the part
+   in place, no list walk, no tuple from [locate]. *)
+
+let pop_slow t n =
   let rec strip n parts =
     if n = 0 then parts
     else
@@ -47,8 +51,16 @@ let pop t n =
   t.parts <- strip n t.parts;
   t.total <- t.total - n
 
-let truncate t n =
-  if n < 0 || n > t.total then invalid_arg "Msg.truncate: bad length";
+let pop t n =
+  if n < 0 || n > t.total then invalid_arg "Msg.pop: bad length";
+  match t.parts with
+  | [ p ] when n < p.len ->
+    p.off <- p.off + n;
+    p.len <- p.len - n;
+    t.total <- t.total - n
+  | _ -> pop_slow t n
+
+let truncate_slow t n =
   let rec keep n parts =
     if n = 0 then begin
       List.iter (fun p -> Mpool.decref t.pool p.node) parts;
@@ -66,6 +78,14 @@ let truncate t n =
   in
   t.parts <- keep n t.parts;
   t.total <- n
+
+let truncate t n =
+  if n < 0 || n > t.total then invalid_arg "Msg.truncate: bad length";
+  match t.parts with
+  | [ p ] when n > 0 ->
+    p.len <- n;
+    t.total <- n
+  | _ -> truncate_slow t n
 
 let dup t =
   let parts =
@@ -114,58 +134,85 @@ let rec locate parts off =
 
 let get_u8 t off =
   if off < 0 || off >= t.total then invalid_arg "Msg.get_u8: out of bounds";
-  let p, i = locate t.parts off in
-  Char.code (Bytes.get (Mpool.data p.node) (p.off + i))
+  match t.parts with
+  | [ p ] -> Char.code (Bytes.get (Mpool.data p.node) (p.off + off))
+  | parts ->
+    let p, i = locate parts off in
+    Char.code (Bytes.get (Mpool.data p.node) (p.off + i))
 
 let set_u8 t off v =
   if off < 0 || off >= t.total then invalid_arg "Msg.set_u8: out of bounds";
-  let p, i = locate t.parts off in
-  Bytes.set (Mpool.data p.node) (p.off + i) (Char.chr (v land 0xff))
+  match t.parts with
+  | [ p ] -> Bytes.set (Mpool.data p.node) (p.off + off) (Char.chr (v land 0xff))
+  | parts ->
+    let p, i = locate parts off in
+    Bytes.set (Mpool.data p.node) (p.off + i) (Char.chr (v land 0xff))
 
-(* Multi-byte accessors locate the containing part once and read/write
-   within it when the whole range fits (the overwhelmingly common case —
-   headers live in a single pushed node), falling back to the byte path
-   only when the range straddles a part boundary.  The old code walked
+(* Multi-byte accessors take a single-part fast path (no [locate], no
+   tuple) when the message is one part — the overwhelmingly common case,
+   since headers live in a single pushed node.  Multi-part messages
+   locate the containing part once and fall back to the byte path only
+   when the range straddles a part boundary.  The original code walked
    the part list once per byte: four list walks for a u32. *)
 
 let get_u16 t off =
   if off < 0 || off + 2 > t.total then invalid_arg "Msg.get_u16: out of bounds";
-  let p, i = locate t.parts off in
-  if i + 2 <= p.len then Bytes.get_uint16_be (Mpool.data p.node) (p.off + i)
-  else (get_u8 t off lsl 8) lor get_u8 t (off + 1)
+  match t.parts with
+  | [ p ] -> Bytes.get_uint16_be (Mpool.data p.node) (p.off + off)
+  | parts ->
+    let p, i = locate parts off in
+    if i + 2 <= p.len then Bytes.get_uint16_be (Mpool.data p.node) (p.off + i)
+    else (get_u8 t off lsl 8) lor get_u8 t (off + 1)
 
 let set_u16 t off v =
   if off < 0 || off + 2 > t.total then invalid_arg "Msg.set_u16: out of bounds";
-  let p, i = locate t.parts off in
-  if i + 2 <= p.len then Bytes.set_uint16_be (Mpool.data p.node) (p.off + i) (v land 0xffff)
-  else begin
-    set_u8 t off (v lsr 8);
-    set_u8 t (off + 1) v
-  end
+  match t.parts with
+  | [ p ] -> Bytes.set_uint16_be (Mpool.data p.node) (p.off + off) (v land 0xffff)
+  | parts ->
+    let p, i = locate parts off in
+    if i + 2 <= p.len then
+      Bytes.set_uint16_be (Mpool.data p.node) (p.off + i) (v land 0xffff)
+    else begin
+      set_u8 t off (v lsr 8);
+      set_u8 t (off + 1) v
+    end
 
 let get_u32 t off =
   if off < 0 || off + 4 > t.total then invalid_arg "Msg.get_u32: out of bounds";
-  let p, i = locate t.parts off in
-  if i + 4 <= p.len then begin
+  match t.parts with
+  | [ p ] ->
     let b = Mpool.data p.node in
-    let j = p.off + i in
+    let j = p.off + off in
     (Bytes.get_uint16_be b j lsl 16) lor Bytes.get_uint16_be b (j + 2)
-  end
-  else (get_u16 t off lsl 16) lor get_u16 t (off + 2)
+  | parts ->
+    let p, i = locate parts off in
+    if i + 4 <= p.len then begin
+      let b = Mpool.data p.node in
+      let j = p.off + i in
+      (Bytes.get_uint16_be b j lsl 16) lor Bytes.get_uint16_be b (j + 2)
+    end
+    else (get_u16 t off lsl 16) lor get_u16 t (off + 2)
 
 let set_u32 t off v =
   if off < 0 || off + 4 > t.total then invalid_arg "Msg.set_u32: out of bounds";
-  let p, i = locate t.parts off in
-  if i + 4 <= p.len then begin
+  match t.parts with
+  | [ p ] ->
     let b = Mpool.data p.node in
-    let j = p.off + i in
+    let j = p.off + off in
     Bytes.set_uint16_be b j ((v lsr 16) land 0xffff);
     Bytes.set_uint16_be b (j + 2) (v land 0xffff)
-  end
-  else begin
-    set_u16 t off (v lsr 16);
-    set_u16 t (off + 2) v
-  end
+  | parts ->
+    let p, i = locate parts off in
+    if i + 4 <= p.len then begin
+      let b = Mpool.data p.node in
+      let j = p.off + i in
+      Bytes.set_uint16_be b j ((v lsr 16) land 0xffff);
+      Bytes.set_uint16_be b (j + 2) (v land 0xffff)
+    end
+    else begin
+      set_u16 t off (v lsr 16);
+      set_u16 t (off + 2) v
+    end
 
 let iter_slices t f =
   List.iter (fun p -> if p.len > 0 then f (Mpool.data p.node) p.off p.len) t.parts

@@ -12,7 +12,11 @@ let test_eventq_order () =
   Eventq.add q ~time:30 "c";
   Eventq.add q ~time:10 "a";
   Eventq.add q ~time:20 "b";
-  let popped = List.init 3 (fun _ -> Option.get (Eventq.pop q)) in
+  let popped =
+    List.init 3 (fun _ ->
+        let t = Eventq.peek_time_exn q in
+        (t, Eventq.pop_exn q))
+  in
   Alcotest.(check (list (pair int string)))
     "time order"
     [ (10, "a"); (20, "b"); (30, "c") ]
@@ -22,13 +26,13 @@ let test_eventq_order () =
 let test_eventq_fifo_ties () =
   let q = Eventq.create () in
   List.iter (fun s -> Eventq.add q ~time:5 s) [ "x"; "y"; "z" ];
-  let popped = List.init 3 (fun _ -> snd (Option.get (Eventq.pop q))) in
+  let popped = List.init 3 (fun _ -> Eventq.pop_exn q) in
   Alcotest.(check (list string)) "insertion order at equal time" [ "x"; "y"; "z" ] popped
 
 let test_eventq_pop_empty () =
   let q = Eventq.create () in
-  Alcotest.(check bool) "none" true (Eventq.pop q = None);
-  Alcotest.(check bool) "peek none" true (Eventq.peek_time q = None)
+  Alcotest.(check bool) "peek none" true (Eventq.peek_time q = None);
+  Alcotest.(check int) "size" 0 (Eventq.size q)
 
 let test_eventq_pop_exn () =
   let q = Eventq.create () in
@@ -51,10 +55,63 @@ let prop_eventq_sorted =
       let q = Eventq.create () in
       List.iter (fun t -> Eventq.add q ~time:t ()) times;
       let rec drain acc =
-        match Eventq.pop q with None -> List.rev acc | Some (t, ()) -> drain (t :: acc)
+        if Eventq.is_empty q then List.rev acc
+        else
+          let t = Eventq.peek_time_exn q in
+          let () = Eventq.pop_exn q in
+          drain (t :: acc)
       in
       let out = drain [] in
       out = List.sort compare times)
+
+(* Random interleavings of add and pop — long enough to cross several
+   internal array grows — must drain in exact (time, seq) order against
+   a sorted-list oracle, with FIFO tie-breaking at equal times.  Each
+   op is (true, t) = add at time t (payload: the event's sequence
+   number) or (false, _) = pop. *)
+let prop_eventq_interleaved_oracle =
+  QCheck.Test.make ~name:"eventq interleaved add/pop vs oracle" ~count:100
+    QCheck.(list_of_size Gen.(0 -- 600) (pair bool (int_bound 40)))
+    (fun ops ->
+      let q = Eventq.create () in
+      (* Oracle: pending (time, seq) pairs kept sorted lexicographically;
+         seq assignment matches Eventq's monotone internal counter, so a
+         plain sorted insert preserves FIFO ties. *)
+      let pending = ref [] and next_seq = ref 0 in
+      let insert ts =
+        let rec go = function
+          | [] -> [ ts ]
+          | hd :: tl -> if ts < hd then ts :: hd :: tl else hd :: go tl
+        in
+        pending := go !pending
+      in
+      let ok = ref true in
+      List.iter
+        (fun (is_add, time) ->
+          if is_add then begin
+            Eventq.add q ~time !next_seq;
+            insert (time, !next_seq);
+            incr next_seq
+          end
+          else
+            match !pending with
+            | [] ->
+              if not (Eventq.is_empty q) then ok := false;
+              (match Eventq.pop_exn q with
+               | _ -> ok := false
+               | exception Eventq.Empty -> ())
+            | (t, s) :: rest ->
+              if Eventq.peek_time_exn q <> t then ok := false;
+              if Eventq.pop_exn q <> s then ok := false;
+              pending := rest)
+        ops;
+      (* Drain what's left: every remaining event in oracle order. *)
+      List.iter
+        (fun (t, s) ->
+          if Eventq.peek_time_exn q <> t then ok := false;
+          if Eventq.pop_exn q <> s then ok := false)
+        !pending;
+      !ok && Eventq.is_empty q)
 
 (* ------------------------------------------------------------------ *)
 (* Sim                                                                 *)
@@ -759,6 +816,7 @@ let suites =
         Alcotest.test_case "pop empty" `Quick test_eventq_pop_empty;
         Alcotest.test_case "pop_exn / peek_time_exn" `Quick test_eventq_pop_exn;
         QCheck_alcotest.to_alcotest prop_eventq_sorted;
+        QCheck_alcotest.to_alcotest prop_eventq_interleaved_oracle;
       ] );
     ( "engine.sim",
       [

@@ -126,6 +126,35 @@ let test_mpool_decref_below_zero_fails () =
       | () -> Alcotest.fail "expected failure"
       | exception Failure _ -> ())
 
+(* Regression pin for the tid-indexed cache table: the alloc/decref fast
+   path must be pure array indexing.  The table only reorganizes when a
+   thread id exceeds its capacity, so after a first growth sized it for
+   the threads in play, arbitrarily many alloc/free bursts — including
+   from newly spawned threads within that capacity — must leave the
+   growth counter untouched. *)
+let test_mpool_cache_growths_flat_on_fast_path () =
+  let p = plat () in
+  let pool = Mpool.create p in
+  for _ = 1 to 6 do
+    ignore
+      (Sim.spawn p.Platform.sim ~name:"warm" (fun () ->
+           Mpool.decref pool (Mpool.alloc pool 256)))
+  done;
+  Sim.run p.Platform.sim;
+  let growths = Mpool.cache_table_growths pool in
+  Alcotest.(check bool) "first touches grew the table" true (growths > 0);
+  for _ = 1 to 6 do
+    ignore
+      (Sim.spawn p.Platform.sim ~name:"burst" (fun () ->
+           for _ = 1 to 200 do
+             Mpool.decref pool (Mpool.alloc pool 256)
+           done))
+  done;
+  Sim.run p.Platform.sim;
+  Alcotest.(check int) "no cache-table work on the alloc/decref fast path"
+    growths
+    (Mpool.cache_table_growths pool)
+
 (* ------------------------------------------------------------------ *)
 (* Msg                                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -609,6 +638,8 @@ let suites =
         Alcotest.test_case "large not cached" `Quick test_mpool_large_not_cached;
         Alcotest.test_case "caches are per-thread" `Quick test_mpool_caches_are_per_thread;
         Alcotest.test_case "decref below zero fails" `Quick test_mpool_decref_below_zero_fails;
+        Alcotest.test_case "cache table flat on fast path" `Quick
+          test_mpool_cache_growths_flat_on_fast_path;
       ] );
     ( "xkern.msg",
       [
