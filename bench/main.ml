@@ -74,6 +74,11 @@ let tests =
         (Config.v ~protocol:Config.Udp ~side:Config.Recv ~payload:4096 ~checksum:true
            ~presentation:true ~procs:4 ~warmup:quickest.Pnp_figures.Opts.warmup
            ~measure:quickest.Pnp_figures.Opts.measure ());
+      point "ext-steering:last-sender"
+        (Config.v ~protocol:Config.Tcp ~side:Config.Recv ~payload:4096 ~checksum:true
+           ~connections:256 ~steering:Pnp_driver.Steer.Last_sender ~demux_shards:64
+           ~procs:4 ~warmup:quickest.Pnp_figures.Opts.warmup
+           ~measure:quickest.Pnp_figures.Opts.measure ());
     ]
 
 let run_bechamel () =

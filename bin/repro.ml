@@ -189,6 +189,25 @@ let run_cmd =
   let connections =
     Arg.(value & opt int 1 & info [ "connections" ] ~doc:"Simultaneous connections.")
   in
+  let steering =
+    enum_arg "steering"
+      [
+        ("none", None);
+        ("hash", Some Pnp_driver.Steer.Hash);
+        ("last-sender", Some Pnp_driver.Steer.Last_sender);
+      ]
+      None
+      "NIC packet steering (TCP recv only): $(b,none) keeps the classic \
+       feeders, $(b,hash) pins each connection to one worker (RSS), \
+       $(b,last-sender) follows the migrating application thread \
+       (Flow-Director-style)."
+  in
+  let demux_shards =
+    Arg.(
+      value & opt int 1
+      & info [ "demux-shards" ]
+          ~doc:"Shards per demux map (rounded up to a power of two).")
+  in
   let placement =
     enum_arg "placement"
       [ ("packet", Config.Packet_level); ("connection", Config.Connection_level) ]
@@ -251,8 +270,8 @@ let run_cmd =
              https://ui.perfetto.dev), and print the per-lock contention table.")
   in
   let exec opts jobs protocol side procs payload no_cksum locks tcp_locking connections
-      placement skew offered ticketing assume locked_refs no_caching arch seed
-      presentation cksum_under_lock jitter_us loss trace_file =
+      steering demux_shards placement skew offered ticketing assume locked_refs no_caching
+      arch seed presentation cksum_under_lock jitter_us loss trace_file =
     Pool.set_jobs jobs;
     let arch =
       match Pnp_engine.Arch.by_name arch with
@@ -263,7 +282,8 @@ let run_cmd =
     in
     let cfg =
       Config.v ~arch ~procs ~side ~protocol ~payload ~checksum:(not no_cksum)
-        ~lock_disc:locks ~tcp_locking ~connections ~placement ~skew ?offered_mbps:offered
+        ~lock_disc:locks ~tcp_locking ~connections ?steering ~demux_shards ~placement
+        ~skew ?offered_mbps:offered
         ~ticketing ~assume_in_order:assume
         ~refcnt_mode:
           (if locked_refs then Pnp_engine.Atomic_ctr.Locked else Pnp_engine.Atomic_ctr.Ll_sc)
@@ -309,9 +329,9 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run one experiment with explicit knobs and print all metrics.")
     Term.(
       const exec $ opts_term $ jobs_term $ protocol $ side $ procs $ payload $ no_cksum $ locks
-      $ tcp_locking $ connections $ placement $ skew $ offered $ ticketing $ assume
-      $ locked_refs $ no_caching $ arch $ seed $ presentation $ cksum_under_lock
-      $ jitter_us $ loss $ trace_file)
+      $ tcp_locking $ connections $ steering $ demux_shards $ placement $ skew $ offered
+      $ ticketing $ assume $ locked_refs $ no_caching $ arch $ seed $ presentation
+      $ cksum_under_lock $ jitter_us $ loss $ trace_file)
 
 (* Trace-driven concurrency checking: run reference scenarios with the
    tracer on and feed the trace to Pnp_analysis (lockset, lock-order,
@@ -319,10 +339,11 @@ let run_cmd =
 let check_cmd =
   let open Pnp_harness in
   let scenario ?(side = Config.Recv) ?(tcp_locking = Pnp_proto.Tcp.One)
-      ?(lock_disc = Pnp_engine.Lock.Unfair) ?(ticketing = false) ?(loss_rate = 0.0) () =
+      ?(lock_disc = Pnp_engine.Lock.Unfair) ?(ticketing = false) ?(loss_rate = 0.0)
+      ?(map_locking = true) ?steering ?(demux_shards = 1) ?(connections = 1) () =
     Config.v ~arch:Pnp_engine.Arch.challenge_100 ~procs:4 ~side
       ~protocol:Config.Tcp ~payload:4096 ~checksum:true ~lock_disc ~tcp_locking
-      ~ticketing ~loss_rate
+      ~ticketing ~loss_rate ~map_locking ?steering ~demux_shards ~connections
       ~warmup:(Pnp_util.Units.ms 20.0)
       ~measure:(Pnp_util.Units.ms 80.0)
       ~seed:1 ()
@@ -352,6 +373,16 @@ let check_cmd =
        scenario ~side:Config.Send ~lock_disc:Pnp_engine.Lock.Fifo ~loss_rate:0.02 ());
       ("faults", "tcp-send locking=6 mutex loss=2%", None,
        scenario ~side:Config.Send ~tcp_locking:Pnp_proto.Tcp.Six ~loss_rate:0.02 ());
+      (* The sharded demux under both steering policies, with map locking
+         off: the per-thread one-behind caches must keep the unlocked
+         lookup path free of unprotected shared accesses (the lockset
+         checker watches every <map>#cache state). *)
+      ("steering", "tcp-recv steer=hash shards=8 maplock=off", None,
+       scenario ~steering:Pnp_driver.Steer.Hash ~map_locking:false ~demux_shards:8
+         ~connections:256 ());
+      ("steering", "tcp-recv steer=last-sender shards=8 maplock=off", None,
+       scenario ~steering:Pnp_driver.Steer.Last_sender ~map_locking:false
+         ~demux_shards:8 ~connections:256 ());
     ]
   in
   let figs_term =

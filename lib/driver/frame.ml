@@ -2,6 +2,7 @@ open Pnp_xkern
 open Pnp_proto
 
 type tcp_view = {
+  dst : int;
   sport : int;
   dport : int;
   seq : int;
@@ -24,6 +25,7 @@ let parse_tcp msg =
     let flags_word = Msg.get_u16 msg (tcp_off + 12) in
     Some
       {
+        dst = Msg.get_u32 msg (ip_off + 16);
         sport = Msg.get_u16 msg tcp_off;
         dport = Msg.get_u16 msg (tcp_off + 2);
         seq = Msg.get_u32 msg (tcp_off + 4);

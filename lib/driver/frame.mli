@@ -6,6 +6,7 @@
     on message bytes without charging the clock. *)
 
 type tcp_view = {
+  dst : int;  (** IP destination address *)
   sport : int;
   dport : int;
   seq : int;

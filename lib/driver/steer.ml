@@ -1,0 +1,140 @@
+(* NIC packet steering: which receive worker carries the next arriving
+   frame of which connection up the stack.
+
+   The model is a virtual multi-queue NIC in front of the receive
+   workers.  A deterministic global arrival stream walks a sliding "hot
+   window" of connections (traffic concentrates on a small working set
+   that drifts over the whole population) in short per-connection bursts.
+   Each arrival is *reserved* against its connection's source stream the
+   moment the NIC sees it — that pins the segment's sequence number in
+   arrival order — and the reservation token is appended to the queue of
+   the worker the steering policy assigns:
+
+   - [Hash] (RSS): the worker is a pure hash of the connection identity.
+     All frames of a connection land on one worker's FIFO queue forever,
+     so each connection's segments climb the stack serially and in
+     arrival order.
+
+   - [Last_sender] (Intel Flow Director's ATR mode): the NIC routes a
+     flow to the core that last transmitted on it.  When the application
+     thread migrates, the flow's affinity follows it *while earlier
+     frames are still queued on the old core* — two workers then hold
+     consecutive segments of one connection concurrently, and whichever
+     queue drains faster delivers its segments first.  That is exactly
+     the reordering mechanism "Why Does Flow Director Cause Packet
+     Reordering?" documents; we model the migration as a deterministic
+     affinity flap part-way through a burst.
+
+   Arrivals are generated lazily: a worker that finds its queue empty
+   pulls the global stream forward (bounded) until a frame steers to it.
+   The pull — counter advance, reservation, queue append — happens under
+   the NIC's demux lock, so reservations are made strictly in arrival
+   order no matter which worker is pulling.  Everything is a pure
+   function of the call sequence, so runs are deterministic for a given
+   simulator seed. *)
+
+open Pnp_engine
+
+type policy = Hash | Last_sender
+
+let policy_to_string = function Hash -> "hash" | Last_sender -> "last-sender"
+
+type 'a t = {
+  policy : policy;
+  workers : int;
+  conns : int;
+  affinity : int array; (* connection -> current worker *)
+  queues : 'a Queue.t array; (* per-worker reserved, undelivered frames *)
+  lock : Lock.t; (* the NIC's single demux/DMA engine *)
+  hot_size : int; (* connections in the hot window *)
+  burst : int; (* consecutive frames per connection *)
+  flap_every : int; (* Last_sender: every Nth burst migrates mid-burst *)
+  queue_cap : int; (* per-worker ring depth; overflow drops the frame *)
+  mutable counter : int; (* global arrival counter *)
+  mutable flaps : int;
+  mutable dropped : int; (* arrivals the reservation refused *)
+}
+
+let create plat ?(hot_size = 64) ?(burst = 4) ?(flap_every = 2) ?(queue_cap = 16)
+    ~policy ~workers ~conns () =
+  if workers <= 0 then invalid_arg "Steer.create: workers must be positive";
+  if conns <= 0 then invalid_arg "Steer.create: conns must be positive";
+  if hot_size <= 0 || burst <= 0 || flap_every <= 0 || queue_cap <= 0 then
+    invalid_arg
+      "Steer.create: hot_size, burst, flap_every and queue_cap must be positive";
+  {
+    policy;
+    workers;
+    conns;
+    affinity = Array.init conns (fun c -> c mod workers);
+    queues = Array.init workers (fun _ -> Queue.create ());
+    lock =
+      Lock.create plat.Platform.sim plat.Platform.arch Lock.Unfair ~name:"nic.steer";
+    hot_size = min hot_size conns;
+    burst;
+    flap_every;
+    queue_cap;
+    counter = 0;
+    flaps = 0;
+    dropped = 0;
+  }
+
+(* Advance the global arrival stream one frame: pick the connection, let
+   the policy (possibly) migrate it, and return (conn, worker).  Callers
+   hold [t.lock]. *)
+let arrival t =
+  let n = t.counter in
+  let burst_no = n / t.burst in
+  let slot = burst_no mod t.hot_size in
+  let window = burst_no / t.hot_size in
+  let base = window * t.hot_size mod t.conns in
+  let conn = (base + slot) mod t.conns in
+  (* Flow-Director flap: every [flap_every]-th appearance of a
+     connection migrates its application thread after the burst's first
+     frame, so the rest of the burst steers to the next worker while the
+     first frame is still queued on the old one.  Mix the window number
+     in: [slot] alone is fixed per connection (the window base moves in
+     [hot_size] strides), so a slot-only or burst_no-only condition
+     flaps a fixed subset of connections forever and drives the affinity
+     map into a one-worker degenerate state. *)
+  if
+    t.policy = Last_sender && t.workers > 1
+    && n mod t.burst = 1
+    && (window + slot) mod t.flap_every = 0
+  then begin
+    t.affinity.(conn) <- (t.affinity.(conn) + 1) mod t.workers;
+    t.flaps <- t.flaps + 1
+  end;
+  t.counter <- n + 1;
+  (conn, t.affinity.(conn))
+
+let next t ~worker ~reserve =
+  if worker < 0 || worker >= t.workers then invalid_arg "Steer.next: bad worker";
+  if Queue.is_empty t.queues.(worker) then
+    Lock.with_lock t.lock (fun () ->
+        (* Another worker's pull may have fed this queue while we waited
+           for the demux engine; the loop condition re-checks. *)
+        let budget = ref (t.burst * (t.hot_size + t.workers)) in
+        while Queue.is_empty t.queues.(worker) && !budget > 0 do
+          decr budget;
+          let conn, w = arrival t in
+          if Queue.length t.queues.(w) >= t.queue_cap then
+            (* Ring overflow: the frame is dropped before any sequence
+               number is consumed, so the stream stays hole-free.  A
+               finite ring is also what keeps the reorder window bounded
+               — without it a slow worker's backlog grows without limit
+               and reserved segments are never delivered at all. *)
+            t.dropped <- t.dropped + 1
+          else
+            match reserve ~conn with
+            | Some token -> Queue.push token t.queues.(w)
+            | None ->
+              (* Closed window or unestablished stream: the NIC does not
+                 retry an arrival slot. *)
+              t.dropped <- t.dropped + 1
+        done);
+  Queue.take_opt t.queues.(worker)
+
+let flaps t = t.flaps
+let arrivals t = t.counter
+let dropped t = t.dropped

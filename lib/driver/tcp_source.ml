@@ -4,6 +4,7 @@ open Pnp_xkern
 open Pnp_proto
 
 type stream = {
+  src_addr : int;
   drv_port : int;
   rcv_port : int;
   iss : int;
@@ -17,7 +18,6 @@ type stream = {
 
 type t = {
   stack : Stack.t;
-  peer_addr : int;
   payload : int;
   checksum : bool;
   jitter_mean_ns : float;
@@ -25,6 +25,7 @@ type t = {
   payload_tmpl : Msg.t; (* preconstructed payload shared by all segments *)
   payload_sum : int;
   streams : stream array;
+  by_key : (int * int, stream) Hashtbl.t; (* (src addr, driver port) -> stream *)
   jitter : Prng.t;
   mutable injected : int;
   mutable stalls : int;
@@ -32,16 +33,10 @@ type t = {
 
 let plat t = t.stack.Stack.plat
 
-
-
-let find_stream t port =
-  let n = Array.length t.streams in
-  let rec go i =
-    if i >= n then None
-    else if t.streams.(i).drv_port = port then Some t.streams.(i)
-    else go (i + 1)
-  in
-  go 0
+(* Acks come back addressed to the stream's source address and driver
+   port; both are needed once the port space is reused across addresses
+   (beyond 2^14 streams). *)
+let find_stream t addr port = Hashtbl.find_opt t.by_key (addr, port)
 
 (* Acks (and the SYN-ACK) from the real receiver arrive here. *)
 let handle t frame =
@@ -49,7 +44,7 @@ let handle t frame =
   (match Frame.parse_tcp frame with
    | None -> ()
    | Some v -> (
-     match find_stream t v.Frame.dport with
+     match find_stream t v.Frame.dst v.Frame.dport with
      | None -> ()
      | Some s ->
        if v.Frame.flags.Tcp_wire.syn && v.Frame.flags.Tcp_wire.ack then begin
@@ -59,7 +54,7 @@ let handle t frame =
          s.peer_win <- v.Frame.win;
          s.established <- true;
          let ack =
-           Frame.build_tcp t.stack.Stack.pool ~src:t.peer_addr
+           Frame.build_tcp t.stack.Stack.pool ~src:s.src_addr
              ~dst:t.stack.Stack.local_addr ~sport:s.drv_port ~dport:s.rcv_port
              ~seq:s.snd_nxt ~ack:s.peer_ack ~flags:Tcp_wire.flag_ack
              ~win:(1 lsl 20) ~payload:None ~checksum:t.checksum
@@ -76,13 +71,15 @@ let handle t frame =
   Msg.destroy frame
 
 let attach stack ~peer_addr ~payload ~checksum ?(jitter_mean_ns = 8000.0)
-    ?(sequential_payload = false) ?(iss_base = 0x10000000) ~ports () =
+    ?(sequential_payload = false) ?(iss_base = 0x10000000) ?addr_of ~ports () =
+  let addr_of = match addr_of with Some f -> f | None -> fun _ -> peer_addr in
   let streams =
     Array.of_list
-      (List.map
-         (fun (drv_port, rcv_port) ->
+      (List.mapi
+         (fun j (drv_port, rcv_port) ->
            let iss = Pnp_proto.Tcp_seq.mask (iss_base + drv_port) in
            {
+             src_addr = addr_of j;
              drv_port;
              rcv_port;
              iss;
@@ -94,16 +91,22 @@ let attach stack ~peer_addr ~payload ~checksum ?(jitter_mean_ns = 8000.0)
              ring_lock =
                Lock.create stack.Stack.plat.Platform.sim stack.Stack.plat.Platform.arch
                  Lock.Unfair
-                 ~name:(Printf.sprintf "driver.ring.%d" drv_port);
+                 ~name:(Printf.sprintf "driver.ring.%d" j);
            })
          ports)
   in
+  let by_key = Hashtbl.create (max 16 (2 * Array.length streams)) in
+  Array.iter
+    (fun s ->
+      if Hashtbl.mem by_key (s.src_addr, s.drv_port) then
+        invalid_arg "Tcp_source.attach: duplicate (source address, driver port)";
+      Hashtbl.replace by_key (s.src_addr, s.drv_port) s)
+    streams;
   let payload_tmpl = Msg.create stack.Stack.pool payload in
   Msg.fill_pattern payload_tmpl ~off:0 ~len:payload ~stream_off:0;
   let t =
     {
       stack;
-      peer_addr;
       payload;
       checksum;
       jitter_mean_ns;
@@ -111,6 +114,7 @@ let attach stack ~peer_addr ~payload ~checksum ?(jitter_mean_ns = 8000.0)
       payload_tmpl;
       payload_sum = Pnp_proto.Inet_cksum.sum_slices payload_tmpl;
       streams;
+      by_key;
       jitter = Prng.split (Sim.prng stack.Stack.plat.Platform.sim);
       injected = 0;
       stalls = 0;
@@ -119,97 +123,121 @@ let attach stack ~peer_addr ~payload ~checksum ?(jitter_mean_ns = 8000.0)
   Fddi.set_transmit stack.Stack.fddi (fun frame -> handle t frame);
   t
 
-let start t =
-  Array.iter
-    (fun s ->
-      let syn =
-        Frame.build_tcp t.stack.Stack.pool ~src:t.peer_addr ~dst:t.stack.Stack.local_addr
-          ~sport:s.drv_port ~dport:s.rcv_port ~seq:s.iss ~ack:0 ~flags:Tcp_wire.flag_syn
-          ~win:(1 lsl 20) ~payload:None ~checksum:t.checksum
-      in
-      s.snd_nxt <- Tcp_seq.add s.iss 1;
-      Fddi.input t.stack.Stack.fddi syn;
-      if not s.established then
-        failwith "Tcp_source.start: handshake did not complete synchronously")
-    t.streams
+let start_range t ~first ~last =
+  if first < 0 || last > Array.length t.streams || first > last then
+    invalid_arg "Tcp_source.start_range: bad stream range";
+  for j = first to last - 1 do
+    let s = t.streams.(j) in
+    let syn =
+      Frame.build_tcp t.stack.Stack.pool ~src:s.src_addr ~dst:t.stack.Stack.local_addr
+        ~sport:s.drv_port ~dport:s.rcv_port ~seq:s.iss ~ack:0 ~flags:Tcp_wire.flag_syn
+        ~win:(1 lsl 20) ~payload:None ~checksum:t.checksum
+    in
+    s.snd_nxt <- Tcp_seq.add s.iss 1;
+    Fddi.input t.stack.Stack.fddi syn;
+    if not s.established then
+      failwith "Tcp_source.start: handshake did not complete synchronously"
+  done
 
-let next t ~stream =
+(* Handshake every stream, serially, from the calling thread. *)
+let start t = start_range t ~first:0 ~last:(Array.length t.streams)
+
+type reserved = { r_stream : int; r_seq : int }
+
+(* Pin the next sequence number of [stream] under the ring lock.  In the
+   classic feeders reservation and injection are back-to-back ([next]);
+   the steered NIC reserves at arrival time and injects whenever the
+   owning worker drains its queue, so a reservation can sit behind
+   younger reservations of the same stream on another worker's queue —
+   that gap is the Flow-Director reordering. *)
+let reserve t ~stream =
   let s = t.streams.(stream) in
   let p = plat t in
   Lock.acquire s.ring_lock;
   Costs.charge p Costs.driver_recv;
   if not s.established then begin
     Lock.release s.ring_lock;
-    false
+    None
   end
   else begin
     let in_flight = Tcp_seq.diff s.snd_nxt s.snd_una in
     if in_flight + t.payload > s.peer_win then begin
       t.stalls <- t.stalls + 1;
       Lock.release s.ring_lock;
-      false
+      None
     end
     else begin
       let seq = s.snd_nxt in
       s.snd_nxt <- Tcp_seq.add s.snd_nxt t.payload;
       t.injected <- t.injected + 1;
       Lock.release s.ring_lock;
-      (* Packet lifecycle begins at the in-order seq handout; the span covers
-         driver service plus the synchronous climb through FDDI/IP. *)
-      let tracer = Sim.tracer p.Platform.sim in
-      let tracing = Trace.enabled tracer && Sim.in_thread p.Platform.sim in
-      let span ev =
-        let th = Sim.self p.Platform.sim in
-        Trace.emit tracer ~ts:(Sim.now p.Platform.sim) ~tid:(Sim.tid th)
-          ~cpu:(Sim.cpu th) ev
-      in
-      if tracing then span (Trace.Span_begin { seq; phase = Trace.Enqueue });
-      (* Interrupt/DMA service variance hits each thread independently
-         after the in-order handout — the source of the residual
-         misordering Table 1 shows even under MCS locks. *)
-      Platform.charge p (int_of_float (Prng.exponential t.jitter ~mean:t.jitter_mean_ns));
-      (* Build from the template outside the ring lock: the thread carries
-         its own packet up the stack, as in the paper. *)
-      let frame =
-        if t.sequential_payload then begin
-          let payload = Msg.create t.stack.Stack.pool t.payload in
-          Msg.fill_pattern payload ~off:0 ~len:t.payload
-            ~stream_off:(Tcp_seq.diff seq (Tcp_seq.add s.iss 1));
-          Frame.build_tcp t.stack.Stack.pool ~src:t.peer_addr
-            ~dst:t.stack.Stack.local_addr ~sport:s.drv_port ~dport:s.rcv_port ~seq
-            ~ack:s.peer_ack ~flags:Tcp_wire.flag_ack ~win:(1 lsl 20)
-            ~payload:(Some payload) ~checksum:t.checksum
-        end
-        else begin
-          (* Template path: share the payload node; checksum updated
-             incrementally from the precomputed payload sum. *)
-          let seg = Msg.dup t.payload_tmpl in
-          Tcp_wire.encode seg
-            {
-              Tcp_wire.sport = s.drv_port;
-              dport = s.rcv_port;
-              seq;
-              ack = s.peer_ack;
-              flags = Tcp_wire.flag_ack;
-              win = 1 lsl 20;
-              cksum = 0;
-            };
-          if t.checksum then
-            Tcp_wire.store_checksum_incremental ~src:t.peer_addr
-              ~dst:t.stack.Stack.local_addr ~payload_sum:t.payload_sum seg
-          else Msg.set_u16 seg 18 0;
-          Ip.encap seg ~src:t.peer_addr ~dst:t.stack.Stack.local_addr
-            ~proto:Tcp_wire.protocol_number ~id:0;
-          Fddi.encap seg ~src_mac:t.peer_addr ~dst_mac:t.stack.Stack.local_addr
-            ~ethertype:Ip.ethertype;
-          seg
-        end
-      in
-      if tracing then span (Trace.Span_end { seq; phase = Trace.Enqueue });
-      Fddi.input t.stack.Stack.fddi frame;
-      true
+      Some { r_stream = stream; r_seq = seq }
     end
   end
+
+let inject t { r_stream; r_seq = seq } =
+  let s = t.streams.(r_stream) in
+  let p = plat t in
+  (* The packet lifecycle span covers driver service plus the synchronous
+     climb through FDDI/IP, on the thread that carries the packet. *)
+  let tracer = Sim.tracer p.Platform.sim in
+  let tracing = Trace.enabled tracer && Sim.in_thread p.Platform.sim in
+  let span ev =
+    let th = Sim.self p.Platform.sim in
+    Trace.emit tracer ~ts:(Sim.now p.Platform.sim) ~tid:(Sim.tid th)
+      ~cpu:(Sim.cpu th) ev
+  in
+  if tracing then span (Trace.Span_begin { seq; phase = Trace.Enqueue });
+  (* Interrupt/DMA service variance hits each thread independently after
+     the in-order handout — the source of the residual misordering
+     Table 1 shows even under MCS locks. *)
+  Platform.charge p (int_of_float (Prng.exponential t.jitter ~mean:t.jitter_mean_ns));
+  (* Build from the template outside the ring lock: the thread carries
+     its own packet up the stack, as in the paper. *)
+  let frame =
+    if t.sequential_payload then begin
+      let payload = Msg.create t.stack.Stack.pool t.payload in
+      Msg.fill_pattern payload ~off:0 ~len:t.payload
+        ~stream_off:(Tcp_seq.diff seq (Tcp_seq.add s.iss 1));
+      Frame.build_tcp t.stack.Stack.pool ~src:s.src_addr
+        ~dst:t.stack.Stack.local_addr ~sport:s.drv_port ~dport:s.rcv_port ~seq
+        ~ack:s.peer_ack ~flags:Tcp_wire.flag_ack ~win:(1 lsl 20)
+        ~payload:(Some payload) ~checksum:t.checksum
+    end
+    else begin
+      (* Template path: share the payload node; checksum updated
+         incrementally from the precomputed payload sum. *)
+      let seg = Msg.dup t.payload_tmpl in
+      Tcp_wire.encode seg
+        {
+          Tcp_wire.sport = s.drv_port;
+          dport = s.rcv_port;
+          seq;
+          ack = s.peer_ack;
+          flags = Tcp_wire.flag_ack;
+          win = 1 lsl 20;
+          cksum = 0;
+        };
+      if t.checksum then
+        Tcp_wire.store_checksum_incremental ~src:s.src_addr
+          ~dst:t.stack.Stack.local_addr ~payload_sum:t.payload_sum seg
+      else Msg.set_u16 seg 18 0;
+      Ip.encap seg ~src:s.src_addr ~dst:t.stack.Stack.local_addr
+        ~proto:Tcp_wire.protocol_number ~id:0;
+      Fddi.encap seg ~src_mac:s.src_addr ~dst_mac:t.stack.Stack.local_addr
+        ~ethertype:Ip.ethertype;
+      seg
+    end
+  in
+  if tracing then span (Trace.Span_end { seq; phase = Trace.Enqueue });
+  Fddi.input t.stack.Stack.fddi frame
+
+let next t ~stream =
+  match reserve t ~stream with
+  | None -> false
+  | Some r ->
+    inject t r;
+    true
 
 let established t ~stream = t.streams.(stream).established
 let segments_injected t = t.injected
@@ -218,7 +246,7 @@ let window_stalls t = t.stalls
 let finish t ~stream =
   let s = t.streams.(stream) in
   let fin =
-    Frame.build_tcp t.stack.Stack.pool ~src:t.peer_addr ~dst:t.stack.Stack.local_addr
+    Frame.build_tcp t.stack.Stack.pool ~src:s.src_addr ~dst:t.stack.Stack.local_addr
       ~sport:s.drv_port ~dport:s.rcv_port ~seq:s.snd_nxt ~ack:s.peer_ack
       ~flags:Tcp_wire.flag_fin_ack ~win:(1 lsl 20) ~payload:None ~checksum:t.checksum
   in

@@ -16,6 +16,9 @@ type t = {
       (** per-thread MNode caches in the message tool (Section 6) *)
   map_locking : bool;
       (** lock the map manager on demux (Section 3.1's 10% aside) *)
+  map_shards : int;
+      (** shards per demux map (power of two; 1 = the classic
+          single-lock map manager) *)
 }
 
 val create :
@@ -25,6 +28,7 @@ val create :
   ?refcnt_mode:Atomic_ctr.mode ->
   ?message_caching:bool ->
   ?map_locking:bool ->
+  ?map_shards:int ->
   Arch.t ->
   t
 (** Baseline defaults match Section 3: unfair mutexes, atomic LL/SC

@@ -1,0 +1,14 @@
+(** The [ext-steering] figure: TCP receive behind a virtual multi-queue
+    NIC at up to 10^5 simultaneous connections, demultiplexed through the
+    sharded map manager.
+
+    Sweeps connection count x steering policy ({!Pnp_driver.Steer.Hash}
+    vs {!Pnp_driver.Steer.Last_sender}) x CPUs and reports throughput,
+    the deepest reorder window observed in the lock-grant stream
+    ({!Pnp_analysis.Order_check}), and the header-prediction miss rate.
+    One traced run per cell (base seed, no seed averaging); reduced
+    sweeps (measurement window under 250 ms) scale the connection axis
+    down for the CI determinism job. *)
+
+val steering_data : Opts.t -> Pnp_harness.Report.table list
+val steering_present : Opts.t -> Pnp_harness.Report.table list -> unit

@@ -49,6 +49,9 @@ let all =
       Fig_extensions.cksum_placement_data;
     entry "ext-faults" "Extension: goodput & retransmit rate under segment loss"
       Fig_faults.faults_data;
+    entry "ext-steering"
+      "Extension: packet steering at 10^5 connections (RSS vs Flow Director)"
+      Fig_steering.steering_data ~present:Fig_steering.steering_present;
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all

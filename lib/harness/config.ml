@@ -22,6 +22,8 @@ type t = {
   map_locking : bool;
   connections : int;
   placement : placement;
+  steering : Pnp_driver.Steer.policy option;
+  demux_shards : int;
   skew : float;
   driver_jitter_ns : float;
   offered_mbps : float option;
@@ -51,6 +53,8 @@ let baseline =
     map_locking = true;
     connections = 1;
     placement = Packet_level;
+    steering = None;
+    demux_shards = 1;
     skew = 0.0;
     driver_jitter_ns = 8000.0;
     offered_mbps = None;
@@ -69,7 +73,8 @@ let v ?(arch = baseline.arch) ?(procs = baseline.procs) ?(side = baseline.side)
     ?(assume_in_order = baseline.assume_in_order) ?(ticketing = baseline.ticketing)
     ?(refcnt_mode = baseline.refcnt_mode) ?(message_caching = baseline.message_caching)
     ?(map_locking = baseline.map_locking) ?(connections = baseline.connections)
-    ?(placement = baseline.placement) ?(skew = baseline.skew)
+    ?(placement = baseline.placement) ?steering
+    ?(demux_shards = baseline.demux_shards) ?(skew = baseline.skew)
     ?(driver_jitter_ns = baseline.driver_jitter_ns) ?offered_mbps
     ?(loss_rate = baseline.loss_rate)
     ?(cksum_under_lock = baseline.cksum_under_lock)
@@ -92,6 +97,8 @@ let v ?(arch = baseline.arch) ?(procs = baseline.procs) ?(side = baseline.side)
     map_locking;
     connections;
     placement;
+    steering;
+    demux_shards;
     skew;
     driver_jitter_ns;
     offered_mbps;
@@ -128,7 +135,7 @@ let canonical t =
     | Pnp_engine.Lock.Barging -> "barging"
   in
   Printf.sprintf
-    "arch=%s|procs=%d|side=%s|proto=%s|payload=%d|cksum=%b|lock=%s|map=%s|tcplk=%s|inorder=%b|ticket=%b|refs=%s|mcache=%b|maplock=%b|conns=%d|place=%s|skew=%h|jitter=%h|offered=%s|loss=%h|cklock=%b|pres=%b|warmup=%d|measure=%d|seed=%d"
+    "arch=%s|procs=%d|side=%s|proto=%s|payload=%d|cksum=%b|lock=%s|map=%s|tcplk=%s|inorder=%b|ticket=%b|refs=%s|mcache=%b|maplock=%b|conns=%d|place=%s|steer=%s|dshards=%d|skew=%h|jitter=%h|offered=%s|loss=%h|cklock=%b|pres=%b|warmup=%d|measure=%d|seed=%d"
     (arch_key t.arch) t.procs (side_to_string t.side)
     (protocol_to_string t.protocol) t.payload t.checksum (disc t.lock_disc)
     (disc t.map_disc)
@@ -144,7 +151,10 @@ let canonical t =
     (match t.placement with
      | Connection_level -> "conn"
      | Packet_level -> "pkt")
-    t.skew t.driver_jitter_ns
+    (match t.steering with
+     | None -> "none"
+     | Some p -> Pnp_driver.Steer.policy_to_string p)
+    t.demux_shards t.skew t.driver_jitter_ns
     (match t.offered_mbps with None -> "sat" | Some r -> Printf.sprintf "%h" r)
     t.loss_rate t.cksum_under_lock t.presentation t.warmup t.measure t.seed
 

@@ -31,6 +31,17 @@ type t = {
   map_locking : bool;
   connections : int;                     (** number of simultaneous connections *)
   placement : placement;
+  steering : Pnp_driver.Steer.policy option;
+      (** NIC packet steering for TCP receive: [None] (default) keeps the
+          classic worker feeders; [Some Hash] statically assigns each
+          connection's frames to one worker (RSS); [Some Last_sender]
+          models Flow-Director-style affinity that follows the migrating
+          application thread, reordering in-flight segments.  Steered
+          runs use a single shared listen port with per-stream source
+          addresses, so [connections] may go far beyond the port space *)
+  demux_shards : int;
+      (** shards per demux map ({!Pnp_xkern.Xmap}); 1 (default) is the
+          classic single-lock map manager *)
   skew : float;
       (** Zipf exponent of the per-connection load (0 = uniform): the
           weight of connection j is 1/(j+1)^skew *)
@@ -79,6 +90,8 @@ val v :
   ?map_locking:bool ->
   ?connections:int ->
   ?placement:placement ->
+  ?steering:Pnp_driver.Steer.policy ->
+  ?demux_shards:int ->
   ?skew:float ->
   ?driver_jitter_ns:float ->
   ?offered_mbps:float ->

@@ -122,7 +122,7 @@ let make_platform (cfg : Config.t) =
   Platform.create ~seed:cfg.Config.seed ~lock_disc:cfg.Config.lock_disc
     ~map_disc:cfg.Config.map_disc ~refcnt_mode:cfg.Config.refcnt_mode
     ~message_caching:cfg.Config.message_caching ~map_locking:cfg.Config.map_locking
-    cfg.Config.arch
+    ~map_shards:cfg.Config.demux_shards cfg.Config.arch
 
 (* The per-connection application endpoint: counts packets under its own
    small lock (the paper's lock-increment-unlock critical section), honouring
@@ -256,6 +256,10 @@ let setup (cfg : Config.t) plat =
   let procs = cfg.Config.procs in
   let conns = cfg.Config.connections in
   assert (procs >= 1 && conns >= 1);
+  (match cfg.Config.steering with
+   | Some _ when cfg.Config.protocol <> Config.Tcp || cfg.Config.side <> Config.Recv ->
+     invalid_arg "Run.setup: steering applies to the TCP receive side only"
+   | _ -> ());
   match (cfg.Config.protocol, cfg.Config.side) with
   | Config.Udp, Config.Send ->
     let stack = Stack.create plat ~udp_checksum:cfg.Config.checksum ~local_addr:sender_addr () in
@@ -396,6 +400,60 @@ let setup (cfg : Config.t) plat =
       ~app_bytes:(fun () -> Tcp_peer.bytes_received peer)
       ~app_packets:(fun () -> Tcp_peer.data_segments peer)
       ~peer:(Some peer) ~gates:[] ()
+  | Config.Tcp, Config.Recv when cfg.Config.steering <> None ->
+    (* Steered receive: a virtual multi-queue NIC (Steer) picks the
+       worker per frame instead of the placement feeders.  One shared
+       listen port with per-stream source addresses carries the
+       connection count past the 16-bit port space. *)
+    let policy = Option.get cfg.Config.steering in
+    if cfg.Config.offered_mbps <> None then
+      invalid_arg "Run.setup: steering models a saturating NIC; unset offered_mbps";
+    let stack =
+      Stack.create plat ~tcp_config:(tcp_config cfg) ~local_addr:receiver_addr ()
+    in
+    let listen_port = 4000 in
+    let addr_span = 1 lsl 14 (* streams per source address *) in
+    let addr_of j = sender_addr + ((j / addr_span) lsl 16) in
+    let ports = List.init conns (fun j -> (2000 + (j mod addr_span), listen_port)) in
+    let src =
+      let jitter =
+        cfg.Config.driver_jitter_ns *. (1.0 +. (0.12 *. float_of_int (procs - 1)))
+      in
+      Tcp_source.attach stack ~peer_addr:sender_addr ~payload:cfg.Config.payload
+        ~checksum:cfg.Config.checksum ~jitter_mean_ns:jitter ~addr_of ~ports ()
+    in
+    let apps = Array.init conns (fun j -> make_app plat j) in
+    Tcp.listen stack.Stack.tcp ~local_port:listen_port ~accept:(fun sess ->
+        let raddr, rport = Tcp.remote_endpoint sess in
+        let j = (((raddr - sender_addr) lsr 16) * addr_span) + (rport - 2000) in
+        Tcp.set_receiver sess (fun m -> app_receive cfg plat stack.Stack.pool apps.(j) m));
+    (* Handshake in parallel slices: serially opening 10^5 connections
+       from one thread would eat whole simulated seconds. *)
+    let slice = (conns + procs - 1) / procs in
+    for i = 0 to procs - 1 do
+      let first = i * slice and last = min conns ((i + 1) * slice) in
+      if first < last then
+        ignore
+          (Sim.spawn plat.Platform.sim ~cpu:i
+             ~name:(Printf.sprintf "tcp-handshaker.%d" i)
+             (fun () -> Tcp_source.start_range src ~first ~last))
+    done;
+    let steer = Steer.create plat ~policy ~workers:procs ~conns () in
+    let reserve ~conn = Tcp_source.reserve src ~stream:conn in
+    for i = 0 to procs - 1 do
+      ignore
+        (Sim.spawn plat.Platform.sim ~cpu:i ~name:(Printf.sprintf "tcp-recv.%d" i)
+           (fun () ->
+             while true do
+               match Steer.next steer ~worker:i ~reserve with
+               | Some r -> Tcp_source.inject src r
+               | None -> Sim.delay plat.Platform.sim (Units.us 20.0)
+             done))
+    done;
+    make_tcp_probe stack
+      ~app_bytes:(fun () -> Array.fold_left (fun acc a -> acc + a.app_bytes) 0 apps)
+      ~app_packets:(fun () -> Array.fold_left (fun acc a -> acc + a.app_packets) 0 apps)
+      ~peer:None ~gates:[] ()
   | Config.Tcp, Config.Recv ->
     let stack =
       Stack.create plat ~tcp_config:(tcp_config cfg) ~local_addr:receiver_addr ()

@@ -166,7 +166,7 @@ type t = {
   conns : session Conn_map.t;
   create_lock : Lock.t;
   mutable all_sessions : session list;
-  mutable accepting : (Conn_key.t * (session -> unit)) list; (* listen ports *)
+  accepting : (session -> unit) Conn_map.t; (* listen ports, wildcard-keyed *)
   mutable timers_running : bool;
   mutable shutdown : bool;
   mutable cksum_failures : int; (* segments discarded by checksum verification *)
@@ -789,7 +789,8 @@ let established_input sess (hdr : Tcp_wire.header) msg ~now acc deliveries =
     then { hdr with Tcp_wire.seq = tcb.rcv_nxt; ack = tcb.snd_una }
     else hdr
   in
-  if len > 0 && hdr.seq <> tcb.rcv_nxt then sess.st.ooo_segs <- sess.st.ooo_segs + 1;
+  if len > 0 && hdr.seq <> tcb.rcv_nxt then
+    sess.st.ooo_segs <- sess.st.ooo_segs + 1;
   let f = hdr.flags in
   if f.Tcp_wire.rst then begin
     (* A reset tears the connection down immediately (no challenge-ack
@@ -1047,10 +1048,10 @@ let input t ~src ~dst msg =
            | Listen, true -> (
              end_ip_span ();
              (* find the accept callback for this port *)
-             match List.find_opt (fun (k, _) -> Conn_key.equal k sess.key) t.accepting with
-             | Some (k, accept) ->
+             match Conn_map.lookup t.accepting sess.key with
+             | Some accept ->
                Msg.destroy msg;
-               handshake_syn t k accept hdr ~src
+               handshake_syn t sess.key accept hdr ~src
              | None -> Msg.destroy msg)
            | _ ->
              end_ip_span ();
@@ -1183,12 +1184,14 @@ let create plat pool ~wheel ~ip cfg ~name =
       name;
       obj_ref = Platform.refcnt plat ~name:(name ^ ".ref") ~init:1;
       iss_source = Platform.refcnt plat ~name:(name ^ ".iss") ~init:1;
-      conns = Conn_map.create plat ~name:(name ^ ".demux") ();
+      conns =
+        Conn_map.create plat ~shards:plat.Platform.map_shards
+          ~name:(name ^ ".demux") ();
       create_lock =
         Lock.create plat.Platform.sim plat.Platform.arch Lock.Unfair
           ~name:(name ^ ".create");
       all_sessions = [];
-      accepting = [];
+      accepting = Conn_map.create plat ~name:(name ^ ".accepting") ();
       timers_running = false;
       shutdown = false;
       cksum_failures = 0;
@@ -1239,9 +1242,24 @@ let listen t ~local_port ~accept =
   sess.tcb.state <- Listen;
   locked_create t (fun () ->
       Conn_map.insert t.conns key sess;
-      t.accepting <- (key, accept) :: t.accepting);
+      Conn_map.insert t.accepting key accept);
   start_timers t
 
+(* Stop listening: drop both the accept callback and the wildcard demux
+   entry, so closed listen ports no longer accumulate (established
+   children are untouched).  Returns [false] if nothing was listening. *)
+let close_listener t ~local_port =
+  let key = { Conn_key.lport = local_port; raddr = 0; rport = 0 } in
+  locked_create t (fun () ->
+      let had_accept = Conn_map.remove t.accepting key in
+      let had_demux =
+        match Conn_map.lookup t.conns key with
+        | Some sess when sess.tcb.state = Listen -> Conn_map.remove t.conns key
+        | _ -> false
+      in
+      had_accept || had_demux)
+
+let remote_endpoint sess = (sess.key.Conn_key.raddr, sess.key.Conn_key.rport)
 let set_receiver sess f = sess.receiver <- f
 let set_fin_handler sess f = sess.on_fin <- f
 let ticket_gate sess = sess.gate

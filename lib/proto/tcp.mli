@@ -95,6 +95,16 @@ val listen : t -> local_port:int -> accept:(session -> unit) -> unit
     with no connection locks held... before the SYN-ACK is sent) for each
     new connection, so the receiver can be attached before data arrives. *)
 
+val close_listener : t -> local_port:int -> bool
+(** Stop listening on [local_port]: removes the accept callback and the
+    wildcard demux entry (established children are untouched).  Further
+    SYNs to the port are dropped.  [false] if nothing was listening. *)
+
+val remote_endpoint : session -> int * int
+(** (remote address, remote port) of the session's connection key — lets
+    a shared-listen-port accept callback recover which simulated peer
+    stream the child belongs to. *)
+
 val set_receiver : session -> (Pnp_xkern.Msg.t -> unit) -> unit
 (** Attach the application upcall for payload delivery.  The upcall owns
     the message.  With [ticketing] the upcall runs inside the session's

@@ -83,7 +83,9 @@ and create plat ~ip ~checksum ~name =
       ip;
       checksum;
       obj_ref = Platform.refcnt plat ~name:(name ^ ".ref") ~init:1;
-      sessions = Port_map.create plat ~name:(name ^ ".demux") ();
+      sessions =
+        Port_map.create plat ~shards:plat.Platform.map_shards
+          ~name:(name ^ ".demux") ();
       create_lock =
         Lock.create plat.Platform.sim plat.Platform.arch Lock.Unfair
           ~name:(name ^ ".create");

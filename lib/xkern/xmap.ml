@@ -16,53 +16,177 @@ let cache_probe_instrs = 45
 let hash_instrs = 70
 let link_instrs = 25 (* per chain element examined *)
 
+(* A shard doubles its bucket array when its population exceeds this many
+   bindings per bucket, keeping mean chain length bounded as the map
+   grows into the 10^5..10^6 range. *)
+let grow_load = 2
+
 module Make (K : KEY) = struct
-  type 'v t = {
-    plat : Platform.t;
+  type 'v shard = {
+    sname : string; (* lock name; also namespaces Trace.Access state *)
     lock : Lock.Counting.t;
-    buckets : (K.t * 'v) list array;
+    mutable buckets : (K.t * 'v) list array;
     mutable one_behind : (K.t * 'v) option;
     mutable size : int;
     mutable lookups : int;
     mutable cache_hits : int;
+    mutable resizes : int;
   }
 
-  let create plat ?(buckets = 32) ~name () =
+  (* One thread's private 1-behind cache and counters, used only on the
+     unlocked lookup path (map_locking = false).  Keeping them per thread
+     is what makes the unlocked path write-free on shared state: the old
+     implementation mutated the shared cache and counters from an
+     intentionally lock-free read, a write/write race the lockset checker
+     (rightly) flags. *)
+  type 'v tslot = {
+    mutable t_behind : (K.t * 'v) option;
+    mutable t_lookups : int;
+    mutable t_hits : int;
+  }
+
+  type 'v t = {
+    plat : Platform.t;
+    mask : int; (* shard count - 1; shard count is a power of two *)
+    shift : int; (* log2 shard count; bucket index uses the high bits *)
+    shards : 'v shard array;
+    mutable tslots : 'v tslot array; (* tid-indexed; unlocked path only *)
+    hslot : 'v tslot; (* host-context (outside any sim thread) slot *)
+  }
+
+  let fresh_slot () = { t_behind = None; t_lookups = 0; t_hits = 0 }
+
+  let create plat ?(shards = 1) ?(buckets = 32) ~name () =
+    if shards <= 0 then invalid_arg "Xmap.create: shards must be positive";
     if buckets <= 0 then invalid_arg "Xmap.create: buckets must be positive";
+    let rec pow2 n = if n >= shards then n else pow2 (2 * n) in
+    let nshards = pow2 1 in
+    (* Bucket arrays are kept at power-of-two sizes (rounding the request
+       up) so the bucket index is a mask, not a division, on the
+       per-packet demux path. *)
+    let rec bpow2 n = if n >= buckets then n else bpow2 (2 * n) in
+    let buckets = bpow2 1 in
+    let rec log2 n = if n <= 1 then 0 else 1 + log2 (n / 2) in
+    let shard i =
+      (* A single-shard map keeps the bare name so existing lock tables
+         and traces are unchanged. *)
+      let sname = if nshards = 1 then name else Printf.sprintf "%s.s%d" name i in
+      {
+        sname;
+        lock =
+          Lock.Counting.create plat.Platform.sim plat.Platform.arch
+            plat.Platform.map_disc ~name:sname;
+        buckets = Array.make buckets [];
+        one_behind = None;
+        size = 0;
+        lookups = 0;
+        cache_hits = 0;
+        resizes = 0;
+      }
+    in
     {
       plat;
-      lock =
-        Lock.Counting.create plat.Platform.sim plat.Platform.arch
-          plat.Platform.map_disc ~name;
-      buckets = Array.make buckets [];
-      one_behind = None;
-      size = 0;
-      lookups = 0;
-      cache_hits = 0;
+      mask = nshards - 1;
+      shift = log2 nshards;
+      shards = Array.init nshards shard;
+      tslots = [||];
+      hslot = fresh_slot ();
     }
 
-  let locked t f =
-    if Sim.in_thread t.plat.Platform.sim then Lock.Counting.with_lock t.lock f
+  let hashv k = K.hash k land max_int
+  let shard_of t h = t.shards.(h land t.mask)
+  let bindex t sh h = (h lsr t.shift) land (Array.length sh.buckets - 1)
+
+  let locked t sh f =
+    if Sim.in_thread t.plat.Platform.sim then Lock.Counting.with_lock sh.lock f
     else f ()
 
-  (* lookup serialisation is what the Section 3.1 aside toggles off. *)
-  let lookup_locked t f =
-    if t.plat.Platform.map_locking then locked t f else f ()
+  (* Shared-state access annotation for the lockset checker; guarded on
+     the tracer so the disabled path costs one field read. *)
+  let access t sh ~write =
+    let sim = t.plat.Platform.sim in
+    let tracer = Sim.tracer sim in
+    if Trace.enabled tracer && Sim.in_thread sim then
+      let th = Sim.self sim in
+      Trace.emit tracer ~ts:(Sim.now sim) ~tid:(Sim.tid th) ~cpu:(Sim.cpu th)
+        (Trace.Access { state = sh.sname ^ "#cache"; write })
 
-  let index t k = (K.hash k land max_int) mod Array.length t.buckets
+  let grow_tslots t tid =
+    let cap = max 16 (max (tid + 1) (2 * Array.length t.tslots)) in
+    let table =
+      Array.init cap (fun i ->
+          if i < Array.length t.tslots then t.tslots.(i) else fresh_slot ())
+    in
+    t.tslots <- table
+
+  let tslot t =
+    let sim = t.plat.Platform.sim in
+    if Sim.in_thread sim then begin
+      let tid = Sim.tid (Sim.self sim) in
+      if tid >= Array.length t.tslots then grow_tslots t tid;
+      Array.unsafe_get t.tslots tid
+    end
+    else t.hslot
+
+  (* Drop any per-thread cached binding for [k]; called (under the shard
+     lock) whenever a binding is replaced or removed so no thread can
+     keep serving a stale value.  The slots are host-side bookkeeping —
+     scrubbing them carries no simulated cost, like the shared
+     invalidation in [remove]. *)
+  let scrub_tslots t k =
+    let scrub s =
+      match s.t_behind with
+      | Some (k', _) when K.equal k k' -> s.t_behind <- None
+      | _ -> ()
+    in
+    Array.iter scrub t.tslots;
+    scrub t.hslot
+
+  (* Single-pass chain surgery: walk once, report whether a binding for
+     [k] was dropped.  When nothing matches the original list is returned
+     untouched (no reallocation). *)
+  let remove_binding k chain =
+    let rec walk acc = function
+      | [] -> (false, chain)
+      | (k', _) :: rest when K.equal k k' -> (true, List.rev_append acc rest)
+      | b :: rest -> walk (b :: acc) rest
+    in
+    walk [] chain
+
+  (* Double a shard's bucket array, redistributing every binding.  Runs
+     under the shard lock; charges one link traversal per rehashed
+     binding, the simulated cost of walking the old chains. *)
+  let grow_shard t sh =
+    sh.resizes <- sh.resizes + 1;
+    let old = sh.buckets in
+    let nb = 2 * Array.length old in
+    sh.buckets <- Array.make nb [];
+    Array.iter
+      (fun chain ->
+        List.iter
+          (fun ((k, _) as b) ->
+            Platform.charge_instrs t.plat link_instrs;
+            let i = (hashv k lsr t.shift) land (nb - 1) in
+            sh.buckets.(i) <- b :: sh.buckets.(i))
+          chain)
+      old
 
   let insert t k v =
-    locked t (fun () ->
+    let h = hashv k in
+    let sh = shard_of t h in
+    locked t sh (fun () ->
         Platform.charge_instrs t.plat hash_instrs;
-        let i = index t k in
-        let chain = List.filter (fun (k', _) -> not (K.equal k k')) t.buckets.(i) in
-        if List.length chain <> List.length t.buckets.(i) then t.size <- t.size - 1;
-        t.buckets.(i) <- (k, v) :: chain;
-        t.size <- t.size + 1;
-        t.one_behind <- Some (k, v))
+        let i = bindex t sh h in
+        let replaced, chain = remove_binding k sh.buckets.(i) in
+        sh.buckets.(i) <- (k, v) :: chain;
+        if not replaced then sh.size <- sh.size + 1;
+        access t sh ~write:true;
+        sh.one_behind <- Some (k, v);
+        scrub_tslots t k;
+        (tslot t).t_behind <- Some (k, v);
+        if sh.size > grow_load * Array.length sh.buckets then grow_shard t sh)
 
-  let chain_find t k =
-    let i = index t k in
+  let chain_find t sh i k =
     let rec walk pos = function
       | [] ->
         Platform.charge_instrs t.plat (hash_instrs + (link_instrs * pos));
@@ -74,50 +198,97 @@ module Make (K : KEY) = struct
         end
         else walk (pos + 1) rest
     in
-    walk 0 t.buckets.(i)
+    walk 0 sh.buckets.(i)
 
+  (* The locked lookup keeps the shared per-shard 1-behind cache and
+     counters, all under the shard lock.  When the platform disables map
+     locking (the Section 3.1 aside) the lookup runs lock-free and uses
+     only its thread's private slot — the chain read itself is the
+     intentionally unserialised demux read the experiment measures, but
+     the bookkeeping no longer writes shared state from the unlocked
+     path. *)
   let lookup t k =
-    lookup_locked t (fun () ->
-        t.lookups <- t.lookups + 1;
-        Platform.charge_instrs t.plat cache_probe_instrs;
-        match t.one_behind with
-        | Some (k', v) when K.equal k k' ->
-          t.cache_hits <- t.cache_hits + 1;
-          Some v
-        | _ -> (
-          match chain_find t k with
-          | Some ((_, v) as binding) ->
-            t.one_behind <- Some binding;
+    let h = hashv k in
+    let sh = shard_of t h in
+    if t.plat.Platform.map_locking then
+      locked t sh (fun () ->
+          sh.lookups <- sh.lookups + 1;
+          Platform.charge_instrs t.plat cache_probe_instrs;
+          access t sh ~write:false;
+          match sh.one_behind with
+          | Some (k', v) when K.equal k k' ->
+            sh.cache_hits <- sh.cache_hits + 1;
             Some v
-          | None -> None))
+          | _ -> (
+            match chain_find t sh (bindex t sh h) k with
+            | Some ((_, v) as binding) ->
+              access t sh ~write:true;
+              sh.one_behind <- Some binding;
+              Some v
+            | None -> None))
+    else begin
+      let s = tslot t in
+      s.t_lookups <- s.t_lookups + 1;
+      Platform.charge_instrs t.plat cache_probe_instrs;
+      match s.t_behind with
+      | Some (k', v) when K.equal k k' ->
+        s.t_hits <- s.t_hits + 1;
+        Some v
+      | _ -> (
+        match chain_find t sh (bindex t sh h) k with
+        | Some ((_, v) as binding) ->
+          s.t_behind <- Some binding;
+          Some v
+        | None -> None)
+    end
 
   let remove t k =
-    locked t (fun () ->
+    let h = hashv k in
+    let sh = shard_of t h in
+    locked t sh (fun () ->
         Platform.charge_instrs t.plat hash_instrs;
-        let i = index t k in
-        let before = List.length t.buckets.(i) in
-        t.buckets.(i) <- List.filter (fun (k', _) -> not (K.equal k k')) t.buckets.(i);
-        let removed = List.length t.buckets.(i) <> before in
+        let i = bindex t sh h in
+        let removed, chain = remove_binding k sh.buckets.(i) in
         if removed then begin
-          t.size <- t.size - 1;
-          match t.one_behind with
-          | Some (k', _) when K.equal k k' -> t.one_behind <- None
-          | _ -> ()
+          sh.buckets.(i) <- chain;
+          sh.size <- sh.size - 1;
+          access t sh ~write:true;
+          (match sh.one_behind with
+          | Some (k', _) when K.equal k k' -> sh.one_behind <- None
+          | _ -> ());
+          scrub_tslots t k
         end;
         removed)
 
   let iter t f =
-    locked t (fun () ->
-        Array.iter
-          (fun chain ->
-            List.iter
-              (fun (k, v) ->
-                Platform.charge_instrs t.plat link_instrs;
-                f k v)
-              chain)
-          t.buckets)
+    Array.iter
+      (fun sh ->
+        locked t sh (fun () ->
+            Array.iter
+              (fun chain ->
+                List.iter
+                  (fun (k, v) ->
+                    Platform.charge_instrs t.plat link_instrs;
+                    f k v)
+                  chain)
+              sh.buckets))
+      t.shards
 
-  let length t = t.size
-  let lookups t = t.lookups
-  let cache_hits t = t.cache_hits
+  let sum t f = Array.fold_left (fun acc sh -> acc + f sh) 0 t.shards
+
+  let length t = sum t (fun sh -> sh.size)
+
+  let lookups t =
+    sum t (fun sh -> sh.lookups)
+    + Array.fold_left (fun acc s -> acc + s.t_lookups) 0 t.tslots
+    + t.hslot.t_lookups
+
+  let cache_hits t =
+    sum t (fun sh -> sh.cache_hits)
+    + Array.fold_left (fun acc s -> acc + s.t_hits) 0 t.tslots
+    + t.hslot.t_hits
+
+  let shard_count t = Array.length t.shards
+  let bucket_count t = sum t (fun sh -> Array.length sh.buckets)
+  let resizes t = sum t (fun sh -> sh.resizes)
 end

@@ -7,9 +7,20 @@
     [iter] (the x-kernel's [mapForEach]) may recurse into the same map
     (Section 2.1).
 
+    Beyond the paper's fixed 32-bucket table, the map is sharded and
+    growable so the demux layer scales into the 10^5..10^6-connection
+    range: keys are spread over a power-of-two number of shards (low hash
+    bits), each with its own counting lock, bucket array and 1-behind
+    cache, and a shard doubles its buckets whenever its mean chain length
+    would exceed a small constant.  A single-shard map (the default) is
+    behaviourally identical to the classic layout, including its lock
+    name and simulated costs.
+
     When the platform disables map locking, [lookup] skips the lock — the
     Section 3.1 experiment that measured the cost of demultiplexing
-    serialisation (about 10% of receive-side throughput). *)
+    serialisation (about 10% of receive-side throughput).  On that path
+    the 1-behind cache and statistics are kept per thread, so the
+    unlocked read writes no shared state. *)
 
 module type KEY = sig
   type t
@@ -21,7 +32,11 @@ end
 module Make (K : KEY) : sig
   type 'v t
 
-  val create : Pnp_engine.Platform.t -> ?buckets:int -> name:string -> unit -> 'v t
+  val create :
+    Pnp_engine.Platform.t -> ?shards:int -> ?buckets:int -> name:string -> unit -> 'v t
+  (** [shards] (default 1) and [buckets] (default 32, the initial bucket
+      count per shard) are each rounded up to a power of two, so both the
+      shard and the bucket index are mask extractions of the key hash. *)
 
   val insert : 'v t -> K.t -> 'v -> unit
   (** Bind (replacing any existing binding). *)
@@ -32,8 +47,9 @@ module Make (K : KEY) : sig
   val remove : 'v t -> K.t -> bool
 
   val iter : 'v t -> (K.t -> 'v -> unit) -> unit
-  (** [mapForEach]: the callback runs under the map's counting lock and may
-      call back into this map. *)
+  (** [mapForEach]: the callback runs under the visited shard's counting
+      lock and may call back into this map.  Bindings added by the
+      callback may or may not be visited (as with [Hashtbl]). *)
 
   val length : 'v t -> int
 
@@ -41,4 +57,11 @@ module Make (K : KEY) : sig
 
   val lookups : 'v t -> int
   val cache_hits : 'v t -> int
+
+  val shard_count : 'v t -> int
+  val bucket_count : 'v t -> int
+  (** Total buckets across all shards (grows as shards resize). *)
+
+  val resizes : 'v t -> int
+  (** Number of shard bucket-array doublings so far. *)
 end

@@ -1,0 +1,16 @@
+(* One pinned RNG state per property test, so the suite samples the same
+   cases on every run: adding or reordering a property elsewhere must not
+   change what later suites draw (the shared self-initialised state did
+   exactly that, and one reshuffle handed the chaos property a plan whose
+   stacked loss stages no horizon could absorb).  QCHECK_SEED still
+   overrides for exploration, matching the runner's documented knob. *)
+let state () =
+  let seed =
+    match Option.bind (Sys.getenv_opt "QCHECK_SEED") int_of_string_opt with
+    | Some s -> s
+    | None -> 0x5eedca5e
+  in
+  Random.State.make [| seed |]
+
+(* Drop-in for [QCheck_alcotest.to_alcotest], deterministically seeded. *)
+let to_alcotest test = QCheck_alcotest.to_alcotest ~rand:(state ()) test

@@ -91,6 +91,58 @@ let test_lockset_partial_lock_overlap_fires () =
    | [ f ] -> Alcotest.(check string) "subject" "x#f" f.Finding.subject
    | fs -> Alcotest.fail (Printf.sprintf "expected 1 finding, got %d" (List.length fs)))
 
+let test_lockset_fires_on_unlocked_map_cache () =
+  (* The pre-shard demux bug, as a trace: [Xmap.lookup]'s unlocked fast
+     path used to write the map's shared 1-behind cache and counters.
+     One thread updates the cache under the map lock (an insert), the
+     other writes it holding nothing (the unlocked lookup) — the
+     candidate set goes empty on the second write. *)
+  let t =
+    make_trace
+      [
+        (1, grant "tcp.demux");
+        (1, acc "tcp.demux#cache");
+        (1, rel "tcp.demux");
+        (2, acc "tcp.demux#cache");
+      ]
+  in
+  match Lockset.check t with
+  | [ f ] ->
+    Alcotest.(check string) "checker" "lockset" f.Finding.checker;
+    Alcotest.(check string) "subject" "tcp.demux#cache" f.Finding.subject
+  | fs -> Alcotest.fail (Printf.sprintf "expected 1 finding, got %d" (List.length fs))
+
+module Imap = Pnp_xkern.Xmap.Make (struct
+  type t = int
+
+  let hash x = x * 2654435761
+  let equal = Int.equal
+end)
+
+let test_unlocked_map_lookup_is_clean () =
+  (* The fixed map against the real engine: with map locking disabled,
+     concurrent lookups keep their 1-behind bookkeeping in per-thread
+     slots, so a traced multi-thread run produces no lockset findings
+     where the old shared-cache mutation pattern fired. *)
+  let p = Platform.create ~map_locking:false arch in
+  let m = Imap.create p ~shards:4 ~name:"demux" () in
+  let tracer = Sim.tracer p.Platform.sim in
+  Trace.enable tracer;
+  let sum = ref 0 in
+  for i = 0 to 3 do
+    ignore
+      (Sim.spawn p.Platform.sim ~cpu:i ~name:(Printf.sprintf "rdr.%d" i) (fun () ->
+           Imap.insert m i i;
+           for _ = 1 to 50 do
+             (match Imap.lookup m i with Some v -> sum := !sum + v | None -> ());
+             ignore (Imap.lookup m ((i + 1) mod 4));
+             Sim.delay p.Platform.sim 100
+           done))
+  done;
+  Sim.run p.Platform.sim;
+  Alcotest.(check int) "lookups served" (50 * (0 + 1 + 2 + 3)) !sum;
+  Alcotest.(check int) "no lockset findings" 0 (List.length (Lockset.check tracer))
+
 (* ------------------------------------------------------------------ *)
 (* Lock-order graph                                                    *)
 (* ------------------------------------------------------------------ *)
@@ -421,6 +473,10 @@ let suites =
           test_lockset_read_shared_not_reported;
         Alcotest.test_case "disjoint locksets fire" `Quick
           test_lockset_partial_lock_overlap_fires;
+        Alcotest.test_case "unlocked map-cache write fires" `Quick
+          test_lockset_fires_on_unlocked_map_cache;
+        Alcotest.test_case "per-thread map cache is clean" `Quick
+          test_unlocked_map_lookup_is_clean;
       ] );
     ( "analysis.lockorder",
       [

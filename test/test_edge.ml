@@ -407,7 +407,7 @@ let suites =
     ( "edge.infra",
       [
         Alcotest.test_case "timewheel stress" `Quick test_timewheel_stress;
-        QCheck_alcotest.to_alcotest prop_xmap_matches_hashtbl;
+        Qrand.to_alcotest prop_xmap_matches_hashtbl;
         Alcotest.test_case "mpool cache overflow" `Quick test_mpool_cache_limit_overflow;
         Alcotest.test_case "blocked-thread diagnostics" `Quick
           test_sim_blocked_thread_diagnostics;

@@ -815,8 +815,8 @@ let suites =
         Alcotest.test_case "FIFO at equal times" `Quick test_eventq_fifo_ties;
         Alcotest.test_case "pop empty" `Quick test_eventq_pop_empty;
         Alcotest.test_case "pop_exn / peek_time_exn" `Quick test_eventq_pop_exn;
-        QCheck_alcotest.to_alcotest prop_eventq_sorted;
-        QCheck_alcotest.to_alcotest prop_eventq_interleaved_oracle;
+        Qrand.to_alcotest prop_eventq_sorted;
+        Qrand.to_alcotest prop_eventq_interleaved_oracle;
       ] );
     ( "engine.sim",
       [
@@ -871,8 +871,8 @@ let suites =
       ] );
     ( "engine.random",
       [
-        QCheck_alcotest.to_alcotest prop_random_lock_programs;
-        QCheck_alcotest.to_alcotest prop_gate_serves_in_order;
+        Qrand.to_alcotest prop_random_lock_programs;
+        Qrand.to_alcotest prop_gate_serves_in_order;
       ] );
     ( "engine.membus",
       [

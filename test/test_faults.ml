@@ -266,7 +266,14 @@ let test_chaos_cell_deterministic () =
    byte stream and every UDP datagram must be accounted for. *)
 let prop_random_plans_recover =
   let open QCheck in
-  let stage_gen =
+  (* Stages that destroy frames outright (loss, corruption the checksum
+     will reject).  At most one per plan: stacking them multiplies the
+     per-frame kill rate, and past ~15% sustained loss the faithful Net/2
+     backoff (Karn resets the shift only on a timed, retransmission-free
+     ack, so a loss in every window ratchets it to the 64 s cap) needs
+     more than the cell's 300 s horizon to drain — a stall, not a
+     recovery bug, as the ext-faults figure documents at 3% Bernoulli. *)
+  let lossy_gen =
     Gen.oneof
       [
         Gen.map (fun p -> Faults.Bernoulli_loss { p }) (Gen.float_bound_inclusive 0.1);
@@ -275,12 +282,18 @@ let prop_random_plans_recover =
             Faults.Gilbert_elliott { p_gb; p_bg = 0.2 +. p_bg; loss_good = 0.0; loss_bad = 0.4 })
           (Gen.float_bound_inclusive 0.05)
           (Gen.float_bound_inclusive 0.4);
+        Gen.map (fun p -> Faults.Corrupt { p }) (Gen.float_bound_inclusive 0.1);
+      ]
+  in
+  (* Stages every frame survives (possibly late, doubled or misordered). *)
+  let benign_gen =
+    Gen.oneof
+      [
         Gen.map (fun p -> Faults.Duplicate { p }) (Gen.float_bound_inclusive 0.15);
         Gen.map2
           (fun p hold -> Faults.Reorder { p; hold_ns = 1 + hold })
           (Gen.float_bound_inclusive 0.2)
           (Gen.int_bound (us 800.0));
-        Gen.map (fun p -> Faults.Corrupt { p }) (Gen.float_bound_inclusive 0.1);
         Gen.map2
           (fun p spike -> Faults.Jitter { p; spike_ns = 1 + spike })
           (Gen.float_bound_inclusive 0.2)
@@ -303,10 +316,17 @@ let prop_random_plans_recover =
     | Faults.Blackout { start_ns; duration_ns; period_ns } ->
       Printf.sprintf "blackout(%d,%d,%d)" start_ns duration_ns period_ns
   in
+  let plan_gen =
+    Gen.(
+      opt lossy_gen >>= fun lossy ->
+      map
+        (fun benign -> match lossy with None -> benign | Some s -> s :: benign)
+        (list_size (1 -- 2) benign_gen))
+  in
   let arb =
     make
       ~print:(fun stages -> String.concat " | " (List.map stage_str stages))
-      Gen.(list_size (1 -- 3) stage_gen)
+      plan_gen
   in
   Test.make ~name:"random fault plans recover exactly" ~count:8 arb (fun stages ->
       let plan = Faults.plan ~name:"random" stages in
@@ -415,7 +435,7 @@ let suites =
       [
         Alcotest.test_case "builtin plans recover" `Quick test_chaos_builtins_recover;
         Alcotest.test_case "cells are deterministic" `Quick test_chaos_cell_deterministic;
-        QCheck_alcotest.to_alcotest prop_random_plans_recover;
+        Qrand.to_alcotest prop_random_plans_recover;
       ] );
     ( "faults.mpool",
       [

@@ -201,10 +201,10 @@ let suites =
   [
     ( "fuzz.tcp",
       [
-        QCheck_alcotest.to_alcotest prop_garbage_frames_survive;
-        QCheck_alcotest.to_alcotest prop_random_segments_survive;
-        QCheck_alcotest.to_alcotest prop_shuffled_segments_reassemble;
-        QCheck_alcotest.to_alcotest prop_duplicates_delivered_once;
-        QCheck_alcotest.to_alcotest prop_corruption_never_delivered;
+        Qrand.to_alcotest prop_garbage_frames_survive;
+        Qrand.to_alcotest prop_random_segments_survive;
+        Qrand.to_alcotest prop_shuffled_segments_reassemble;
+        Qrand.to_alcotest prop_duplicates_delivered_once;
+        Qrand.to_alcotest prop_corruption_never_delivered;
       ] );
   ]

@@ -80,7 +80,12 @@ let test_canonical_distinguishes () =
   distinct "cksum_under_lock" base { base with Config.cksum_under_lock = true };
   distinct "skew" base { base with Config.skew = 0.5 };
   distinct "offered_mbps" base { base with Config.offered_mbps = Some 100.0 };
-  distinct "measure" base { base with Config.measure = base.Config.measure + 1 }
+  distinct "measure" base { base with Config.measure = base.Config.measure + 1 };
+  distinct "steering" base { base with Config.steering = Some Pnp_driver.Steer.Hash };
+  distinct "steering policy"
+    { base with Config.steering = Some Pnp_driver.Steer.Hash }
+    { base with Config.steering = Some Pnp_driver.Steer.Last_sender };
+  distinct "demux_shards" base { base with Config.demux_shards = 8 }
 
 (* A memo hit returns the very value a fresh run computes. *)
 let test_memo_hit_equals_fresh_run () =

@@ -792,6 +792,47 @@ let test_tcp_multi_connection_demux () =
         (try Hashtbl.find per_port port with Not_found -> 0))
     [ 4000; 4001; 4002 ]
 
+let test_tcp_close_listener () =
+  let p = plat () in
+  let cfg = tcp_cfg ~mss:1024 () in
+  let stack = Stack.create p ~tcp_config:cfg ~local_addr:0x0a000002 () in
+  let src =
+    Tcp_source.attach stack ~peer_addr:0x0a000001 ~payload:1024 ~checksum:true
+      ~ports:[ (2000, 4000) ] ()
+  in
+  let accepts = ref 0 and bytes = ref 0 and endpoint = ref (0, 0) in
+  in_sim p (fun () ->
+      Tcp.listen stack.Stack.tcp ~local_port:4000 ~accept:(fun sess ->
+          incr accepts;
+          endpoint := Tcp.remote_endpoint sess;
+          Tcp.set_receiver sess (fun m ->
+              bytes := !bytes + Msg.length m;
+              Msg.destroy m));
+      Tcp_source.start src;
+      Alcotest.(check int) "accepted once" 1 !accepts;
+      Alcotest.(check (pair int int)) "accept sees the peer endpoint"
+        (0x0a000001, 2000) !endpoint;
+      Alcotest.(check bool) "close removes the listener" true
+        (Tcp.close_listener stack.Stack.tcp ~local_port:4000);
+      Alcotest.(check bool) "second close finds nothing" false
+        (Tcp.close_listener stack.Stack.tcp ~local_port:4000);
+      (* The established child is untouched by the listener teardown. *)
+      for _ = 1 to 10 do
+        ignore (Tcp_source.next src ~stream:0)
+      done;
+      Alcotest.(check int) "established child still delivers" (10 * 1024) !bytes;
+      (* A fresh SYN to the closed port is dropped: no session, no accept. *)
+      let before = List.length (Tcp.sessions stack.Stack.tcp) in
+      let syn =
+        Frame.build_tcp stack.Stack.pool ~src:0x0a000001 ~dst:0x0a000002 ~sport:2177
+          ~dport:4000 ~seq:7777 ~ack:0 ~flags:Tcp_wire.flag_syn ~win:(1 lsl 20)
+          ~payload:None ~checksum:true
+      in
+      Fddi.input stack.Stack.fddi syn;
+      Alcotest.(check int) "SYN to a closed port makes no session" before
+        (List.length (Tcp.sessions stack.Stack.tcp));
+      Alcotest.(check int) "and runs no accept callback" 1 !accepts)
+
 (* ------------------------------------------------------------------ *)
 (* Presentation layer                                                  *)
 (* ------------------------------------------------------------------ *)
@@ -839,21 +880,21 @@ let suites =
           test_cksum_incremental_matches_full;
         Alcotest.test_case "word sum = byte-wise oracle (exhaustive)" `Quick
           test_cksum_word_vs_bytewise_exhaustive;
-        QCheck_alcotest.to_alcotest prop_cksum_word_vs_bytewise;
-        QCheck_alcotest.to_alcotest prop_cksum_verifies;
+        Qrand.to_alcotest prop_cksum_word_vs_bytewise;
+        Qrand.to_alcotest prop_cksum_verifies;
       ] );
     ( "proto.seq",
       [
         Alcotest.test_case "wraparound" `Quick test_seq_wraparound;
-        QCheck_alcotest.to_alcotest prop_seq_diff_add;
+        Qrand.to_alcotest prop_seq_diff_add;
       ] );
     ( "proto.sockbuf",
       [
         Alcotest.test_case "basic" `Quick test_sockbuf_basic;
         Alcotest.test_case "overflow rejected" `Quick test_sockbuf_overflow_rejected;
-        QCheck_alcotest.to_alcotest prop_sockbuf_stream;
+        Qrand.to_alcotest prop_sockbuf_stream;
       ] );
-    ("proto.wire", [ QCheck_alcotest.to_alcotest prop_tcp_wire_roundtrip ]);
+    ("proto.wire", [ Qrand.to_alcotest prop_tcp_wire_roundtrip ]);
     ( "proto.fddi",
       [
         Alcotest.test_case "roundtrip" `Quick test_fddi_roundtrip;
@@ -907,5 +948,7 @@ let suites =
         Alcotest.test_case "flow control window" `Quick test_tcp_recv_flow_control_window;
         Alcotest.test_case "TCP-6 roundtrip" `Quick test_tcp_six_locking_roundtrip;
         Alcotest.test_case "multi-connection demux" `Quick test_tcp_multi_connection_demux;
+        Alcotest.test_case "close_listener drops SYNs, keeps children" `Quick
+          test_tcp_close_listener;
       ] );
   ]

@@ -204,7 +204,7 @@ let suites =
         Alcotest.test_case "empty raises" `Quick test_stats_empty_raises;
         Alcotest.test_case "percentile" `Quick test_percentile;
         Alcotest.test_case "t critical values" `Quick test_stats_t_crit;
-        QCheck_alcotest.to_alcotest prop_summary_bounds;
+        Qrand.to_alcotest prop_summary_bounds;
       ] );
     ( "util.units",
       [

@@ -467,6 +467,67 @@ let test_xmap_iter_can_recurse () =
       Imap.iter m (fun k _ -> acc := !acc + Option.value ~default:0 (Imap.lookup m k));
       Alcotest.(check int) "recursive lookups fine" 30 !acc)
 
+(* The sharded map against a Hashtbl oracle: a random mix of
+   insert/remove/lookup over a colliding key space, spread over several
+   shards with tiny initial bucket arrays so resizes fire constantly.
+   Lookups (through the 1-behind cache), length and iter coverage must
+   all agree with the oracle at every step. *)
+let prop_xmap_matches_hashtbl =
+  QCheck.Test.make ~name:"xmap agrees with a Hashtbl oracle" ~count:60
+    QCheck.(
+      list_of_size Gen.(0 -- 400) (pair (int_bound 2) (int_bound 100)))
+    (fun ops ->
+      let p = plat () in
+      let m = Imap.create p ~shards:4 ~buckets:2 ~name:"oracle" () in
+      let oracle : (int, int) Hashtbl.t = Hashtbl.create 16 in
+      in_sim p (fun () ->
+          List.iter
+            (fun (op, k) ->
+              match op with
+              | 0 ->
+                Imap.insert m k (k * 7);
+                Hashtbl.replace oracle k (k * 7)
+              | 1 ->
+                let expect = Hashtbl.mem oracle k in
+                Hashtbl.remove oracle k;
+                if Imap.remove m k <> expect then
+                  QCheck.Test.fail_report "remove disagrees with oracle"
+              | _ ->
+                if Imap.lookup m k <> Hashtbl.find_opt oracle k then
+                  QCheck.Test.fail_report "lookup disagrees with oracle")
+            ops;
+          Hashtbl.iter
+            (fun k v ->
+              if Imap.lookup m k <> Some v then
+                QCheck.Test.fail_report "binding lost (resize or remove ate it)")
+            oracle;
+          let seen : (int, int) Hashtbl.t = Hashtbl.create 16 in
+          Imap.iter m (fun k v ->
+              if Hashtbl.mem seen k then QCheck.Test.fail_report "iter visited a key twice";
+              Hashtbl.replace seen k v);
+          Hashtbl.length seen = Hashtbl.length oracle
+          && Imap.length m = Hashtbl.length oracle))
+
+(* Chain-growth regression: at 10^5 keys the per-shard bucket doubling
+   must keep the mean chain length at the [grow_load] bound instead of
+   the seed behaviour (fixed 32 buckets, mean chains in the thousands). *)
+let test_xmap_chain_length_bounded_at_100k () =
+  let p = plat () in
+  let m = Imap.create p ~shards:8 ~buckets:4 ~name:"big" () in
+  in_sim p (fun () ->
+      let n = 100_000 in
+      for i = 1 to n do
+        Imap.insert m i i
+      done;
+      Alcotest.(check int) "all inserted" n (Imap.length m);
+      Alcotest.(check bool) "buckets doubled along the way" true (Imap.resizes m > 0);
+      let mean = float_of_int (Imap.length m) /. float_of_int (Imap.bucket_count m) in
+      Alcotest.(check bool)
+        (Printf.sprintf "mean chain length %.2f stays bounded" mean)
+        true (mean <= 2.01);
+      Alcotest.(check (option int)) "first key survives" (Some 1) (Imap.lookup m 1);
+      Alcotest.(check (option int)) "last key survives" (Some n) (Imap.lookup m n))
+
 let test_xmap_unlocked_lookup_cheaper () =
   let cost locking =
     let p = plat ~map_locking:locking () in
@@ -658,7 +719,7 @@ let suites =
         Alcotest.test_case "pattern fill/check" `Quick test_msg_pattern_fill_check;
         Alcotest.test_case "append moves contents" `Quick test_msg_append_moves_contents;
         Alcotest.test_case "iter_slices covers all" `Quick test_msg_iter_slices_covers_all;
-        QCheck_alcotest.to_alcotest prop_msg_ops_preserve_contents;
+        Qrand.to_alcotest prop_msg_ops_preserve_contents;
       ] );
     ( "xkern.xmap",
       [
@@ -671,6 +732,9 @@ let suites =
         Alcotest.test_case "iter visits all" `Quick test_xmap_iter_visits_all;
         Alcotest.test_case "iter can recurse (counting lock)" `Quick test_xmap_iter_can_recurse;
         Alcotest.test_case "unlocked lookup cheaper" `Quick test_xmap_unlocked_lookup_cheaper;
+        Qrand.to_alcotest prop_xmap_matches_hashtbl;
+        Alcotest.test_case "chain length bounded at 100k keys" `Slow
+          test_xmap_chain_length_bounded_at_100k;
       ] );
     ( "xkern.timewheel",
       [
