@@ -113,7 +113,15 @@ let perf_cmd =
     let doc = "Figure ids to profile (default: every figure; see $(b,list))." in
     Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
   in
-  let exec opts jobs no_memo ids =
+  let profile_term =
+    let doc =
+      "Also sample the host call stacks while the figures run and write them \
+       to $(docv) in collapsed-stacks format (one `frame;frame;... count' \
+       line per distinct stack, flamegraph-ready)."
+    in
+    Arg.(value & opt (some string) None & info [ "profile" ] ~docv:"FILE" ~doc)
+  in
+  let exec opts jobs no_memo profile ids =
     Pool.set_jobs jobs;
     Run.set_cell_memo (not no_memo);
     let entries =
@@ -135,16 +143,23 @@ let perf_cmd =
     Printf.printf "%-14s %9s %11s %13s %12s %10s\n" "figure" "wall s" "events"
       "events/sec" "hit/miss" "minor MW";
     let t0 = Hostprof.snapshot () in
-    List.iter
-      (fun e ->
-        let h0 = Hostprof.snapshot () in
-        ignore (e.Pnp_figures.Registry.data opts);
-        let d = Hostprof.delta h0 (Hostprof.snapshot ()) in
-        Printf.printf "%-14s %9.3f %11d %13.0f %6d/%-5d %10.1f\n"
-          e.Pnp_figures.Registry.id d.Hostprof.elapsed_s d.Hostprof.sim_events
-          (Hostprof.events_per_sec d) d.Hostprof.cell_hits d.Hostprof.cell_misses
-          (d.Hostprof.gc_minor_words /. 1e6))
-      entries;
+    let figures () =
+      List.iter
+        (fun e ->
+          let h0 = Hostprof.snapshot () in
+          ignore (e.Pnp_figures.Registry.data opts);
+          let d = Hostprof.delta h0 (Hostprof.snapshot ()) in
+          Printf.printf "%-14s %9.3f %11d %13.0f %6d/%-5d %10.1f\n"
+            e.Pnp_figures.Registry.id d.Hostprof.elapsed_s d.Hostprof.sim_events
+            (Hostprof.events_per_sec d) d.Hostprof.cell_hits d.Hostprof.cell_misses
+            (d.Hostprof.gc_minor_words /. 1e6))
+        entries
+    in
+    (match profile with
+    | None -> figures ()
+    | Some file ->
+      let (), n = Profiler.profile ~file figures in
+      Printf.printf "\nprofile: %d samples -> %s (collapsed stacks)\n" n file);
     Report.print_host_profile ~title:"Host profile (total)"
       (Hostprof.delta t0 (Hostprof.snapshot ()))
   in
@@ -153,7 +168,7 @@ let perf_cmd =
        ~doc:
          "Profile the harness: simulated events per host second, GC traffic and \
           sweep-cell memo hit rate, per figure and in total.")
-    Term.(const exec $ opts_term $ jobs_term $ no_memo_term $ ids_term)
+    Term.(const exec $ opts_term $ jobs_term $ no_memo_term $ profile_term $ ids_term)
 
 (* A single custom experiment with every knob exposed. *)
 let run_cmd =

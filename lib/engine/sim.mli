@@ -16,9 +16,32 @@ type t
 type thread
 (** A simulated thread. *)
 
-val create : ?seed:int -> unit -> t
+val create : ?seed:int -> ?batching:bool -> unit -> t
 (** Fresh world at time 0.  [seed] initialises the world's PRNG (used by
-    unfair lock grants and workload jitter). *)
+    unfair lock grants and workload jitter).  [batching] overrides the
+    global {!set_batching} default for this world. *)
+
+(** {2 Batched dispatch toggle}
+
+    The event loop normally dispatches same-timestamp runs in one batch
+    (one heap drain per distinct timestamp plus a FIFO ring for events
+    scheduled at the current instant) and lets an uncontended {!delay}
+    advance the clock without suspending.  Both are order-preserving —
+    every figure is byte-identical either way, which CI enforces — so
+    the toggle exists for A/B determinism diffs and bisection, not
+    tuning.  [PNP_NO_BATCH=1] in the environment flips the default to
+    the one-event-at-a-time reference loop. *)
+
+val set_batching : bool -> unit
+(** Set the default dispatch mode for worlds created afterwards. *)
+
+val batching_enabled : unit -> bool
+
+val dispatch_stats : t -> int * int array
+(** [(drains, hist)]: how many distinct timestamps the batched loop
+    dispatched, and a histogram of events per drain (bucket [i] counts
+    drains of [i] events; the last bucket absorbs larger runs).  All
+    zeros when the world runs unbatched. *)
 
 val now : t -> Pnp_util.Units.ns
 (** Current simulated time. *)

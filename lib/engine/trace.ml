@@ -22,16 +22,55 @@ type ev =
 
 type record = { ts : int; tid : int; cpu : int; ev : ev }
 
+(* Arena-backed record store.  Records land in fixed-size chunks whose
+   ts/tid/cpu columns are unboxed int arrays (only the event payload
+   stays a heap value), replacing the one-cons-plus-one-record-per-event
+   list the tracer used to build.  [clear] recycles full chunks into a
+   free list, so repeated trace/clear cycles reuse the same memory.
+   Chunks are allocated lazily on the first emit: a disabled tracer (the
+   default — one exists per sim) costs a few words, not a chunk. *)
+type chunk = {
+  c_ts : int array;
+  c_tid : int array;
+  c_cpu : int array;
+  c_ev : ev array;
+}
+
+let chunk_size = 4096
+
+let empty_chunk = { c_ts = [||]; c_tid = [||]; c_cpu = [||]; c_ev = [||] }
+
+let fresh_chunk () =
+  {
+    c_ts = Array.make chunk_size 0;
+    c_tid = Array.make chunk_size 0;
+    c_cpu = Array.make chunk_size 0;
+    c_ev = Array.make chunk_size Thread_block;
+  }
+
 type t = {
   mutable on : bool;
-  mutable rev : record list;
+  mutable filled : chunk list; (* full chunks, newest first *)
+  mutable cur : chunk;
+  mutable cur_len : int;
+  mutable free : chunk list; (* recycled by [clear] *)
   mutable n : int;
   names : (int, string * int) Hashtbl.t; (* tid -> (name, cpu); always kept *)
   locks : (string, string) Hashtbl.t; (* lock name -> discipline; always kept *)
 }
 
 let create () =
-  { on = false; rev = []; n = 0; names = Hashtbl.create 16; locks = Hashtbl.create 16 }
+  {
+    on = false;
+    filled = [];
+    cur = empty_chunk;
+    cur_len = 0;
+    free = [];
+    n = 0;
+    names = Hashtbl.create 16;
+    locks = Hashtbl.create 16;
+  }
+
 let enabled t = t.on
 let enable t = t.on <- true
 let disable t = t.on <- false
@@ -50,23 +89,55 @@ let registered_locks t =
   |> List.sort compare
 
 let clear t =
-  t.rev <- [];
+  (* Keep the chunks: the next trace run refills them in place. *)
+  if Array.length t.cur.c_ts > 0 then t.free <- t.cur :: t.free;
+  t.free <- List.rev_append t.filled t.free;
+  t.filled <- [];
+  t.cur <- empty_chunk;
+  t.cur_len <- 0;
   t.n <- 0
 
 let emit t ~ts ~tid ~cpu ev =
   if t.on then begin
-    t.rev <- { ts; tid; cpu; ev } :: t.rev;
+    if t.cur_len = Array.length t.cur.c_ts then begin
+      if t.cur_len > 0 then t.filled <- t.cur :: t.filled;
+      (t.cur <-
+         (match t.free with
+         | c :: rest ->
+           t.free <- rest;
+           c
+         | [] -> fresh_chunk ()));
+      t.cur_len <- 0
+    end;
+    let c = t.cur and i = t.cur_len in
+    c.c_ts.(i) <- ts;
+    c.c_tid.(i) <- tid;
+    c.c_cpu.(i) <- cpu;
+    c.c_ev.(i) <- ev;
+    t.cur_len <- i + 1;
     t.n <- t.n + 1
   end
 
-let events t = List.rev t.rev
 let count t = t.n
-let iter t f = List.iter f (List.rev t.rev)
+
+let iter t f =
+  let visit c len =
+    for i = 0 to len - 1 do
+      f { ts = c.c_ts.(i); tid = c.c_tid.(i); cpu = c.c_cpu.(i); ev = c.c_ev.(i) }
+    done
+  in
+  List.iter (fun c -> visit c (Array.length c.c_ts)) (List.rev t.filled);
+  visit t.cur t.cur_len
+
+let events t =
+  let acc = ref [] in
+  iter t (fun r -> acc := r :: !acc);
+  List.rev !acc
 
 let fold t ~init ~f =
-  (* The store is newest-first; fold right-to-left to replay in emission
-     order without materialising the reversed list. *)
-  List.fold_right (fun r acc -> f acc r) t.rev init
+  let acc = ref init in
+  iter t (fun r -> acc := f !acc r);
+  !acc
 
 let pp_phase = function
   | Enqueue -> "enqueue"

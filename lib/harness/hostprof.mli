@@ -26,6 +26,11 @@ type delta = {
   gc_major_words : float;
   cell_hits : int;           (** sweep-cell memo hits in the window *)
   cell_misses : int;
+  arena_hwm : int;           (** largest Mpool buffer-arena footprint any
+                                 cell reached, bytes (process max at the
+                                 window's end, not a per-window delta) *)
+  drains : int;              (** batched-dispatch drains in the window *)
+  batch_hist : int array;    (** drains by run length (last = overflow) *)
 }
 
 val delta : snapshot -> snapshot -> delta
@@ -40,6 +45,13 @@ val events_per_sec : delta -> float
 val cell_hit_pct : delta -> float
 (** Share of sweep cells served from the memo, % (0 when no cells ran). *)
 
+val batch_mean : delta -> float
+(** Mean events retired per dispatch drain (0 when nothing ran batched). *)
+
+val batch_p99 : delta -> int
+(** 99th-percentile drain run length — smallest length covering 99% of
+    drains; the histogram's overflow bucket caps it at its index. *)
+
 (** {2 Counter feeds (called by the harness, not by users)} *)
 
 val note_sim_events : int -> unit
@@ -48,3 +60,10 @@ val note_sim_events : int -> unit
 
 val note_cell_hit : unit -> unit
 val note_cell_miss : unit -> unit
+
+val note_arena_hwm : int -> unit
+(** Fold one pool's arena high-water mark ({!Mpool.arena_hwm}) into the
+    process-wide max. *)
+
+val note_dispatch : drains:int -> hist:int array -> unit
+(** Fold one finished sim's {!Sim.dispatch_stats} into the totals. *)

@@ -31,6 +31,8 @@ type probe = {
   cache : unit -> int * int;        (* (cache hits, allocations) *)
   gate_wait : unit -> int;
   rexmit : unit -> int * int;       (* (retransmitted segments, segments out) *)
+  p_pool : Mpool.t;                 (* the cell's allocator, for host-side
+                                       arena accounting and quiescence *)
 }
 
 let pct num den = if den <= 0 then 0.0 else 100.0 *. float_of_int num /. float_of_int den
@@ -72,6 +74,7 @@ let make_tcp_probe stack ?app_unique ~app_bytes ~app_packets ~peer ~gates () =
       (fun () ->
         ( sum_sessions tcp (fun s -> (Tcp.stats s).Tcp.rexmits),
           sum_sessions tcp (fun s -> (Tcp.stats s).Tcp.segs_out) ));
+    p_pool = stack.Stack.pool;
   }
 
 type snapshot = {
@@ -301,6 +304,7 @@ let setup (cfg : Config.t) plat =
       cache = (fun () -> (Mpool.cache_hits stack.Stack.pool, Mpool.allocations stack.Stack.pool));
       gate_wait = (fun () -> 0);
       rexmit = (fun () -> (0, 0));
+      p_pool = stack.Stack.pool;
     }
   | Config.Udp, Config.Recv ->
     let stack =
@@ -347,6 +351,7 @@ let setup (cfg : Config.t) plat =
       cache = (fun () -> (Mpool.cache_hits stack.Stack.pool, Mpool.allocations stack.Stack.pool));
       gate_wait = (fun () -> 0);
       rexmit = (fun () -> (0, 0));
+      p_pool = stack.Stack.pool;
     }
   | Config.Tcp, Config.Send ->
     let stack =
@@ -515,6 +520,13 @@ let run_gen ?(trace = false) (cfg : Config.t) =
   Sim.run ~until:(cfg.Config.warmup + cfg.Config.measure) plat.Platform.sim;
   if trace then Trace.disable tracer;
   Hostprof.note_sim_events (Sim.events_processed plat.Platform.sim);
+  (let drains, hist = Sim.dispatch_stats plat.Platform.sim in
+   Hostprof.note_dispatch ~drains ~hist);
+  Hostprof.note_arena_hwm (Mpool.arena_hwm probe.p_pool);
+  (* The run just reached its event horizon — quiescence: release surplus
+     recycled buffers so a burst in this cell does not pin host memory
+     while the next cells run. *)
+  Mpool.quiesce probe.p_pool;
   let s0 = match !s0 with Some s -> s | None -> failwith "Run.run: warmup never fired" in
   let s1 = take probe in
   let duration = cfg.Config.measure in

@@ -25,6 +25,13 @@ val add : int -> int -> int
 val finish : int -> int
 (** Fold and complement a partial sum into the final checksum field value. *)
 
+val charge : Pnp_engine.Platform.t -> Pnp_xkern.Msg.t -> unit
+(** The simulated cost of one checksum pass over [msg] — streaming its
+    bytes through the memory bus — without doing the host-side
+    arithmetic.  Fast paths that obtain the sum another way (the pure-ACK
+    arithmetic checksum in [Tcp_wire]) call this where the reference path
+    ran {!compute}, so the simulation sees identical charges. *)
+
 val compute : Pnp_engine.Platform.t -> Pnp_xkern.Msg.t -> extra:int -> int
 (** [compute plat msg ~extra] returns [finish (add (sum_slices msg) extra)]
     — [extra] carries the pseudo-header sum — and charges the calling

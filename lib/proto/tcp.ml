@@ -186,9 +186,18 @@ and session = {
 }
 
 (* A segment built under connection locks, transmitted after they drop.
-   [cksummed] is true when the Six discipline already computed it under
-   the header-prepend lock. *)
-type pending = { seg : Msg.t; cksummed : bool }
+   [todo] is the checksum work left for [transmit]:
+   - [Sum_and_fold]: the reference path — sum the segment and store the
+     checksum (or zero the field when checksums are off), then charge the
+     header fold;
+   - [Fold_charge]: the coalesced pure-ACK path already stored the
+     arithmetically computed checksum, but the simulated header-fold
+     charge the reference path pays in [transmit] is still owed;
+   - [Ck_done]: nothing left (Six computed it under the header-prepend
+     lock, or checksums are off and the field is already zero). *)
+type cksum_todo = Sum_and_fold | Fold_charge | Ck_done
+
+type pending = { seg : Msg.t; todo : cksum_todo }
 
 (* Packet-lifecycle trace spans, keyed by the segment's sequence number
    so a misordered segment's journey is visible end to end in the
@@ -374,7 +383,6 @@ let advertised_window tcb = tcb.rcv_adv_wnd
 let emit sess ~flags ~seq ~payload acc =
   let t = sess.proto in
   let tcb = sess.tcb in
-  let msg = match payload with Some m -> m | None -> Msg.create t.pool 0 in
   let hdr =
     {
       Tcp_wire.sport = sess.key.Conn_key.lport;
@@ -386,26 +394,55 @@ let emit sess ~flags ~seq ~payload acc =
       cksum = 0;
     }
   in
-  let cksummed = ref false in
-  with_hdr_prep sess (fun () ->
-      Tcp_wire.encode msg hdr;
+  match payload with
+  | None when Mpool.sum_cache_enabled () ->
+    (* Coalesced header-only emission (gated with the rest of the
+       coalescing fast paths by PNP_NO_COALESCE): redundant pure ACKs all
+       rebuild the same 24-byte shape, so build it in one pass with an
+       arithmetic checksum instead of encode-then-rescan.  Wire bytes,
+       stats, and every simulated charge are identical to the reference
+       path below — the checksum charge is placed exactly where that path
+       computed it. *)
+    let msg = Msg.create t.pool 0 in
+    let under_lock =
+      t.cfg.checksum
+      &&
       match sess.locks with
-      | L_six _ when t.cfg.checksum ->
-        (* SICS-style: checksum while the header lock is held. *)
-        Tcp_wire.store_checksum t.plat ~src:(Ip.local_addr t.ip)
-          ~dst:sess.key.Conn_key.raddr msg;
-        cksummed := true
-      | (L_one _ | L_two _) when t.cfg.checksum && t.cfg.cksum_under_lock ->
-        (* Ablation: the unrestructured placement, checksum inside the
-           connection-state lock the caller holds. *)
-        Tcp_wire.store_checksum t.plat ~src:(Ip.local_addr t.ip)
-          ~dst:sess.key.Conn_key.raddr msg;
-        cksummed := true
-      | _ -> ());
-  sess.st.segs_out <- sess.st.segs_out + 1;
-  if Msg.length msg = Tcp_wire.header_bytes && not flags.Tcp_wire.syn then
-    sess.st.acks_out <- sess.st.acks_out + 1;
-  { seg = msg; cksummed = !cksummed } :: acc
+      | L_six _ -> true
+      | L_one _ | L_two _ -> t.cfg.cksum_under_lock
+    in
+    with_hdr_prep sess (fun () ->
+        Tcp_wire.encode_empty msg hdr ~src:(Ip.local_addr t.ip)
+          ~dst:sess.key.Conn_key.raddr ~checksum:t.cfg.checksum;
+        if under_lock then Inet_cksum.charge t.plat msg);
+    sess.st.segs_out <- sess.st.segs_out + 1;
+    if not flags.Tcp_wire.syn then sess.st.acks_out <- sess.st.acks_out + 1;
+    let todo =
+      if t.cfg.checksum && not under_lock then Fold_charge else Ck_done
+    in
+    { seg = msg; todo } :: acc
+  | _ ->
+    let msg = match payload with Some m -> m | None -> Msg.create t.pool 0 in
+    let cksummed = ref false in
+    with_hdr_prep sess (fun () ->
+        Tcp_wire.encode msg hdr;
+        match sess.locks with
+        | L_six _ when t.cfg.checksum ->
+          (* SICS-style: checksum while the header lock is held. *)
+          Tcp_wire.store_checksum t.plat ~src:(Ip.local_addr t.ip)
+            ~dst:sess.key.Conn_key.raddr msg;
+          cksummed := true
+        | (L_one _ | L_two _) when t.cfg.checksum && t.cfg.cksum_under_lock ->
+          (* Ablation: the unrestructured placement, checksum inside the
+             connection-state lock the caller holds. *)
+          Tcp_wire.store_checksum t.plat ~src:(Ip.local_addr t.ip)
+            ~dst:sess.key.Conn_key.raddr msg;
+          cksummed := true
+        | _ -> ());
+    sess.st.segs_out <- sess.st.segs_out + 1;
+    if Msg.length msg = Tcp_wire.header_bytes && not flags.Tcp_wire.syn then
+      sess.st.acks_out <- sess.st.acks_out + 1;
+    { seg = msg; todo = (if !cksummed then Ck_done else Sum_and_fold) } :: acc
 
 let emit_ack sess acc =
   let tcb = sess.tcb in
@@ -422,15 +459,19 @@ let transmit sess pendings =
   let t = sess.proto in
   List.iter
     (fun p ->
-      if t.cfg.checksum && not p.cksummed then begin
-        Tcp_wire.store_checksum_free ~src:(Ip.local_addr t.ip)
-          ~dst:sess.key.Conn_key.raddr p.seg;
-        Costs.charge t.plat 40 (* fold the header into the data sum *)
-      end
-      else if not t.cfg.checksum then begin
-        (* Zero checksum field: receivers skip verification too. *)
-        Msg.set_u16 p.seg 18 0
-      end;
+      (match p.todo with
+       | Sum_and_fold when t.cfg.checksum ->
+         Tcp_wire.store_checksum_free ~src:(Ip.local_addr t.ip)
+           ~dst:sess.key.Conn_key.raddr p.seg;
+         Costs.charge t.plat 40 (* fold the header into the data sum *)
+       | Sum_and_fold ->
+         (* Zero checksum field: receivers skip verification too. *)
+         Msg.set_u16 p.seg 18 0
+       | Fold_charge ->
+         (* Checksum already stored arithmetically; the simulated fold
+            cost the reference path charges here is still due. *)
+         Costs.charge t.plat 40
+       | Ck_done -> ());
       Costs.charge t.plat Costs.tcp_output_unlocked;
       Ip.output t.ip ~proto:Tcp_wire.protocol_number ~dst:sess.key.Conn_key.raddr p.seg)
     (List.rev pendings)

@@ -65,6 +65,18 @@ val store_checksum_incremental :
     already known (driver templates): only the 24 header bytes are
     re-summed, at no simulated cost. *)
 
+val encode_empty :
+  Pnp_xkern.Msg.t -> header -> src:int -> dst:int -> checksum:bool -> unit
+(** Coalesced construction of a header-only segment (pure ACK, SYN,
+    FIN): pushes and writes the header in one direct pass with the
+    checksum computed arithmetically from the fields — every 16-bit word
+    of an empty-payload segment is a field, so no byte scan — and primes
+    the node's checksum-sum memo so the receiver verifies it in O(1).
+    Byte-identical to {!encode} + {!store_checksum}/{!store_checksum_free}
+    (with [checksum:false], to the zero field those paths leave).
+    Charges nothing; the caller places {!Inet_cksum.charge} wherever its
+    reference path computed the checksum. *)
+
 val verify_checksum : Pnp_engine.Platform.t -> src:int -> dst:int -> Pnp_xkern.Msg.t -> bool
 
 val flags_to_string : flags -> string

@@ -4,7 +4,20 @@ type mnode = {
   id : int;
   data : Bytes.t;
   size_class : int;
+  from_arena : bool; (* buffer drawn from the pool's arena free lists *)
   refs : Atomic_ctr.t;
+  (* One-slot checksum-sum memo (see Inet_cksum.sum_slices): the 16-bit
+     one's-complement sum of data[sum_off, sum_off+sum_len) as of write
+     generation [sum_gen].  Msg bumps [gen] on every mutation of the
+     node's bytes, so a segment duplicated from a template (refs > 1 on
+     the rexmt queue, drivers' payload sharing) is summed once and then
+     served in O(1) — the host-side "coalescing" of repeated data
+     touches that real stacks get from hardware checksum offload. *)
+  mutable gen : int;
+  mutable sum_gen : int; (* -1 = no cached sum *)
+  mutable sum_off : int;
+  mutable sum_len : int;
+  mutable sum_val : int;
 }
 
 (* Two cached size classes: header nodes and MTU-sized data nodes.  Larger
@@ -36,6 +49,19 @@ type t = {
   mutable cache_hits : int;
   mutable global_allocations : int;
   mutable live : int;
+  (* Host-side buffer arena (PNP_NO_ARENA=1 disables): the Bytes behind
+     cached-class nodes are drawn from per-class free lists and recycled
+     when a node's refcount reaches zero outside the simulated per-thread
+     caches.  Purely host allocation policy — the simulated malloc/cache
+     charges above are untouched — so figures are identical either way.
+     A buffer can only re-enter the free lists at refcount zero, which is
+     what keeps recycling invisible to retransmission-queue sharing
+     ([Msg.dup]/[Msg.unshare]): a node still referenced anywhere keeps
+     its buffer. *)
+  arena_free : Bytes.t list array; (* per cached class *)
+  arena_free_n : int array;
+  mutable arena_out : int; (* bytes inside arena-drawn nodes now live *)
+  mutable arena_hwm : int; (* peak of [arena_out] *)
 }
 
 (* Instruction budgets: a cache hit is a couple of pointer operations; the
@@ -66,6 +92,10 @@ let create ?(capacity = max_int) plat =
     cache_hits = 0;
     global_allocations = 0;
     live = 0;
+    arena_free = Array.make 2 [];
+    arena_free_n = Array.make 2 0;
+    arena_out = 0;
+    arena_hwm = 0;
   }
 
 (* Extend the tid-indexed table to cover [tid], creating a cache per new
@@ -86,14 +116,59 @@ let thread_cache t =
   if tid >= Array.length t.caches then grow_caches t tid;
   Array.unsafe_get t.caches tid
 
+(* Arena toggle (host allocation policy only; see the [t] field docs).
+   PNP_NO_ARENA=1 gives the reference fresh-Bytes-per-node behaviour for
+   A/B determinism diffs. *)
+let arena_default =
+  ref
+    (match Sys.getenv_opt "PNP_NO_ARENA" with
+    | Some ("1" | "true" | "yes") -> false
+    | _ -> true)
+
+let set_arena on = arena_default := on
+let arena_enabled () = !arena_default
+
+(* Bound on recycled buffers kept per class: enough to absorb steady-state
+   churn without pinning an allocation spike's memory forever. *)
+let arena_retain = 1024
+
+let arena_take t cls cap =
+  t.arena_out <- t.arena_out + cap;
+  if t.arena_out > t.arena_hwm then t.arena_hwm <- t.arena_out;
+  match t.arena_free.(cls) with
+  | b :: rest ->
+    t.arena_free.(cls) <- rest;
+    t.arena_free_n.(cls) <- t.arena_free_n.(cls) - 1;
+    b
+  | [] -> Bytes.create cap
+
+(* A dead node's buffer returns to the free lists; only ever called at
+   refcount zero for nodes not parked in a simulated per-thread cache. *)
+let arena_recycle t node =
+  if node.from_arena then begin
+    t.arena_out <- t.arena_out - Bytes.length node.data;
+    let cls = node.size_class in
+    if t.arena_free_n.(cls) < arena_retain then begin
+      t.arena_free.(cls) <- node.data :: t.arena_free.(cls);
+      t.arena_free_n.(cls) <- t.arena_free_n.(cls) + 1
+    end
+  end
+
 let fresh_node t n cls =
   let cap = if cls = 2 then n else class_capacities.(cls) in
+  let from_arena = cls < 2 && !arena_default in
   let node =
     {
       id = t.next_id;
-      data = Bytes.create cap;
+      data = (if from_arena then arena_take t cls cap else Bytes.create cap);
       size_class = cls;
+      from_arena;
       refs = Platform.refcnt t.plat ~name:"mnode" ~init:1;
+      gen = 0;
+      sum_gen = -1;
+      sum_off = 0;
+      sum_len = 0;
+      sum_val = 0;
     }
   in
   t.next_id <- t.next_id + 1;
@@ -169,14 +244,69 @@ let decref t node =
         cache.nodes.(cls) <- node :: cache.nodes.(cls);
         cache.depths.(cls) <- cache.depths.(cls) + 1
       end
-      else global_free t
+      else begin
+        global_free t;
+        arena_recycle t node
+      end
     end
-    else global_free t
+    else begin
+      global_free t;
+      arena_recycle t node
+    end
   end
 
 let data node = node.data
 let capacity node = Bytes.length node.data
 let refs node = Atomic_ctr.get node.refs
+
+(* Checksum-sum memo.  PNP_NO_COALESCE=1 (or [set_sum_cache false])
+   turns lookups into unconditional misses for A/B determinism diffs;
+   cached and recomputed sums are equal by construction, which the
+   fault-plan digest tests pin down. *)
+let sum_cache_default =
+  ref
+    (match Sys.getenv_opt "PNP_NO_COALESCE" with
+    | Some ("1" | "true" | "yes") -> false
+    | _ -> true)
+
+let set_sum_cache on = sum_cache_default := on
+let sum_cache_enabled () = !sum_cache_default
+
+let bump_gen node = node.gen <- node.gen + 1
+
+let cached_sum node ~off ~len =
+  if
+    !sum_cache_default && node.sum_gen = node.gen && node.sum_off = off
+    && node.sum_len = len
+  then node.sum_val
+  else -1
+
+let cache_sum node ~off ~len v =
+  if !sum_cache_default then begin
+    node.sum_gen <- node.gen;
+    node.sum_off <- off;
+    node.sum_len <- len;
+    node.sum_val <- v
+  end
+
+(* Reset at quiescence: at a point where no simulated thread is running
+   (between the warmup and measure phases, teardown) the caller lets the
+   arena drop surplus recycled buffers back to the GC, so one phase's
+   allocation burst does not pin host memory for the rest of the run. *)
+let quiesce ?(retain = 64) t =
+  for cls = 0 to Array.length t.arena_free - 1 do
+    if t.arena_free_n.(cls) > retain then begin
+      let rec take n = function
+        | b :: rest when n > 0 -> b :: take (n - 1) rest
+        | _ -> []
+      in
+      t.arena_free.(cls) <- take retain t.arena_free.(cls);
+      t.arena_free_n.(cls) <- retain
+    end
+  done
+
+let arena_hwm t = t.arena_hwm
+let arena_out t = t.arena_out
 
 let pool_capacity t = t.capacity
 let allocations t = t.allocations

@@ -49,6 +49,63 @@ val data : mnode -> Bytes.t
 val capacity : mnode -> int
 val refs : mnode -> int
 
+(** {2 Checksum-sum memo}
+
+    A one-slot per-node cache of the 16-bit one's-complement sum over a
+    byte range of the node, validated by a write-generation counter that
+    {!Msg} bumps on every mutation of the node's bytes.  Payloads shared
+    via [Msg.dup] (driver templates, the TCP retransmission queue) are
+    summed once and then checksummed in O(1) — the host-side analogue of
+    checksum offload.  Purely a host-cost cache: a hit returns exactly
+    the sum a fresh scan would, which the fault-plan digest tests pin.
+    [PNP_NO_COALESCE=1] (or {!set_sum_cache}[ false]) disables lookups
+    for A/B determinism diffs. *)
+
+val bump_gen : mnode -> unit
+(** Record that the node's bytes changed (invalidates the cached sum). *)
+
+val cached_sum : mnode -> off:int -> len:int -> int
+(** The cached sum for exactly this range at the current generation, or
+    [-1] (sums are 16-bit, so negative is free) on miss/disabled. *)
+
+val cache_sum : mnode -> off:int -> len:int -> int -> unit
+(** Store the sum for this range at the current generation. *)
+
+val set_sum_cache : bool -> unit
+val sum_cache_enabled : unit -> bool
+
+(** {2 Buffer arena}
+
+    Host allocation policy for the bytes behind cached-class nodes: the
+    pool draws buffers from per-class free lists and recycles them when a
+    node's reference count reaches zero outside the simulated per-thread
+    caches, instead of handing every global allocation a fresh
+    [Bytes.create].  The simulated malloc/cache charges are untouched, so
+    figures are identical with the arena on or off
+    ([PNP_NO_ARENA=1] or {!set_arena}[ false] disables it for A/B
+    determinism diffs).
+
+    Safety with retransmission-queue sharing: a buffer re-enters the free
+    lists only at reference count zero, so a node still held anywhere —
+    the rexmt queue's [Msg.dup], a reassembly queue, an in-flight frame —
+    keeps its buffer; [Msg.unshare]'s copy-out escape hatch composes
+    unchanged (the aliasing regression test pins this). *)
+
+val set_arena : bool -> unit
+val arena_enabled : unit -> bool
+
+val quiesce : ?retain:int -> t -> unit
+(** Reset-at-quiescence: drop recycled buffers beyond [retain] (default
+    64) per class back to the GC.  Call only when no simulated thread is
+    running (between run phases, teardown); live nodes are unaffected. *)
+
+val arena_hwm : t -> int
+(** Peak bytes simultaneously inside live arena-drawn nodes — the arena
+    high-water mark reported by the host profile. *)
+
+val arena_out : t -> int
+(** Bytes currently inside live arena-drawn nodes. *)
+
 (** {2 Statistics (for the Section 6 experiment and tests)} *)
 
 val allocations : t -> int

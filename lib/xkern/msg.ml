@@ -14,7 +14,9 @@ let length t = t.total
 let of_string pool s =
   let t = create pool (String.length s) in
   (match t.parts with
-   | [ p ] -> Bytes.blit_string s 0 (Mpool.data p.node) p.off (String.length s)
+   | [ p ] ->
+     Mpool.bump_gen p.node;
+     Bytes.blit_string s 0 (Mpool.data p.node) p.off (String.length s)
    | _ -> assert (String.length s = 0));
   t
 
@@ -119,7 +121,12 @@ let unshare t ~off =
   let p = find t.parts off in
   if Mpool.refs p.node > 1 then begin
     let fresh = Mpool.alloc t.pool p.len in
+    Mpool.bump_gen fresh;
     Bytes.blit (Mpool.data p.node) p.off (Mpool.data fresh) 0 p.len;
+    (* The copy is byte-identical, so the source's cached checksum sum —
+       when it covers exactly the copied view — carries over. *)
+    let s = Mpool.cached_sum p.node ~off:p.off ~len:p.len in
+    if s >= 0 then Mpool.cache_sum fresh ~off:0 ~len:p.len s;
     Mpool.decref t.pool p.node;
     p.node <- fresh;
     p.off <- 0
@@ -143,9 +150,12 @@ let get_u8 t off =
 let set_u8 t off v =
   if off < 0 || off >= t.total then invalid_arg "Msg.set_u8: out of bounds";
   match t.parts with
-  | [ p ] -> Bytes.set (Mpool.data p.node) (p.off + off) (Char.chr (v land 0xff))
+  | [ p ] ->
+    Mpool.bump_gen p.node;
+    Bytes.set (Mpool.data p.node) (p.off + off) (Char.chr (v land 0xff))
   | parts ->
     let p, i = locate parts off in
+    Mpool.bump_gen p.node;
     Bytes.set (Mpool.data p.node) (p.off + i) (Char.chr (v land 0xff))
 
 (* Multi-byte accessors take a single-part fast path (no [locate], no
@@ -167,11 +177,15 @@ let get_u16 t off =
 let set_u16 t off v =
   if off < 0 || off + 2 > t.total then invalid_arg "Msg.set_u16: out of bounds";
   match t.parts with
-  | [ p ] -> Bytes.set_uint16_be (Mpool.data p.node) (p.off + off) (v land 0xffff)
+  | [ p ] ->
+    Mpool.bump_gen p.node;
+    Bytes.set_uint16_be (Mpool.data p.node) (p.off + off) (v land 0xffff)
   | parts ->
     let p, i = locate parts off in
-    if i + 2 <= p.len then
+    if i + 2 <= p.len then begin
+      Mpool.bump_gen p.node;
       Bytes.set_uint16_be (Mpool.data p.node) (p.off + i) (v land 0xffff)
+    end
     else begin
       set_u8 t off (v lsr 8);
       set_u8 t (off + 1) v
@@ -197,6 +211,7 @@ let set_u32 t off v =
   if off < 0 || off + 4 > t.total then invalid_arg "Msg.set_u32: out of bounds";
   match t.parts with
   | [ p ] ->
+    Mpool.bump_gen p.node;
     let b = Mpool.data p.node in
     let j = p.off + off in
     Bytes.set_uint16_be b j ((v lsr 16) land 0xffff);
@@ -204,6 +219,7 @@ let set_u32 t off v =
   | parts ->
     let p, i = locate parts off in
     if i + 4 <= p.len then begin
+      Mpool.bump_gen p.node;
       let b = Mpool.data p.node in
       let j = p.off + i in
       Bytes.set_uint16_be b j ((v lsr 16) land 0xffff);
@@ -214,8 +230,16 @@ let set_u32 t off v =
       set_u16 t (off + 2) v
     end
 
+let head_view t ~len =
+  match t.parts with
+  | p :: _ when p.len >= len -> Some (p.node, Mpool.data p.node, p.off)
+  | _ -> None
+
 let iter_slices t f =
   List.iter (fun p -> if p.len > 0 then f (Mpool.data p.node) p.off p.len) t.parts
+
+let iter_parts t f =
+  List.iter (fun p -> if p.len > 0 then f p.node p.off p.len) t.parts
 
 let blit_to_bytes t buf =
   if Bytes.length buf < t.total then invalid_arg "Msg.blit_to_bytes: buffer too small";
@@ -231,40 +255,83 @@ let to_string t =
 
 let pattern_byte stream_off i = (stream_off + i) mod 251
 
-(* Apply [f buf pos count done_so_far] to the byte ranges covering message
-   offsets [off, off+len); [done_so_far] is the count of range bytes
-   already visited.  Shared fast path for fill/check. *)
+(* Apply [f node buf pos count done_so_far] to the byte ranges covering
+   message offsets [off, off+len); [done_so_far] is the count of range
+   bytes already visited.  Shared fast path for fill/check; the node is
+   passed so writers can bump its generation. *)
 let iter_range t ~off ~len f =
   if off < 0 || len < 0 || off + len > t.total then
     invalid_arg "Msg.iter_range: out of bounds";
   let skip = ref off and remaining = ref len and visited = ref 0 in
-  iter_slices t (fun b boff blen ->
+  iter_parts t (fun node boff blen ->
       if !remaining > 0 then begin
         if !skip >= blen then skip := !skip - blen
         else begin
           let start = boff + !skip in
           let count = min (blen - !skip) !remaining in
           skip := 0;
-          f b start count !visited;
+          f node (Mpool.data node) start count !visited;
           visited := !visited + count;
           remaining := !remaining - count
         end
       end)
 
+(* The pattern is periodic (251), so a precomputed block turns fill into
+   [Bytes.blit] and check into 8-bytes-at-a-time word compares instead
+   of a mod per byte — the drivers pattern every payload they inject and
+   verify, which made the byte loops one of the hottest host paths. *)
+let pattern_period = 251
+let pattern_block_len = 8192 (* > max mnode class (4608) + one period *)
+
+let pattern_block =
+  Bytes.init pattern_block_len (fun k -> Char.chr (pattern_byte 0 k))
+
+(* Largest multiple of the period that still fits a window of the block:
+   chunking by it keeps the phase unchanged across chunks. *)
+let pattern_chunk =
+  (pattern_block_len - pattern_period) / pattern_period * pattern_period
+
 let fill_pattern t ~off ~len ~stream_off =
-  iter_range t ~off ~len (fun b start count visited ->
-      for i = 0 to count - 1 do
-        Bytes.unsafe_set b (start + i)
-          (Char.unsafe_chr (pattern_byte stream_off (visited + i)))
+  iter_range t ~off ~len (fun node b start count visited ->
+      Mpool.bump_gen node;
+      let phase = ref ((stream_off + visited) mod pattern_period) in
+      let pos = ref start and left = ref count in
+      while !left > 0 do
+        let n = min !left pattern_chunk in
+        Bytes.blit pattern_block !phase b !pos n;
+        phase := (!phase + n) mod pattern_period;
+        pos := !pos + n;
+        left := !left - n
       done)
 
 let check_pattern t ~off ~len ~stream_off =
   let ok = ref true in
-  iter_range t ~off ~len (fun b start count visited ->
-      for i = 0 to count - 1 do
-        if Char.code (Bytes.unsafe_get b (start + i)) <> pattern_byte stream_off (visited + i)
-        then ok := false
-      done);
+  iter_range t ~off ~len (fun _node b start count visited ->
+      if !ok then begin
+        let phase = ref ((stream_off + visited) mod pattern_period) in
+        let pos = ref start and left = ref count in
+        while !ok && !left > 0 do
+          let n = min !left pattern_chunk in
+          let i = ref 0 in
+          while !ok && !i + 8 <= n do
+            if
+              Bytes.get_int64_ne b (!pos + !i)
+              <> Bytes.get_int64_ne pattern_block (!phase + !i)
+            then ok := false
+            else i := !i + 8
+          done;
+          while !ok && !i < n do
+            if
+              Bytes.unsafe_get b (!pos + !i)
+              <> Bytes.unsafe_get pattern_block (!phase + !i)
+            then ok := false
+            else incr i
+          done;
+          phase := (!phase + n) mod pattern_period;
+          pos := !pos + n;
+          left := !left - n
+        done
+      end);
   !ok
 
 let parts t = List.length t.parts

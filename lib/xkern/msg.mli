@@ -76,9 +76,24 @@ val fill_pattern : t -> off:int -> len:int -> stream_off:int -> unit
 val check_pattern : t -> off:int -> len:int -> stream_off:int -> bool
 (** Verify the pattern written by {!fill_pattern}. *)
 
+val head_view : t -> len:int -> (Mpool.mnode * Bytes.t * int) option
+(** [head_view t ~len] exposes the first part's node, buffer, and the
+    absolute byte offset of message offset 0 within it, when that part
+    covers at least [len] bytes — the single-pass header fast path for
+    protocol encode/decode.  Readers may use the view freely; a writer
+    must call {!Mpool.bump_gen} on the node before storing and may
+    refresh the sum memo ({!Mpool.cache_sum}) only with a sum of the
+    final byte values. *)
+
 val iter_slices : t -> (Bytes.t -> int -> int -> unit) -> unit
 (** Apply the function to each underlying (buffer, offset, length) slice in
     order; used by the checksum. *)
+
+val iter_parts : t -> (Mpool.mnode -> int -> int -> unit) -> unit
+(** Like {!iter_slices} but exposing the node, so callers can consult
+    the per-node checksum-sum memo ({!Mpool.cached_sum}).  Treat the
+    node's bytes as read-only: writes that bypass the [Msg] mutators do
+    not bump the write generation and would poison the memo. *)
 
 val parts : t -> int
 (** Number of underlying node views (observability). *)
