@@ -1,11 +1,36 @@
 (* Source-invariant lint runner: walks the given source roots (default
    lib, bin and test) and exits non-zero if any invariant is violated.
-   Wired into [dune build @lint] and CI. *)
+   Wired into [dune build @lint] and CI.
+
+   --matrix prints the lib/proto state-access matrix (which shared-state
+   classes each binding touches, under which locks); --matrix-json FILE
+   writes it as JSON.  Both run the full lint as well, so the matrix
+   view never hides a violation. *)
 
 let () =
-  let roots =
-    match Array.to_list Sys.argv with [] | [ _ ] -> [ "lib"; "bin"; "test" ] | _ :: rest -> rest
+  let args = List.tl (Array.to_list Sys.argv) in
+  let rec parse roots show_matrix matrix_json = function
+    | [] -> (List.rev roots, show_matrix, matrix_json)
+    | "--matrix" :: rest -> parse roots true matrix_json rest
+    | "--matrix-json" :: file :: rest -> parse roots show_matrix (Some file) rest
+    | "--matrix-json" :: [] ->
+      prerr_endline "lint: --matrix-json needs a file argument";
+      exit 2
+    | root :: rest -> parse (root :: roots) show_matrix matrix_json rest
   in
+  let roots, show_matrix, matrix_json = parse [] false None args in
+  let roots = if roots = [] then [ "lib"; "bin"; "test" ] else roots in
+  if show_matrix || matrix_json <> None then begin
+    let rows = Pnp_analysis.Lint.state_matrix ~roots in
+    if show_matrix then print_string (Pnp_analysis.Lint.matrix_to_string rows);
+    match matrix_json with
+    | None -> ()
+    | Some file ->
+      let oc = open_out file in
+      output_string oc (Pnp_analysis.Lint.matrix_json rows);
+      close_out oc;
+      Format.printf "state-access matrix: %d binding(s) -> %s@." (List.length rows) file
+  end;
   let findings = Pnp_analysis.Lint.check_tree ~roots in
   List.iter
     (fun f -> Format.printf "%a@." Pnp_analysis.Lint.pp_finding f)

@@ -411,7 +411,14 @@ let check_cmd =
     let doc = "Check every scenario (the default when no $(b,--fig) is given)." in
     Arg.(value & flag & info [ "all" ] ~doc)
   in
-  let exec figs all_flag =
+  let json_term =
+    let doc =
+      "Also write the findings, the per-scenario lockset-vs-HB comparison \
+       and the exit-code bits as machine-readable $(docv)/CHECK.json."
+    in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"DIR" ~doc)
+  in
+  let exec figs all_flag json_dir =
     let tags = List.sort_uniq compare (List.map (fun (t, _, _, _) -> t) scenarios) in
     List.iter
       (fun f ->
@@ -425,8 +432,9 @@ let check_cmd =
       if figs = [] || all_flag then scenarios
       else List.filter (fun (t, _, _, _) -> List.mem t figs) scenarios
     in
-    let total = ref 0 in
+    let all_findings = ref [] in
     let order_totals = ref [] in
+    let json_rows = ref [] in
     List.iter
       (fun (tag, label, role, cfg) ->
         let _result, tracer = Run.run_traced cfg in
@@ -437,13 +445,55 @@ let check_cmd =
           tag label
           (Pnp_engine.Trace.count tracer)
           reordered grants (List.length findings);
+        (* Lockset vs happens-before, per state id: the two checkers
+           disagree in both directions and the disagreement is the
+           signal — lockset-only entries are false-positive candidates
+           (ordering the lockset abstraction cannot see), HB-only
+           entries are real races the lockset analysis missed. *)
+        let states, ls_findings = Pnp_analysis.Lockset.run tracer in
+        let ls_flagged =
+          List.map (fun (f : Pnp_analysis.Finding.t) -> f.Pnp_analysis.Finding.subject)
+            ls_findings
+        in
+        let hb_flagged = Pnp_analysis.Hb.races tracer in
+        let comparison =
+          List.map
+            (fun (s : Pnp_analysis.Lockset.state) ->
+              let ls = List.mem s.Pnp_analysis.Lockset.id ls_flagged in
+              let hb = List.mem s.Pnp_analysis.Lockset.id hb_flagged in
+              (s.Pnp_analysis.Lockset.id, ls, hb))
+            states
+        in
+        let disagreement = List.exists (fun (_, ls, hb) -> ls || hb) comparison in
+        if role <> None || disagreement then begin
+          Printf.printf "         %-28s %-10s %-10s %s\n" "state" "lockset" "hb"
+            "verdict";
+          List.iter
+            (fun (id, ls, hb) ->
+              let verdict =
+                match (ls, hb) with
+                | true, true -> "race (both agree)"
+                | true, false -> "lockset-only: false-positive candidate"
+                | false, true -> "HB-only: real race lockset missed"
+                | false, false -> "ordered"
+              in
+              Printf.printf "         %-28s %-10s %-10s %s\n" id
+                (if ls then "FLAGGED" else "clean")
+                (if hb then "FLAGGED" else "clean")
+                verdict)
+            comparison
+        end;
         (match role with
          | Some r -> order_totals := (r, reordered) :: !order_totals
          | None -> ());
         List.iter
           (fun f -> Format.printf "  %a@." Pnp_analysis.Finding.pp f)
           findings;
-        total := !total + List.length findings)
+        all_findings := !all_findings @ findings;
+        json_rows :=
+          (tag, label, Pnp_engine.Trace.count tracer, reordered, grants, findings,
+           comparison)
+          :: !json_rows)
       selected;
     (* Figure 10 as an assertion: the FIFO (MCS) discipline must not
        reorder more grants than the unfair mutex on the same workload. *)
@@ -453,27 +503,79 @@ let check_cmd =
      | Some unfair, Some fifo ->
        Printf.printf "fig10    reordered grants: mutex=%d mcs=%d\n" unfair fifo;
        if fifo > unfair then begin
-         incr total;
-         Printf.printf
-           "  FINDING [fig10-direction] FIFO locking reordered more grants \
-            (%d) than the unfair mutex (%d); Figure 10 expects the opposite\n"
-           fifo unfair
+         let f =
+           Pnp_analysis.Finding.v ~checker:"fig10-direction" ~subject:"grant order"
+             (Printf.sprintf
+                "FIFO locking reordered more grants (%d) than the unfair mutex \
+                 (%d); Figure 10 expects the opposite"
+                fifo unfair)
+         in
+         Format.printf "  %a@." Pnp_analysis.Finding.pp f;
+         all_findings := !all_findings @ [ f ]
        end
      | _ -> ());
-    if !total = 0 then
+    let findings = !all_findings in
+    (* Exit code = OR of the checker-family bits (race=1, lifetime=2,
+       order/other=4), so CI can tell the failure kinds apart. *)
+    let code = Pnp_analysis.Finding.exit_code findings in
+    (match json_dir with
+     | None -> ()
+     | Some dir ->
+       if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+       let esc = Pnp_harness.Json_out.escape in
+       let b = Buffer.create 4096 in
+       Buffer.add_string b "{\"check\":[";
+       List.iteri
+         (fun i (tag, label, events, reordered, grants, findings, comparison) ->
+           if i > 0 then Buffer.add_char b ',';
+           Buffer.add_string b
+             (Printf.sprintf
+                "{\"tag\":\"%s\",\"label\":\"%s\",\"events\":%d,\"reordered\":%d,\"grants\":%d,\"findings\":["
+                (esc tag) (esc label) events reordered grants);
+           List.iteri
+             (fun j (f : Pnp_analysis.Finding.t) ->
+               if j > 0 then Buffer.add_char b ',';
+               Buffer.add_string b
+                 (Printf.sprintf
+                    "{\"checker\":\"%s\",\"severity\":\"%s\",\"subject\":\"%s\",\"message\":\"%s\"}"
+                    (esc f.Pnp_analysis.Finding.checker)
+                    (match f.Pnp_analysis.Finding.severity with
+                     | Pnp_analysis.Finding.Error -> "error"
+                     | Pnp_analysis.Finding.Warning -> "warning")
+                    (esc f.Pnp_analysis.Finding.subject)
+                    (esc f.Pnp_analysis.Finding.message)))
+             findings;
+           Buffer.add_string b "],\"comparison\":[";
+           List.iteri
+             (fun j (id, ls, hb) ->
+               if j > 0 then Buffer.add_char b ',';
+               Buffer.add_string b
+                 (Printf.sprintf "{\"state\":\"%s\",\"lockset\":%b,\"hb\":%b}"
+                    (esc id) ls hb))
+             comparison;
+           Buffer.add_string b "]}")
+         (List.rev !json_rows);
+       Buffer.add_string b (Printf.sprintf "],\"exit_code\":%d}\n" code);
+       let path = Filename.concat dir "CHECK.json" in
+       let oc = open_out path in
+       output_string oc (Buffer.contents b);
+       close_out oc;
+       Printf.printf "json:    %d scenario(s) -> %s\n" (List.length selected) path);
+    if findings = [] then
       Printf.printf "check: %d scenario(s), no findings\n" (List.length selected)
     else begin
-      Printf.printf "check: %d scenario(s), %d finding(s)\n"
-        (List.length selected) !total;
-      exit 1
+      Printf.printf "check: %d scenario(s), %d finding(s), exit code %d\n"
+        (List.length selected) (List.length findings) code;
+      exit code
     end
   in
   Cmd.v
     (Cmd.info "check"
        ~doc:
-         "Run the trace-driven concurrency checkers (lockset, lock order, \
-          grant order) over reference scenarios.")
-    Term.(const exec $ figs_term $ all_term)
+         "Run the trace-driven concurrency checkers (lockset, happens-before \
+          races, arena lifetime, lock order, grant order) over reference \
+          scenarios, with a lockset-vs-HB comparison per scenario.")
+    Term.(const exec $ figs_term $ all_term $ json_term)
 
 (* Deterministic fault injection with an end-to-end recovery oracle: each
    cell transfers a golden byte stream over a faulted link and must

@@ -1,3 +1,5 @@
 let all tracer =
-  Finding.sort
-    (Lockset.check tracer @ Lock_order.check tracer @ Order_check.check tracer)
+  Finding.dedupe
+    (Finding.sort
+       (Lockset.check tracer @ Hb.check tracer @ Lifetime.check tracer
+       @ Lock_order.check tracer @ Order_check.check tracer))

@@ -1,5 +1,6 @@
 (** Run every trace-driven checker over one trace. *)
 
 val all : Pnp_engine.Trace.t -> Finding.t list
-(** Lockset, lock-order and FIFO grant-order findings, merged and
-    sorted with {!Finding.sort}. *)
+(** Lockset, happens-before, arena lifetime, lock-order and FIFO
+    grant-order findings, merged, sorted with {!Finding.sort} and
+    collapsed with {!Finding.dedupe}. *)

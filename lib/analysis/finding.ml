@@ -16,6 +16,9 @@ let v ?(severity = Error) ?(witnesses = []) ~checker ~subject message =
 let ev_label (ev : Trace.ev) =
   match ev with
   | Trace.Thread_spawn { name } -> "spawn " ^ name
+  | Thread_fork { child } -> Printf.sprintf "fork tid %d" child
+  | Thread_exit -> "exit"
+  | Thread_join { child } -> Printf.sprintf "join tid %d" child
   | Thread_block -> "block"
   | Thread_resume -> "resume"
   | Lock_request { lock; waiters } -> Printf.sprintf "request %s (waiters %d)" lock waiters
@@ -24,8 +27,14 @@ let ev_label (ev : Trace.ev) =
   | Lock_release { lock; hold_ns } -> Printf.sprintf "release %s (held %d ns)" lock hold_ns
   | Gate_take { gate; ticket } -> Printf.sprintf "ticket %d of %s" ticket gate
   | Gate_pass { gate; ticket; _ } -> Printf.sprintf "pass %d of %s" ticket gate
+  | Gate_advance { gate; serving } -> Printf.sprintf "advance %s to %d" gate serving
   | Membus_charge { bytes; _ } -> Printf.sprintf "membus %d B" bytes
   | Mpool_alloc { hit } -> if hit then "mpool hit" else "mpool miss"
+  | Mnode_alloc { node } -> Printf.sprintf "alloc mnode %d" node
+  | Mnode_ref { node; refs } -> Printf.sprintf "ref mnode %d -> %d" node refs
+  | Mnode_unref { node; refs } -> Printf.sprintf "unref mnode %d -> %d" node refs
+  | Mnode_recycle { node } -> Printf.sprintf "recycle mnode %d" node
+  | Mnode_write { node } -> Printf.sprintf "write mnode %d" node
   | Span_begin { seq; phase } -> Printf.sprintf "begin %s seq %d" (Trace.pp_phase phase) seq
   | Span_end { seq; phase } -> Printf.sprintf "end %s seq %d" (Trace.pp_phase phase) seq
   | Access { state; write } ->
@@ -59,3 +68,36 @@ let sort ts =
         | c -> c)
       | c -> c)
     ts
+
+(* Identical (checker, site, message) findings collapse to the first
+   occurrence: re-running checkers over the same trace, or one defect
+   witnessed through several replay passes, must not multiply the
+   report.  Witnesses are deliberately left out of the key — the same
+   defect seen at two timestamps is still one defect. *)
+let dedupe ts =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun t ->
+      let key = (t.checker, t.subject, t.message) in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.replace seen key ();
+        true
+      end)
+    ts
+
+(* Checker families with a stable exit-code bit each, so CI can tell a
+   race from a lifetime defect from anything else without parsing the
+   report.  New checkers must map themselves here. *)
+type family = Race | Lifetime | Order
+
+let family t =
+  match t.checker with
+  | "lockset" | "hb-race" -> Race
+  | "lifetime" -> Lifetime
+  | _ -> Order
+
+let family_bit = function Race -> 1 | Lifetime -> 2 | Order -> 4
+
+let exit_code ts =
+  List.fold_left (fun acc t -> acc lor family_bit (family t)) 0 ts

@@ -35,3 +35,24 @@ val to_string : t -> string
 
 val sort : t list -> t list
 (** Errors before warnings, then by checker and subject. *)
+
+val dedupe : t list -> t list
+(** Collapse findings with identical (checker, subject, message) to the
+    first occurrence, preserving order.  Witnesses are not part of the
+    key: the same defect observed at several points in the trace is one
+    finding. *)
+
+(** {2 Exit-code families}
+
+    Each checker family owns a stable exit-code bit so CI can
+    distinguish failure kinds without parsing output: races (lockset and
+    happens-before) = 1, arena lifetime = 2, everything else (lock
+    order, grant order) = 4. *)
+
+type family = Race | Lifetime | Order
+
+val family : t -> family
+val family_bit : family -> int
+
+val exit_code : t list -> int
+(** OR of the family bits present in the list; 0 when empty. *)

@@ -228,6 +228,298 @@ let ends_with s suffix =
   let ls = String.length s and lx = String.length suffix in
   ls >= lx && String.sub s (ls - lx) lx = suffix
 
+let starts_with s prefix =
+  let ls = String.length s and lx = String.length prefix in
+  ls >= lx && String.sub s 0 lx = prefix
+
+let contains_sub s sub =
+  let ls = String.length s and lx = String.length sub in
+  let rec scan j = j + lx <= ls && (String.sub s j lx = sub || scan (j + 1)) in
+  scan 0
+
+(* All maximal identifier runs on a (scrubbed) line, dotted paths
+   included — the raw material for the token-set rules below. *)
+let line_tokens line =
+  let n = String.length line in
+  let toks = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    if is_ident_char line.[!i] then begin
+      let s = !i in
+      while !i < n && is_ident_char line.[!i] do
+        incr i
+      done;
+      toks := String.sub line s (!i - s) :: !toks
+    end
+    else incr i
+  done;
+  List.rev !toks
+
+(* ------------------------------------------------------------------ *)
+(* State-access matrix (lib/proto)
+
+   Each `access sess ~write:<b> "<class>"` annotation names a shared
+   protocol state class (snd/rcv/sb/reass); the matrix records, per
+   top-level binding, which classes it reads and writes and which
+   lock-context tokens appear in the same binding.  A binding that
+   writes shared state with no lock token and no [lint:allow] fails the
+   lint: either it is a real hole or the protection is held by a caller,
+   and the latter must be said out loud in an allow comment. *)
+
+type matrix_row = {
+  m_file : string;
+  m_binding : string;
+  m_line : int; (* first line of the binding, 1-based *)
+  m_reads : string list;
+  m_writes : string list;
+  m_locks : string list;
+  m_allowed : bool;
+}
+
+(* A token that brings a lock context into scope: direct acquires
+   ([Lock.acquire], [Counting.acquire], the drivers' [*_acquire]
+   helpers), scoped holds ([Lock.with_lock], [with_*] helpers such as
+   [with_rexmt_lock]/[with_send_state]).  The [with_] prefix is a
+   naming convention this rule enforces backwards: lock-context helpers
+   must be named so the lexical pass can see them. *)
+let is_lock_token tok =
+  ends_with tok ".acquire" || ends_with tok "_acquire" || tok = "with_lock"
+  || ends_with tok ".with_lock"
+  || starts_with tok "with_"
+
+(* The annotation's write flag and state-class literal.  The flag
+   survives scrubbing ([~write:true] is code); the class string does
+   not, so it is pulled from the raw line. *)
+let access_on_line ~raw ~scrubbed =
+  if not (has_token scrubbed "access") then None
+  else
+    let write =
+      if contains_sub scrubbed "~write:true" then Some true
+      else if contains_sub scrubbed "~write:false" then Some false
+      else None
+    in
+    match write with
+    | None -> None
+    | Some w -> (
+      let n = String.length raw in
+      let rec quote i = if i >= n then None else if raw.[i] = '"' then Some i else quote (i + 1) in
+      match quote 0 with
+      | None -> None
+      | Some s -> (
+        match quote (s + 1) with
+        | None -> None
+        | Some e -> Some (w, String.sub raw (s + 1) (e - s - 1))))
+
+let has_allow_marker raw = contains_sub raw allow_marker
+
+let state_matrix_source ~file src =
+  if not (List.mem "proto" (path_parts file)) || in_tests file then []
+  else begin
+    let scrubbed = scrub src in
+    let raw_lines = Array.of_list (String.split_on_char '\n' src) in
+    let lines = Array.of_list (String.split_on_char '\n' scrubbed) in
+    let rows = ref [] in
+    let binding = ref "" and bstart = ref 0 in
+    let reads = ref [] and writes = ref [] in
+    let locks = ref [] and allowed = ref false in
+    let flush () =
+      if !binding <> "" && (!reads <> [] || !writes <> []) then
+        rows :=
+          {
+            m_file = file;
+            m_binding = !binding;
+            m_line = !bstart;
+            m_reads = List.sort_uniq compare !reads;
+            m_writes = List.sort_uniq compare !writes;
+            m_locks = List.sort_uniq compare !locks;
+            m_allowed = !allowed;
+          }
+          :: !rows
+    in
+    Array.iteri
+      (fun i line ->
+        if String.length line > 4 && String.sub line 0 4 = "let " then begin
+          flush ();
+          binding := toplevel_binding line "";
+          bstart := i + 1;
+          reads := [];
+          writes := [];
+          locks := [];
+          allowed := false
+        end;
+        if !binding <> "" then begin
+          if has_allow_marker raw_lines.(i) then allowed := true;
+          List.iter
+            (fun tok -> if is_lock_token tok then locks := tok :: !locks)
+            (line_tokens line);
+          match access_on_line ~raw:raw_lines.(i) ~scrubbed:line with
+          | Some (true, cls) -> writes := cls :: !writes
+          | Some (false, cls) -> reads := cls :: !reads
+          | None -> ()
+        end)
+      lines;
+    flush ();
+    List.rev !rows
+  end
+
+let matrix_violations rows =
+  List.filter_map
+    (fun r ->
+      if r.m_writes <> [] && r.m_locks = [] && not r.m_allowed then
+        Some
+          {
+            file = r.m_file;
+            line = r.m_line;
+            rule = "state-matrix";
+            message =
+              Printf.sprintf
+                "%S writes shared state class(es) %s with no lock token in \
+                 the binding and no %s; hold a lock, use a with_* helper, or \
+                 document the caller's protection in an allow comment"
+                r.m_binding
+                (String.concat ", " r.m_writes)
+                allow_marker;
+          }
+      else None)
+    rows
+
+let state_matrix ~roots =
+  let files = ref [] in
+  let rec walk dir =
+    match Sys.readdir dir with
+    | entries ->
+      Array.sort compare entries;
+      Array.iter
+        (fun entry ->
+          let path = Filename.concat dir entry in
+          if Sys.is_directory path then begin
+            if entry <> "_build" && entry.[0] <> '.' then walk path
+          end
+          else if Filename.check_suffix entry ".ml" then files := path :: !files)
+        entries
+    | exception Sys_error _ -> ()
+  in
+  List.iter (fun r -> if Sys.file_exists r && Sys.is_directory r then walk r) roots;
+  List.concat_map
+    (fun path ->
+      let ic = open_in_bin path in
+      let src =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      state_matrix_source ~file:path src)
+    (List.sort compare (List.rev !files))
+
+let matrix_to_string rows =
+  let b = Buffer.create 1024 in
+  let cls_str = function [] -> "-" | l -> String.concat "," l in
+  let w0 = ref 24 and w1 = ref 12 and w2 = ref 12 in
+  List.iter
+    (fun r ->
+      w0 := max !w0 (String.length r.m_binding);
+      w1 := max !w1 (String.length (cls_str r.m_reads));
+      w2 := max !w2 (String.length (cls_str r.m_writes)))
+    rows;
+  Buffer.add_string b
+    (Printf.sprintf "%-*s  %-*s  %-*s  %s\n" !w0 "binding" !w1 "reads" !w2 "writes"
+       "locks");
+  List.iter
+    (fun r ->
+      Buffer.add_string b
+        (Printf.sprintf "%-*s  %-*s  %-*s  %s%s\n" !w0 r.m_binding !w1
+           (cls_str r.m_reads) !w2 (cls_str r.m_writes)
+           (cls_str r.m_locks)
+           (if r.m_allowed && r.m_locks = [] && r.m_writes <> [] then
+              "  (caller-locked: " ^ allow_marker ^ ")"
+            else "")))
+    rows;
+  Buffer.contents b
+
+let matrix_json rows =
+  let b = Buffer.create 1024 in
+  let strs l = "[" ^ String.concat "," (List.map (Printf.sprintf "%S") l) ^ "]" in
+  Buffer.add_string b "{\"state_access_matrix\":[";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"file\":%S,\"line\":%d,\"binding\":%S,\"reads\":%s,\"writes\":%s,\"locks\":%s,\"allowed\":%b}"
+           r.m_file r.m_line r.m_binding (strs r.m_reads) (strs r.m_writes)
+           (strs r.m_locks) r.m_allowed))
+    rows;
+  Buffer.add_string b "]}\n";
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Msg-mutator generation rule
+
+   The checksum-sum memo is keyed by the node's write generation
+   ([Mpool.bump_gen]); a byte mutation that forgets the bump serves a
+   stale checksum silently.  Scope: non-test files that handle raw node
+   bytes (they mention [Mpool.data] or [Msg.head_view]); in those, any
+   top-level binding that mutates a [Bytes.t] must also call [bump_gen]
+   (or carry [lint:allow] explaining why the buffer is not node
+   memory). *)
+
+let is_bytes_mutation tok =
+  starts_with tok "Bytes.set"
+  || starts_with tok "Bytes.blit"
+  || tok = "Bytes.fill"
+  || starts_with tok "Bytes.unsafe_set"
+  || starts_with tok "Bytes.unsafe_blit"
+  || starts_with tok "Bytes.unsafe_fill"
+
+let bump_gen_findings ~file src =
+  let scrubbed = scrub src in
+  let raw_lines = Array.of_list (String.split_on_char '\n' src) in
+  let lines = Array.of_list (String.split_on_char '\n' scrubbed) in
+  let handles_node_bytes =
+    Array.exists
+      (fun l -> has_token l "Mpool.data" || has_token l "Msg.head_view")
+      lines
+  in
+  if in_tests file || not handles_node_bytes then []
+  else begin
+    let findings = ref [] in
+    let binding = ref "" in
+    let first_mut = ref 0 and bumped = ref false and allowed = ref false in
+    let flush () =
+      if !binding <> "" && !first_mut > 0 && (not !bumped) && not !allowed then
+        findings :=
+          {
+            file;
+            line = !first_mut;
+            rule = "msg-bump-gen";
+            message =
+              Printf.sprintf
+                "%S mutates buffer bytes without calling bump_gen; a missed \
+                 write-generation bump serves a stale cached checksum (add \
+                 Mpool.bump_gen, or %s if the buffer is not node memory)"
+                !binding allow_marker;
+          }
+          :: !findings
+    in
+    Array.iteri
+      (fun i line ->
+        if String.length line > 4 && String.sub line 0 4 = "let " then begin
+          flush ();
+          binding := toplevel_binding line !binding;
+          first_mut := 0;
+          bumped := false;
+          allowed := false
+        end;
+        if has_allow_marker raw_lines.(i) then allowed := true;
+        if List.exists (fun tok -> ends_with tok "bump_gen") (line_tokens line) then
+          bumped := true;
+        if !first_mut = 0 && List.exists is_bytes_mutation (line_tokens line) then
+          first_mut := i + 1)
+      lines;
+    flush ();
+    List.rev !findings
+  end
+
 let check_source ~file src =
   let scrubbed = scrub src in
   let raw_lines = Array.of_list (String.split_on_char '\n' src) in
@@ -316,6 +608,8 @@ let check_source ~file src =
           leaks a lock — prefer Lock.with_lock"
          !acquires !releases);
   List.rev !findings
+  @ matrix_violations (state_matrix_source ~file src)
+  @ bump_gen_findings ~file src
 
 let read_file path =
   let ic = open_in_bin path in

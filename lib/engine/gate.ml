@@ -48,6 +48,11 @@ let await t n =
 let advance t =
   Sim.delay t.sim t.arch.Arch.atomic_ns;
   t.serving <- t.serving + 1;
+  (* The signal half of the gate's ordering edge, emitted before the
+     next ticket holder is resumed so it precedes that thread's
+     [Gate_pass] in the trace. *)
+  if Trace.enabled (Sim.tracer t.sim) then
+    trace t (Trace.Gate_advance { gate = t.name; serving = t.serving });
   match Hashtbl.find_opt t.waiting t.serving with
   | None -> ()
   | Some resume ->

@@ -150,7 +150,10 @@ let start_thread t th body =
   let open Effect.Deep in
   let handler =
     {
-      retc = (fun () -> th.finished <- true);
+      retc =
+        (fun () ->
+          th.finished <- true;
+          trace_thread t th Trace.Thread_exit);
       exnc = raise;
       effc =
         (fun (type a) (eff : a Effect.t) ->
@@ -219,6 +222,13 @@ let spawn t ?cpu ~name body =
   in
   register_thread t th;
   Trace.register_thread t.tracer ~tid:th.tid ~cpu:th.cpu name;
+  (* The fork edge: when the spawner is itself a simulated thread, its
+     past happens-before everything the child does.  Emitted with the
+     parent's tid so the happens-before checker can seed the child's
+     clock from it; top-level spawns (setup code) have no parent edge. *)
+  (match t.current with
+  | Some parent -> trace_thread t parent (Trace.Thread_fork { child = th.tid })
+  | None -> ());
   trace_thread t th (Trace.Thread_spawn { name });
   at t t.now (fun () -> start_thread t th body);
   th

@@ -2,6 +2,9 @@ type pkt_phase = Enqueue | Ip | Lock_wait | Tcp_input | Upcall
 
 type ev =
   | Thread_spawn of { name : string }
+  | Thread_fork of { child : int }
+  | Thread_exit
+  | Thread_join of { child : int }
   | Thread_block
   | Thread_resume
   | Lock_request of { lock : string; waiters : int }
@@ -10,8 +13,14 @@ type ev =
   | Lock_release of { lock : string; hold_ns : int }
   | Gate_take of { gate : string; ticket : int }
   | Gate_pass of { gate : string; ticket : int; wait_ns : int }
+  | Gate_advance of { gate : string; serving : int }
   | Membus_charge of { bytes : int; dur_ns : int }
   | Mpool_alloc of { hit : bool }
+  | Mnode_alloc of { node : int }
+  | Mnode_ref of { node : int; refs : int }
+  | Mnode_unref of { node : int; refs : int }
+  | Mnode_recycle of { node : int }
+  | Mnode_write of { node : int }
   | Span_begin of { seq : int; phase : pkt_phase }
   | Span_end of { seq : int; phase : pkt_phase }
   | Access of { state : string; write : bool }
@@ -273,6 +282,11 @@ let to_chrome_string t =
     (fun r ->
       match r.ev with
       | Thread_spawn { name } -> instant ~name:("spawn " ^ name) ~cat:"thread" r ~args:""
+      | Thread_fork { child } ->
+        instant ~name:"fork" ~cat:"thread" r ~args:(Printf.sprintf "\"child\":%d" child)
+      | Thread_exit -> instant ~name:"exit" ~cat:"thread" r ~args:""
+      | Thread_join { child } ->
+        instant ~name:"join" ~cat:"thread" r ~args:(Printf.sprintf "\"child\":%d" child)
       | Thread_block | Thread_resume ->
         (* Block/resume intervals are already visible through the wait
            duration events; keep the raw stream out of the rendered view. *)
@@ -299,11 +313,29 @@ let to_chrome_string t =
           complete ~name:("gate " ^ gate) ~cat:"gate" r ~start_ns:(r.ts - wait_ns)
             ~dur_ns:wait_ns
             ~args:(Printf.sprintf "\"ticket\":%d" ticket)
+      | Gate_advance { gate; serving } ->
+        instant ~name:("advance " ^ gate) ~cat:"gate" r
+          ~args:(Printf.sprintf "\"serving\":%d" serving)
       | Membus_charge { bytes; dur_ns } ->
         complete ~name:"membus" ~cat:"bus" r ~start_ns:(r.ts - dur_ns) ~dur_ns
           ~args:(Printf.sprintf "\"bytes\":%d" bytes)
       | Mpool_alloc { hit } ->
         instant ~name:(if hit then "mpool hit" else "mpool miss") ~cat:"mpool" r ~args:""
+      | Mnode_alloc { node } ->
+        instant ~name:"mnode alloc" ~cat:"mpool" r
+          ~args:(Printf.sprintf "\"node\":%d" node)
+      | Mnode_ref { node; refs } ->
+        instant ~name:"mnode ref" ~cat:"mpool" r
+          ~args:(Printf.sprintf "\"node\":%d,\"refs\":%d" node refs)
+      | Mnode_unref { node; refs } ->
+        instant ~name:"mnode unref" ~cat:"mpool" r
+          ~args:(Printf.sprintf "\"node\":%d,\"refs\":%d" node refs)
+      | Mnode_recycle { node } ->
+        instant ~name:"mnode recycle" ~cat:"mpool" r
+          ~args:(Printf.sprintf "\"node\":%d" node)
+      | Mnode_write { node } ->
+        instant ~name:"mnode write" ~cat:"mpool" r
+          ~args:(Printf.sprintf "\"node\":%d" node)
       | Span_begin { seq; phase } -> async "b" r ~seq ~phase
       | Span_end { seq; phase } -> async "e" r ~seq ~phase
       | Access { state; write } ->

@@ -27,6 +27,19 @@ type pkt_phase =
 
 type ev =
   | Thread_spawn of { name : string }
+      (** recorded with the {e child}'s tid at spawn time *)
+  | Thread_fork of { child : int }
+      (** recorded with the {e parent}'s tid when the spawn happened from
+          inside a simulated thread: the happens-before edge from the
+          parent's past to everything the child does *)
+  | Thread_exit
+      (** the thread's body returned; its last event.  Together with
+          {!Thread_join} this closes the fork/join ordering for the
+          happens-before checker. *)
+  | Thread_join of { child : int }
+      (** the recording thread observed [child]'s completion (after its
+          {!Thread_exit}); everything the child did happens-before the
+          joiner's subsequent events *)
   | Thread_block
   | Thread_resume
   | Lock_request of { lock : string; waiters : int }
@@ -38,8 +51,26 @@ type ev =
   | Lock_release of { lock : string; hold_ns : int }
   | Gate_take of { gate : string; ticket : int }
   | Gate_pass of { gate : string; ticket : int; wait_ns : int }
+  | Gate_advance of { gate : string; serving : int }
+      (** emitted by the advancing thread {e before} the next ticket
+          holder resumes: the signal half of the gate's signal→wait
+          happens-before edge ({!Gate_pass} is the wait half) *)
   | Membus_charge of { bytes : int; dur_ns : int }
   | Mpool_alloc of { hit : bool }
+  | Mnode_alloc of { node : int }
+      (** an MNode left the allocator (fresh or re-armed from a
+          per-thread cache) with reference count 1 *)
+  | Mnode_ref of { node : int; refs : int }
+      (** reference count incremented; [refs] is the new count *)
+  | Mnode_unref of { node : int; refs : int }
+      (** reference count decremented; [refs] is the new count — 0 means
+          the node died here *)
+  | Mnode_recycle of { node : int }
+      (** the dead node's arena buffer returned to the free lists; any
+          later touch of the node is a write-after-recycle *)
+  | Mnode_write of { node : int }
+      (** the node's bytes were mutated ({!Mpool.bump_gen}); the arena
+          lifetime sanitizer flags writes to dead or recycled nodes *)
   | Span_begin of { seq : int; phase : pkt_phase }
   | Span_end of { seq : int; phase : pkt_phase }
   | Access of { state : string; write : bool }

@@ -676,6 +676,9 @@ let reass_insert sess seq msg =
 (* Drain now-contiguous segments from the reassembly queue. *)
 let reass_drain sess deliveries =
   let tcb = sess.tcb in
+  (* lint:allow state-matrix: caller-locked — reached only from slow_path,
+     under segment_arrives' input locks (and, for discipline six, the
+     reass lock it acquires up front). *)
   if tcb.reass <> [] then access sess ~write:true "reass";
   let rec go acc =
     match tcb.reass with

@@ -152,7 +152,7 @@ let encode_empty msg h ~src ~dst ~checksum =
   in
   match Msg.head_view msg ~len:header_bytes with
   | Some (node, b, j) ->
-    Mpool.bump_gen node;
+    Mpool.bump_gen (Msg.pool msg) node;
     Bytes.set_uint16_be b j h.sport;
     Bytes.set_uint16_be b (j + 2) h.dport;
     let seq = Tcp_seq.mask h.seq and ackn = Tcp_seq.mask h.ack in

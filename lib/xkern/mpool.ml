@@ -78,6 +78,17 @@ let trace_alloc t ~hit =
     Trace.emit tracer ~ts:(Sim.now sim) ~tid:(Sim.tid th) ~cpu:(Sim.cpu th)
       (Trace.Mpool_alloc { hit })
 
+(* Lifecycle events for the arena sanitizer (Pnp_analysis.Lifetime):
+   alloc / ref / unref / recycle / write, keyed by node id.  Same guard
+   shape as [trace_alloc]: free when tracing is off, and silent outside
+   simulated threads (setup/teardown traffic has no tid to charge). *)
+let trace_node t ev =
+  let sim = t.plat.Platform.sim in
+  let tracer = Sim.tracer sim in
+  if Trace.enabled tracer && Sim.in_thread sim then
+    let th = Sim.self sim in
+    Trace.emit tracer ~ts:(Sim.now sim) ~tid:(Sim.tid th) ~cpu:(Sim.cpu th) ev
+
 let create ?(capacity = max_int) plat =
   if capacity <= 0 then invalid_arg "Mpool.create: capacity must be positive";
   {
@@ -146,6 +157,7 @@ let arena_take t cls cap =
    refcount zero for nodes not parked in a simulated per-thread cache. *)
 let arena_recycle t node =
   if node.from_arena then begin
+    trace_node t (Trace.Mnode_recycle { node = node.id });
     t.arena_out <- t.arena_out - Bytes.length node.data;
     let cls = node.size_class in
     if t.arena_free_n.(cls) < arena_retain then begin
@@ -172,6 +184,7 @@ let fresh_node t n cls =
     }
   in
   t.next_id <- t.next_id + 1;
+  trace_node t (Trace.Mnode_alloc { node = node.id });
   node
 
 let global_alloc t n cls =
@@ -209,6 +222,9 @@ let alloc t n =
       trace_alloc t ~hit:true;
       Platform.charge_instrs t.plat cache_hit_instrs;
       ignore (Atomic_ctr.incr node.refs);
+      (* A cached node comes back to life: 0 -> 1 is a re-arm, not a
+         reference taken on a live node, so it traces as an alloc. *)
+      trace_node t (Trace.Mnode_alloc { node = node.id });
       node
     | [] ->
       trace_alloc t ~hit:false;
@@ -216,8 +232,8 @@ let alloc t n =
   end
 
 let incref t node =
-  ignore t;
-  ignore (Atomic_ctr.incr node.refs)
+  let r = Atomic_ctr.incr node.refs in
+  trace_node t (Trace.Mnode_ref { node = node.id; refs = r })
 
 let global_free t =
   if Sim.in_thread t.plat.Platform.sim then begin
@@ -229,6 +245,7 @@ let global_free t =
 let decref t node =
   let r = Atomic_ctr.decr node.refs in
   if r < 0 then failwith "Mpool.decref: reference count went negative";
+  trace_node t (Trace.Mnode_unref { node = node.id; refs = r });
   if r = 0 then begin
     t.live <- t.live - 1;
     let use_cache =
@@ -272,7 +289,9 @@ let sum_cache_default =
 let set_sum_cache on = sum_cache_default := on
 let sum_cache_enabled () = !sum_cache_default
 
-let bump_gen node = node.gen <- node.gen + 1
+let bump_gen t node =
+  node.gen <- node.gen + 1;
+  trace_node t (Trace.Mnode_write { node = node.id })
 
 let cached_sum node ~off ~len =
   if

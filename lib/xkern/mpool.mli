@@ -61,8 +61,12 @@ val refs : mnode -> int
     [PNP_NO_COALESCE=1] (or {!set_sum_cache}[ false]) disables lookups
     for A/B determinism diffs. *)
 
-val bump_gen : mnode -> unit
-(** Record that the node's bytes changed (invalidates the cached sum). *)
+val bump_gen : t -> mnode -> unit
+(** Record that the node's bytes changed (invalidates the cached sum).
+    Takes the pool so the write is visible to tracing: under an enabled
+    tracer every bump emits an [Mnode_write] event, which is what lets
+    the arena lifetime sanitizer catch writes to dead or recycled
+    nodes. *)
 
 val cached_sum : mnode -> off:int -> len:int -> int
 (** The cached sum for exactly this range at the current generation, or

@@ -10,12 +10,13 @@ let create pool n =
     { pool; parts = [ { node; off = 0; len = n } ]; total = n }
 
 let length t = t.total
+let pool t = t.pool
 
 let of_string pool s =
   let t = create pool (String.length s) in
   (match t.parts with
    | [ p ] ->
-     Mpool.bump_gen p.node;
+     Mpool.bump_gen pool p.node;
      Bytes.blit_string s 0 (Mpool.data p.node) p.off (String.length s)
    | _ -> assert (String.length s = 0));
   t
@@ -121,7 +122,7 @@ let unshare t ~off =
   let p = find t.parts off in
   if Mpool.refs p.node > 1 then begin
     let fresh = Mpool.alloc t.pool p.len in
-    Mpool.bump_gen fresh;
+    Mpool.bump_gen t.pool fresh;
     Bytes.blit (Mpool.data p.node) p.off (Mpool.data fresh) 0 p.len;
     (* The copy is byte-identical, so the source's cached checksum sum —
        when it covers exactly the copied view — carries over. *)
@@ -151,11 +152,11 @@ let set_u8 t off v =
   if off < 0 || off >= t.total then invalid_arg "Msg.set_u8: out of bounds";
   match t.parts with
   | [ p ] ->
-    Mpool.bump_gen p.node;
+    Mpool.bump_gen t.pool p.node;
     Bytes.set (Mpool.data p.node) (p.off + off) (Char.chr (v land 0xff))
   | parts ->
     let p, i = locate parts off in
-    Mpool.bump_gen p.node;
+    Mpool.bump_gen t.pool p.node;
     Bytes.set (Mpool.data p.node) (p.off + i) (Char.chr (v land 0xff))
 
 (* Multi-byte accessors take a single-part fast path (no [locate], no
@@ -178,12 +179,12 @@ let set_u16 t off v =
   if off < 0 || off + 2 > t.total then invalid_arg "Msg.set_u16: out of bounds";
   match t.parts with
   | [ p ] ->
-    Mpool.bump_gen p.node;
+    Mpool.bump_gen t.pool p.node;
     Bytes.set_uint16_be (Mpool.data p.node) (p.off + off) (v land 0xffff)
   | parts ->
     let p, i = locate parts off in
     if i + 2 <= p.len then begin
-      Mpool.bump_gen p.node;
+      Mpool.bump_gen t.pool p.node;
       Bytes.set_uint16_be (Mpool.data p.node) (p.off + i) (v land 0xffff)
     end
     else begin
@@ -211,7 +212,7 @@ let set_u32 t off v =
   if off < 0 || off + 4 > t.total then invalid_arg "Msg.set_u32: out of bounds";
   match t.parts with
   | [ p ] ->
-    Mpool.bump_gen p.node;
+    Mpool.bump_gen t.pool p.node;
     let b = Mpool.data p.node in
     let j = p.off + off in
     Bytes.set_uint16_be b j ((v lsr 16) land 0xffff);
@@ -219,7 +220,7 @@ let set_u32 t off v =
   | parts ->
     let p, i = locate parts off in
     if i + 4 <= p.len then begin
-      Mpool.bump_gen p.node;
+      Mpool.bump_gen t.pool p.node;
       let b = Mpool.data p.node in
       let j = p.off + i in
       Bytes.set_uint16_be b j ((v lsr 16) land 0xffff);
@@ -242,6 +243,7 @@ let iter_parts t f =
   List.iter (fun p -> if p.len > 0 then f p.node p.off p.len) t.parts
 
 let blit_to_bytes t buf =
+  (* lint:allow msg-bump-gen: writes into the caller's buffer, never node bytes *)
   if Bytes.length buf < t.total then invalid_arg "Msg.blit_to_bytes: buffer too small";
   let pos = ref 0 in
   iter_slices t (fun b off len ->
@@ -293,7 +295,7 @@ let pattern_chunk =
 
 let fill_pattern t ~off ~len ~stream_off =
   iter_range t ~off ~len (fun node b start count visited ->
-      Mpool.bump_gen node;
+      Mpool.bump_gen t.pool node;
       let phase = ref ((stream_off + visited) mod pattern_period) in
       let pos = ref start and left = ref count in
       while !left > 0 do

@@ -19,6 +19,10 @@ val of_string : Mpool.t -> string -> t
 
 val length : t -> int
 
+val pool : t -> Mpool.t
+(** The pool the message allocates from — for callers that write through
+    {!head_view} and must call {!Mpool.bump_gen} on the exposed node. *)
+
 val push : t -> int -> unit
 (** [push t n] prepends [n] bytes of header space; bytes 0..n-1 of the
     message now address it. *)
