@@ -648,6 +648,49 @@ let chaos_cmd =
       const exec $ jobs_term $ plan_term $ matrix_term $ list_plans_term $ bytes_term
       $ datagrams_term $ seed_term)
 
+(* Cross-scenario overload comparison: incast (clean / burst-loss /
+   bounded-pool) vs the shared-bottleneck fairness workload, each watched
+   for liveness and checked by the overload oracle. *)
+let compare_cmd =
+  let open Pnp_harness in
+  let senders_term =
+    Arg.(
+      value & opt int 32
+      & info [ "senders" ] ~doc:"Incast fan-in width (flows into one port).")
+  in
+  let bytes_term =
+    Arg.(
+      value & opt int 4096
+      & info [ "bytes" ] ~doc:"Bytes per incast flow (bottleneck flows stay 40 kB).")
+  in
+  let seed_term = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Base random seed.") in
+  let json_term =
+    let doc = "Also write the comparison as machine-readable $(docv)/COMPARE.json." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"DIR" ~doc)
+  in
+  let exec jobs senders bytes_per_flow seed json_dir =
+    Pool.set_jobs jobs;
+    let rows = Compare.run ~senders ~bytes_per_flow ~seed () in
+    Compare.print rows;
+    (match json_dir with
+     | None -> ()
+     | Some dir ->
+       if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+       let path = Filename.concat dir "COMPARE.json" in
+       let oc = open_out path in
+       output_string oc (Compare.to_json rows);
+       close_out oc;
+       Printf.printf "json:    %d scenario(s) -> %s\n" (List.length rows) path);
+    if not (Compare.passed rows) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:
+         "Compare overload scenarios (incast fan-in, burst loss, bounded pools, \
+          shared bottleneck): goodput, fairness, latency percentiles, drop \
+          accounting and oracle verdicts, byte-identical at any $(b,-j).")
+    Term.(const exec $ jobs_term $ senders_term $ bytes_term $ seed_term $ json_term)
+
 (* A short annotated wire trace of a TCP connection over the in-memory
    driver: handshake, data, acks. *)
 let trace_cmd =
@@ -695,7 +738,10 @@ let main =
     "Reproduction of 'Performance Issues in Parallelized Network Protocols' (OSDI '94)"
   in
   Cmd.group (Cmd.info "repro" ~doc)
-    [ list_cmd; fig_cmd; all_cmd; perf_cmd; run_cmd; check_cmd; chaos_cmd; trace_cmd ]
+    [
+      list_cmd; fig_cmd; all_cmd; perf_cmd; run_cmd; check_cmd; chaos_cmd;
+      compare_cmd; trace_cmd;
+    ]
 
 (* The sweeps allocate tens of words per simulated event (closures on the
    event queue, message descriptors), so the default 256k-word minor heap

@@ -53,6 +53,9 @@ type udp_account = {
   dropped_proto : int;
       (** discarded above the wire: MAC filter, IP header/reassembly,
           UDP checksum or no-listener drops *)
+  dropped_pressure : int;
+      (** shed under resource pressure: rx-side [pool_pressure] drops at
+          the link boundary ({!Pnp_driver.Link.pressure_drops}) *)
 }
 
 type obs = {
@@ -72,3 +75,51 @@ val digest_add : int -> string -> int
 
 val check : obs -> Finding.t list
 (** All recovery violations in the observation, sorted; [] = recovered. *)
+
+(** {2 Overload oracle}
+
+    Under deliberate resource exhaustion (incast fan-in, SYN floods,
+    bounded mnode pools) flows are {e allowed} to end incomplete — the
+    whole point of graceful degradation is shedding load instead of
+    wedging.  What is never allowed is silent loss or corruption: every
+    byte that reaches an application must be exactly the sender's byte,
+    and every missing byte must be attributable to a named drop cause. *)
+
+type overload_flow = {
+  flow : string;       (** names the finding subject, e.g. ["flow/042"] *)
+  accepted : bool;     (** connection reached ESTABLISHED *)
+  completed : bool;    (** full stream delivered (FIN seen in order) *)
+  sent_bytes : int;    (** bytes the sender committed to this flow *)
+  received_bytes : int;
+  received_digest : int;  (** {!digest} of the bytes as delivered *)
+  expected_digest : int;
+      (** {!digest} of the first [received_bytes] bytes of the flow's
+          golden pattern — prefix exactness is checkable even for flows
+          the overload cut short *)
+}
+
+(** Named drop causes summed over the run — the overload taxonomy
+    ({!Pnp_driver.Link.fault_stats} for [link] and [pool_pressure],
+    {!Pnp_proto.Tcp.syn_backlog_drops}, {!Pnp_proto.Tcp.total_sockbuf_drops},
+    checksum discards of corrupted frames). *)
+type overload_drops = {
+  link : int;
+  pool_pressure : int;
+  syn_backlog : int;
+  sockbuf_full : int;
+  checksum : int;
+}
+
+type overload = {
+  scenario : string;
+  flows : overload_flow list;
+  drops : overload_drops;
+}
+
+val total_drops : overload_drops -> int
+
+val check_overload : overload -> Finding.t list
+(** Violations, sorted; [] = degraded gracefully.  Checks per flow:
+    delivered prefix is byte-exact against the golden pattern; a
+    [completed] flow delivered every byte.  Globally: if any flow is
+    incomplete, at least one named drop cause fired — zero silent loss. *)

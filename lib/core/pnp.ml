@@ -12,6 +12,9 @@
       assembly and the in-memory drivers of the paper's Section 2.3.
     - {!Faults}, {!Chaos}, {!Recovery} — deterministic link-fault
       injection and the end-to-end recovery oracle behind [repro chaos].
+    - {!Watchdog}, {!Overload}, {!Compare} — the liveness watchdog and
+      the heavy-traffic overload scenarios (incast, shared bottleneck)
+      behind [repro compare].
     - {!Config}, {!Run}, {!Report} — the experiment harness.
     - {!Figures} — the generators for every figure and table in the paper.
     - {!Analysis} — trace-driven concurrency checkers (lockset,
@@ -36,6 +39,7 @@ module Membus = Pnp_engine.Membus
 module Arch = Pnp_engine.Arch
 module Platform = Pnp_engine.Platform
 module Eventq = Pnp_engine.Eventq
+module Watchdog = Pnp_engine.Watchdog
 
 (* x-kernel infrastructure *)
 module Mpool = Pnp_xkern.Mpool
@@ -76,6 +80,8 @@ module Recovery = Pnp_analysis.Recovery
 module Config = Pnp_harness.Config
 module Run = Pnp_harness.Run
 module Report = Pnp_harness.Report
+module Overload = Pnp_harness.Overload
+module Compare = Pnp_harness.Compare
 
 (* trace-driven checkers and lint *)
 module Analysis = struct

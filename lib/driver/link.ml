@@ -13,8 +13,16 @@ type direction = {
   mutable rx_wakeup : (int -> unit) option; (* receive thread parked here *)
   mutable busy_until : int; (* transmitter serialisation horizon *)
   mutable frames : int; (* frames OFFERED to this direction *)
+  mutable pressure_drops : int; (* frames shed at rx for dest pool pressure *)
   faults : Faults.t;
 }
+
+(* A frame pushed up the stack can allocate a couple of transient mnodes
+   from the receiver's pool (header walk + a pure ACK in reply).  Shedding
+   at the wire while the pool can't cover that keeps receive processing
+   from ever tripping the hard capacity — the drop is accounted and TCP's
+   retransmission recovers the data. *)
+let rx_headroom_margin = 4
 
 type t = {
   plat : Platform.t;
@@ -31,6 +39,7 @@ type fault_stats = {
   dropped_loss : int;
   dropped_burst : int;
   dropped_blackout : int;
+  dropped_pool_pressure : int;
   corrupted : int;
   duplicated : int;
   reordered : int;
@@ -40,29 +49,6 @@ type fault_stats = {
 let serialisation_ns t bytes =
   (* Mbit/s = 10^-3 bits/ns. *)
   int_of_float (float_of_int (8 * bytes) /. (t.bandwidth_mbps /. 1000.0))
-
-(* The receive side: a daemon thread that sleeps until frames arrive and
-   pushes them up the destination stack. *)
-let start_rx t dir ~name ~cpu =
-  ignore
-    (Sim.spawn t.plat.Platform.sim ~cpu ~name (fun () ->
-         while true do
-           if Queue.is_empty dir.queue then
-             Sim.suspend t.plat.Platform.sim (fun resume -> dir.rx_wakeup <- Some resume)
-           else begin
-             let frame = Queue.pop dir.queue in
-             t.in_flight <- t.in_flight - 1;
-             Fddi.input dir.dest.Stack.fddi frame
-           end
-         done))
-
-let deliver t dir frame =
-  Queue.push frame dir.queue;
-  match dir.rx_wakeup with
-  | Some resume ->
-    dir.rx_wakeup <- None;
-    resume (Sim.now t.plat.Platform.sim)
-  | None -> ()
 
 let trace_ev_of_fault = function
   | Faults.Ev_drop cause ->
@@ -84,6 +70,34 @@ let trace_fault t ev =
   if Trace.enabled tracer then
     let tid, cpu = ids () in
     Trace.emit tracer ~ts:(Sim.now sim) ~tid ~cpu ev
+
+(* The receive side: a daemon thread that sleeps until frames arrive and
+   pushes them up the destination stack. *)
+let start_rx t dir ~name ~cpu =
+  ignore
+    (Sim.spawn t.plat.Platform.sim ~cpu ~name (fun () ->
+         while true do
+           if Queue.is_empty dir.queue then
+             Sim.suspend t.plat.Platform.sim (fun resume -> dir.rx_wakeup <- Some resume)
+           else begin
+             let frame = Queue.pop dir.queue in
+             t.in_flight <- t.in_flight - 1;
+             if Mpool.headroom dir.dest.Stack.pool < rx_headroom_margin then begin
+               dir.pressure_drops <- dir.pressure_drops + 1;
+               trace_fault t (Trace.Fault_drop { cause = "pool_pressure" });
+               Msg.destroy frame
+             end
+             else Fddi.input dir.dest.Stack.fddi frame
+           end
+         done))
+
+let deliver t dir frame =
+  Queue.push frame dir.queue;
+  match dir.rx_wakeup with
+  | Some resume ->
+    dir.rx_wakeup <- None;
+    resume (Sim.now t.plat.Platform.sim)
+  | None -> ()
 
 (* The transmit side: run the fault pipeline, then schedule each surviving
    frame's arrival after serialisation + propagation (+ any fault-injected
@@ -126,6 +140,7 @@ let connect plat ?(latency = Units.us 50.0) ?(bandwidth_mbps = 100.0)
       rx_wakeup = None;
       busy_until = 0;
       frames = 0;
+      pressure_drops = 0;
       faults = Faults.instantiate eff_plan ~prng:rng ~skip_bytes:Fddi.header_bytes;
     }
   in
@@ -147,6 +162,7 @@ let fault_stats t =
     dropped_loss = f Faults.dropped_loss;
     dropped_burst = f Faults.dropped_burst;
     dropped_blackout = f Faults.dropped_blackout;
+    dropped_pool_pressure = t.ab.pressure_drops + t.ba.pressure_drops;
     corrupted = f Faults.corrupted;
     duplicated = f Faults.duplicated;
     reordered = f Faults.reordered;
@@ -154,5 +170,6 @@ let fault_stats t =
   }
 
 let dropped t = Faults.dropped t.ab.faults + Faults.dropped t.ba.faults
+let pressure_drops t = t.ab.pressure_drops + t.ba.pressure_drops
 let plan_name t = (Faults.plan_of t.ab.faults).Faults.name
 let in_flight t = t.in_flight

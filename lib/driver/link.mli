@@ -51,17 +51,36 @@ val dropped : t -> int
     layer by an Internet checksum, where the protocol's own
     [checksum_failures] counters account for them. *)
 
+val pressure_drops : t -> int
+(** Frames shed at the receive side (both directions) because the
+    destination stack's mnode pool lacked the headroom to process them —
+    the [pool_pressure] cause.  Unlike the pipeline causes these are not
+    injected faults: they are the link degrading gracefully instead of
+    letting receive processing raise [Out_of_mnodes].  TCP's
+    retransmission machinery recovers the shed data. *)
+
 (** Cumulative pipeline accounting summed over both directions.  [offered]
     equals [frames_ab + frames_ba]; [dropped] splits by cause into
     [dropped_loss] (Bernoulli), [dropped_burst] (Gilbert-Elliott) and
     [dropped_blackout]; [duplicated] counts extra copies injected (each
-    also adds to [offered]'s deliveries but not to [offered] itself). *)
+    also adds to [offered]'s deliveries but not to [offered] itself).
+
+    [dropped_pool_pressure] counts rx-side sheds under destination-pool
+    pressure; it is {e not} included in [dropped] (those are pipeline
+    consumptions on the transmit side).  The full overload drop-cause
+    taxonomy a recovery oracle must balance is: link-level
+    [loss]/[burst]/[blackout]/[pool_pressure] (here), protocol-level
+    [syn_backlog] ({!Pnp_proto.Tcp.syn_backlog_drops}) and
+    [sockbuf_full] ({!Pnp_proto.Tcp.total_sockbuf_drops},
+    {!Pnp_proto.Udp} send-side pressure sheds), plus checksum discards
+    of corrupted-but-delivered frames. *)
 type fault_stats = {
   offered : int;
   dropped : int;
   dropped_loss : int;
   dropped_burst : int;
   dropped_blackout : int;
+  dropped_pool_pressure : int;
   corrupted : int;
   duplicated : int;
   reordered : int;

@@ -27,5 +27,9 @@ val create :
   t
 (** Build the full stack.  [tcp_config] defaults to
     {!Pnp_proto.Tcp.default_config}; [udp_checksum] defaults to [true];
-    [pool_capacity] bounds the stack's MNode pool (default unbounded) —
-    allocations beyond it raise {!Pnp_xkern.Mpool.Out_of_mnodes}. *)
+    [pool_capacity] bounds the stack's MNode pool (default unbounded).
+    A bounded pool gets a soft watermark at half capacity
+    ({!Pnp_xkern.Mpool}): TCP senders park and the link/driver layers
+    shed accounted [pool_pressure] drops above it, so only code that
+    bypasses admission control can still hit the hard bound's
+    {!Pnp_xkern.Mpool.Out_of_mnodes}. *)

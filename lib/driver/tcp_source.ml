@@ -29,7 +29,14 @@ type t = {
   jitter : Prng.t;
   mutable injected : int;
   mutable stalls : int;
+  mutable pressure_sheds : int;
 }
+
+(* Injecting one segment costs a payload node plus the header pushes of
+   the TCP/IP/FDDI climb.  Refusing to reserve while the pool can't cover
+   that keeps the driver from tripping [Out_of_mnodes]; nothing is lost —
+   the sequence number is not advanced, so the feeder retries later. *)
+let inject_headroom_margin = 8
 
 let plat t = t.stack.Stack.plat
 
@@ -118,6 +125,7 @@ let attach stack ~peer_addr ~payload ~checksum ?(jitter_mean_ns = 8000.0)
       jitter = Prng.split (Sim.prng stack.Stack.plat.Platform.sim);
       injected = 0;
       stalls = 0;
+      pressure_sheds = 0;
     }
   in
   Fddi.set_transmit stack.Stack.fddi (fun frame -> handle t frame);
@@ -153,6 +161,11 @@ type reserved = { r_stream : int; r_seq : int }
 let reserve t ~stream =
   let s = t.streams.(stream) in
   let p = plat t in
+  if Mpool.headroom t.stack.Stack.pool < inject_headroom_margin then begin
+    t.pressure_sheds <- t.pressure_sheds + 1;
+    None
+  end
+  else begin
   Lock.acquire s.ring_lock;
   Costs.charge p Costs.driver_recv;
   if not s.established then begin
@@ -173,6 +186,7 @@ let reserve t ~stream =
       Lock.release s.ring_lock;
       Some { r_stream = stream; r_seq = seq }
     end
+  end
   end
 
 let inject t { r_stream; r_seq = seq } =
@@ -242,6 +256,7 @@ let next t ~stream =
 let established t ~stream = t.streams.(stream).established
 let segments_injected t = t.injected
 let window_stalls t = t.stalls
+let pressure_sheds t = t.pressure_sheds
 
 let finish t ~stream =
   let s = t.streams.(stream) in

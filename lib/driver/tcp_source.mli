@@ -52,7 +52,10 @@ type reserved
 val reserve : t -> stream:int -> reserved option
 (** Pin the stream's next sequence number (under its ring lock) without
     building or injecting the segment.  [None] when the advertised
-    window is full or the stream is not established.  The steered NIC
+    window is full, the stream is not established, or the stack's mnode
+    pool lacks the headroom to build a segment (counted in
+    {!pressure_sheds}; the sequence number is not advanced, so a shed
+    reservation is retried later, not lost).  The steered NIC
     ({!Steer}) reserves at arrival time and injects when the assigned
     worker drains its queue, so reservations of one stream parked on two
     workers' queues can be injected out of order — the Flow-Director
@@ -65,6 +68,11 @@ val inject : t -> reserved -> unit
 val established : t -> stream:int -> bool
 val segments_injected : t -> int
 val window_stalls : t -> int
+
+(** Reservations refused because the stack's pool was too close to
+    capacity to build a segment ([pool_pressure] admission control at the
+    driver boundary). *)
+val pressure_sheds : t -> int
 val finish : t -> stream:int -> unit
 (** Send FIN on the stream (for close-path tests). *)
 

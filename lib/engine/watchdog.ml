@@ -1,0 +1,80 @@
+open Pnp_util
+
+type stall = {
+  at : Units.ns;
+  progress : int;
+  blocked : (int * string) list;
+}
+
+type t = {
+  sim : Sim.t;
+  stall_ns : Units.ns;
+  progress : unit -> int;
+  stop_on_stall : bool;
+  mutable last_progress : int;
+  mutable last_change_at : Units.ns;
+  mutable stalls : stall list; (* newest first *)
+  mutable armed : bool;
+}
+
+(* The periodic check runs as a plain scheduled callback (outside any
+   thread), so it can never itself deadlock.  A stall is declared when the
+   progress counter is unchanged across one full horizon, so detection
+   latency is between [stall_ns] and 2*[stall_ns].  After recording a
+   stall the change clock is reset: a persistently wedged world yields one
+   stall record per horizon, not one per check. *)
+let rec check t () =
+  if t.armed then begin
+    let p = t.progress () in
+    let now = Sim.now t.sim in
+    if p <> t.last_progress then begin
+      t.last_progress <- p;
+      t.last_change_at <- now
+    end
+    else if now - t.last_change_at >= t.stall_ns then begin
+      let blocked =
+        List.map
+          (fun th -> (Sim.tid th, Sim.thread_name th))
+          (Sim.blocked_threads t.sim)
+      in
+      t.stalls <- { at = now; progress = p; blocked } :: t.stalls;
+      t.last_change_at <- now;
+      if t.stop_on_stall then begin
+        t.armed <- false;
+        Sim.stop t.sim
+      end
+    end;
+    if t.armed then Sim.after t.sim t.stall_ns (check t)
+  end
+
+let install sim ~stall_ns ?(stop_on_stall = false) ~progress () =
+  if stall_ns <= 0 then invalid_arg "Watchdog.install: stall_ns must be positive";
+  let t =
+    {
+      sim;
+      stall_ns;
+      progress;
+      stop_on_stall;
+      last_progress = progress ();
+      last_change_at = Sim.now sim;
+      stalls = [];
+      armed = true;
+    }
+  in
+  Sim.after sim stall_ns (check t);
+  t
+
+let disarm t = t.armed <- false
+let stalls t = List.rev t.stalls
+let stalled t = t.stalls <> []
+
+let describe_stall s =
+  let blocked =
+    match s.blocked with
+    | [] -> "no threads blocked (livelock or event starvation)"
+    | bs ->
+      String.concat ", "
+        (List.map (fun (tid, name) -> Printf.sprintf "tid %d (%s)" tid name) bs)
+  in
+  Printf.sprintf "no progress for a full horizon at t=%dns (progress=%d); blocked: %s"
+    s.at s.progress blocked

@@ -1,0 +1,57 @@
+(** Liveness watchdog: turns a wedged simulation into a reported finding
+    instead of a hang.
+
+    A watchdog samples a caller-supplied monotone progress counter (bytes
+    delivered, packets processed...) on a fixed horizon.  If the counter
+    is unchanged across one full horizon, the watchdog records a
+    {!stall} — capturing which simulated threads are blocked with no
+    scheduled resumption — and optionally stops the event loop, so an
+    overload scenario that deadlocks or livelocks ends as an analysable
+    result rather than an unbounded [Sim.run].
+
+    The check runs as a scheduled callback outside any simulated thread
+    (it cannot itself block), and consumes no simulated time beyond
+    keeping one event per horizon in the queue.  Because of that pending
+    event, a [Sim.run] {e without} [until] will not drain while the
+    watchdog is armed: either run with [until], or {!disarm} once the
+    workload completes.
+
+    Detection latency is between one and two horizons.  A persistently
+    wedged world yields one stall record per horizon (not per check), so
+    [stalls] also measures how long the wedge lasted. *)
+
+type stall = {
+  at : Pnp_util.Units.ns;  (** when the stall was declared *)
+  progress : int;          (** the unchanged progress value *)
+  blocked : (int * string) list;
+      (** (tid, thread name) of every thread suspended with no scheduled
+          resumption at declaration time — the deadlock suspects.  Empty
+          for a livelock (events still firing, no progress). *)
+}
+
+type t
+
+val install :
+  Sim.t ->
+  stall_ns:Pnp_util.Units.ns ->
+  ?stop_on_stall:bool ->
+  progress:(unit -> int) ->
+  unit ->
+  t
+(** Arm a watchdog with the given horizon.  [progress] is sampled
+    immediately (outside simulated time) and then once per horizon.
+    [stop_on_stall] (default false) calls [Sim.stop] and disarms on the
+    first stall, so the driving [Sim.run] returns promptly.
+    @raise Invalid_argument if [stall_ns <= 0]. *)
+
+val disarm : t -> unit
+(** Stop rescheduling the check (the already-queued event fires once more
+    as a no-op).  Call when the workload is done so the event queue can
+    drain. *)
+
+val stalled : t -> bool
+val stalls : t -> stall list
+(** Stalls in chronological order. *)
+
+val describe_stall : stall -> string
+(** One-line rendering, naming the blocked (tid, name) suspects. *)

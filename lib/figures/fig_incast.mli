@@ -1,0 +1,9 @@
+(** The ext-incast figure: heavy-traffic overload scenarios
+    ({!Pnp_harness.Overload}) — incast fan-in to 10^3 senders and a
+    shared-bottleneck fairness workload, on a clean link and under the
+    Gilbert-Elliott burst-loss profile.  Tables: goodput, Jain fairness,
+    p99 completion latency, accounted drops, and the oracle/watchdog
+    findings count (0 everywhere = graceful degradation). *)
+
+val incast_data : Opts.t -> Pnp_harness.Report.table list
+val incast_present : Opts.t -> Pnp_harness.Report.table list -> unit

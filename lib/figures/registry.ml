@@ -52,6 +52,9 @@ let all =
     entry "ext-steering"
       "Extension: packet steering at 10^5 connections (RSS vs Flow Director)"
       Fig_steering.steering_data ~present:Fig_steering.steering_present;
+    entry "ext-incast"
+      "Extension: overload robustness (incast fan-in, shared bottleneck)"
+      Fig_incast.incast_data ~present:Fig_incast.incast_present;
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all

@@ -156,6 +156,7 @@ let udp_world ~plan ~disc ~seed ~datagrams ~horizon =
       delivered = !delivered;
       dropped_link = fs.Link.dropped;
       dropped_proto;
+      dropped_pressure = fs.Link.dropped_pool_pressure;
     }
   in
   (account, fs, caught_checksums a b)

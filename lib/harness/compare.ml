@@ -1,0 +1,105 @@
+open Pnp_proto
+open Pnp_faults
+
+type row = {
+  label : string;
+  outcome : Overload.outcome;
+  p50_ms : float;
+  p90_ms : float;
+  p99_ms : float;
+}
+
+let pct p (o : Overload.outcome) =
+  match o.Overload.completion_ns with
+  | [] -> 0.0
+  | cs -> Report.percentile p (List.map (fun (_, ns) -> float_of_int ns /. 1e6) cs)
+
+let burst_plan =
+  match Faults.find "burst" with
+  | Some p -> p
+  | None -> invalid_arg "Compare: missing builtin plan \"burst\""
+
+(* The fixed scenario matrix: the same incast workload clean, under
+   Gilbert-Elliott burst loss, and with a bounded mnode pool shedding at
+   the admission boundary; plus the paced shared-bottleneck fairness
+   workload clean and bursty.  Every cell is fully seeded and runs its
+   own simulation world, so the matrix is safe for {!Pool.map} and its
+   output is byte-identical at any [-j]. *)
+let cells ~senders ~bytes_per_flow ~seed =
+  [
+    ("incast/baseline", fun () -> Overload.incast ~senders ~bytes_per_flow ~seed ());
+    ( "incast/burst",
+      fun () -> Overload.incast ~plan:burst_plan ~senders ~bytes_per_flow ~seed () );
+    ( "incast/bounded-pool",
+      fun () ->
+        Overload.incast ~senders ~bytes_per_flow ~seed ~pool_capacity:200
+          ~sb_policy:Sockbuf.Drop () );
+    ("bottleneck/baseline", fun () -> Overload.shared_bottleneck ~seed ());
+    ("bottleneck/burst", fun () -> Overload.shared_bottleneck ~plan:burst_plan ~seed ());
+  ]
+
+let run ?(senders = 32) ?(bytes_per_flow = 4096) ?(seed = 1) () =
+  let cs = cells ~senders ~bytes_per_flow ~seed in
+  let outcomes = Pool.map (fun (_, cell) -> cell ()) cs in
+  List.map2
+    (fun (label, _) o ->
+      { label; outcome = o; p50_ms = pct 50.0 o; p90_ms = pct 90.0 o; p99_ms = pct 99.0 o })
+    cs outcomes
+
+let passed rows = List.for_all (fun r -> Overload.passed r.outcome) rows
+
+let print rows =
+  Printf.printf "%-20s %-10s %5s %5s %5s %10s %7s %9s %9s %9s %6s %7s %7s %s\n"
+    "scenario" "plan" "n" "acc" "done" "good Mb/s" "jain" "p50 ms" "p90 ms" "p99 ms"
+    "drops" "rexmit" "stalls" "verdict";
+  List.iter
+    (fun r ->
+      let o = r.outcome in
+      Printf.printf
+        "%-20s %-10s %5d %5d %5d %10.2f %7.3f %9.2f %9.2f %9.2f %6d %7d %7d %s\n"
+        r.label o.Overload.plan_name o.Overload.senders o.Overload.accepted
+        o.Overload.completed o.Overload.goodput_mbps o.Overload.fairness r.p50_ms
+        r.p90_ms r.p99_ms
+        (Pnp_analysis.Recovery.total_drops o.Overload.drops)
+        o.Overload.rexmits
+        (List.length o.Overload.stalls)
+        (if Overload.passed o then "PASS" else "FAIL");
+      if not (Overload.passed o) then
+        List.iter
+          (fun f -> Format.printf "  %a@." Pnp_analysis.Finding.pp f)
+          o.Overload.findings)
+    rows;
+  Printf.printf "compare: %d scenario(s), %d failed\n" (List.length rows)
+    (List.length (List.filter (fun r -> not (Overload.passed r.outcome)) rows))
+
+let to_json rows =
+  let esc = Json_out.escape in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"compare\":[";
+  List.iteri
+    (fun i r ->
+      let o = r.outcome in
+      let d = o.Overload.drops in
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"label\":\"%s\",\"scenario\":\"%s\",\"plan\":\"%s\",\"senders\":%d,\
+            \"bytes_per_flow\":%d,\"accepted\":%d,\"completed\":%d,\
+            \"elapsed_ns\":%d,\"goodput_mbps\":%.3f,\"fairness\":%.4f,\
+            \"p50_ms\":%.3f,\"p90_ms\":%.3f,\"p99_ms\":%.3f,\
+            \"drops\":{\"link\":%d,\"pool_pressure\":%d,\"syn_backlog\":%d,\
+            \"sockbuf_full\":%d,\"checksum\":%d},\"rexmits\":%d,\"stalls\":%d,\
+            \"findings\":%d,\"passed\":%b}"
+           (esc r.label) (esc o.Overload.scenario) (esc o.Overload.plan_name)
+           o.Overload.senders o.Overload.bytes_per_flow o.Overload.accepted
+           o.Overload.completed o.Overload.elapsed_ns o.Overload.goodput_mbps
+           o.Overload.fairness r.p50_ms r.p90_ms r.p99_ms d.Pnp_analysis.Recovery.link
+           d.Pnp_analysis.Recovery.pool_pressure d.Pnp_analysis.Recovery.syn_backlog
+           d.Pnp_analysis.Recovery.sockbuf_full d.Pnp_analysis.Recovery.checksum
+           o.Overload.rexmits
+           (List.length o.Overload.stalls)
+           (List.length o.Overload.findings)
+           (Overload.passed o)))
+    rows;
+  Buffer.add_string b "]}\n";
+  Buffer.contents b

@@ -1,0 +1,36 @@
+(** Cross-scenario overload comparator behind [repro compare].
+
+    Runs a fixed matrix of {!Overload} scenarios — incast clean, incast
+    under Gilbert-Elliott burst loss, incast with a bounded mnode pool
+    (admission control shedding at the boundary), and the paced
+    shared-bottleneck fairness workload clean and bursty — and lines
+    their outcomes up: goodput, Jain fairness, p50/p90/p99
+    connect-to-done latency, the named-cause drop taxonomy and the
+    oracle/watchdog verdicts.
+
+    Cells fan out over {!Pool.map} and every cell is fully seeded, so
+    {!print} output and {!to_json} are byte-identical at any [-j]. *)
+
+type row = {
+  label : string;              (** "scenario/variant" *)
+  outcome : Overload.outcome;
+  p50_ms : float;              (** connect-to-done latency percentiles over *)
+  p90_ms : float;              (** completed flows ({!Report.percentile}, *)
+  p99_ms : float;              (** nearest-rank); 0 if nothing completed *)
+}
+
+val run : ?senders:int -> ?bytes_per_flow:int -> ?seed:int -> unit -> row list
+(** [run ()] computes the matrix: [senders] (default 32) and
+    [bytes_per_flow] (default 4096) size the three incast variants; the
+    bottleneck variants keep their scenario defaults (8 paced 40 kB
+    flows).  Rows come back in fixed presentation order. *)
+
+val passed : row list -> bool
+(** Every row's outcome has no findings. *)
+
+val print : row list -> unit
+(** The fixed-width comparison table (plus each failing row's findings)
+    on stdout; deterministic. *)
+
+val to_json : row list -> string
+(** The same rows as one machine-readable JSON document. *)

@@ -92,6 +92,29 @@ let value_at s procs =
   | Some p -> p.mean
   | None -> raise Not_found
 
+(* Jain's fairness index: (sum x)^2 / (n * sum x^2).  1.0 = perfectly
+   even shares; 1/n = one flow has everything.  All-zero allocations are
+   treated as perfectly fair (nobody got anything, evenly). *)
+let jain = function
+  | [] -> 1.0
+  | xs ->
+    let s = List.fold_left ( +. ) 0.0 xs in
+    let s2 = List.fold_left (fun acc x -> acc +. (x *. x)) 0.0 xs in
+    if s2 = 0.0 then 1.0
+    else s *. s /. (float_of_int (List.length xs) *. s2)
+
+(* Nearest-rank percentile on a copy of the input; [p] in [0, 100]. *)
+let percentile p xs =
+  match xs with
+  | [] -> invalid_arg "Report.percentile: empty list"
+  | _ ->
+    if p < 0.0 || p > 100.0 then invalid_arg "Report.percentile: p out of range";
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    let n = Array.length a in
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+    a.(max 0 (min (n - 1) (rank - 1)))
+
 (* Table-1-style contention attribution: where the blocked time went,
    lock by lock, over the traced window. *)
 let print_lock_table ?(max_rows = 20) tracer =

@@ -50,6 +50,16 @@ val print_table : title:string -> unit_label:string -> series list -> unit
 val value_at : series -> int -> float
 (** Mean at the given processor count.  @raise Not_found if absent. *)
 
+val jain : float list -> float
+(** Jain's fairness index [(sum x)^2 / (n * sum x^2)] of a set of
+    per-flow allocations: 1.0 = perfectly even, [1/n] = one flow has
+    everything.  [[]] and all-zero lists give 1.0. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] is the nearest-rank [p]-th percentile ([p] in
+    [0, 100]); [percentile 50.0] is the median, [percentile 100.0] the
+    maximum.  @raise Invalid_argument on an empty list. *)
+
 val print_host_profile : ?title:string -> Hostprof.delta -> unit
 (** Human-readable host-side profile (wall clock, simulated events per
     host second, GC words, sweep-cell memo hit rate) for [repro perf]

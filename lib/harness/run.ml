@@ -119,6 +119,8 @@ let tcp_config (cfg : Config.t) =
     mss = cfg.Config.payload;
     rcv_wnd = 1 lsl 20;
     snd_buf = 1 lsl 20;
+    syn_backlog = cfg.Config.syn_backlog;
+    sb_policy = Pnp_proto.Sockbuf.Block;
   }
 
 let make_platform (cfg : Config.t) =
@@ -265,7 +267,10 @@ let setup (cfg : Config.t) plat =
    | _ -> ());
   match (cfg.Config.protocol, cfg.Config.side) with
   | Config.Udp, Config.Send ->
-    let stack = Stack.create plat ~udp_checksum:cfg.Config.checksum ~local_addr:sender_addr () in
+    let stack =
+      Stack.create plat ~udp_checksum:cfg.Config.checksum
+        ?pool_capacity:cfg.Config.pool_capacity ~local_addr:sender_addr ()
+    in
     let sink = Udp_sink.attach stack in
     let sessions =
       Array.init conns (fun j ->
@@ -308,7 +313,8 @@ let setup (cfg : Config.t) plat =
     }
   | Config.Udp, Config.Recv ->
     let stack =
-      Stack.create plat ~udp_checksum:cfg.Config.checksum ~local_addr:receiver_addr ()
+      Stack.create plat ~udp_checksum:cfg.Config.checksum
+        ?pool_capacity:cfg.Config.pool_capacity ~local_addr:receiver_addr ()
     in
     let ports = List.init conns (fun j -> (2000 + j, 4000 + j)) in
     let src =
@@ -355,7 +361,8 @@ let setup (cfg : Config.t) plat =
     }
   | Config.Tcp, Config.Send ->
     let stack =
-      Stack.create plat ~tcp_config:(tcp_config cfg) ~local_addr:sender_addr ()
+      Stack.create plat ~tcp_config:(tcp_config cfg)
+        ?pool_capacity:cfg.Config.pool_capacity ~local_addr:sender_addr ()
     in
     let peer =
       Tcp_peer.attach stack ~peer_addr:receiver_addr ~ack_window:(1 lsl 20)
@@ -414,7 +421,8 @@ let setup (cfg : Config.t) plat =
     if cfg.Config.offered_mbps <> None then
       invalid_arg "Run.setup: steering models a saturating NIC; unset offered_mbps";
     let stack =
-      Stack.create plat ~tcp_config:(tcp_config cfg) ~local_addr:receiver_addr ()
+      Stack.create plat ~tcp_config:(tcp_config cfg)
+        ?pool_capacity:cfg.Config.pool_capacity ~local_addr:receiver_addr ()
     in
     let listen_port = 4000 in
     let addr_span = 1 lsl 14 (* streams per source address *) in
@@ -461,7 +469,8 @@ let setup (cfg : Config.t) plat =
       ~peer:None ~gates:[] ()
   | Config.Tcp, Config.Recv ->
     let stack =
-      Stack.create plat ~tcp_config:(tcp_config cfg) ~local_addr:receiver_addr ()
+      Stack.create plat ~tcp_config:(tcp_config cfg)
+        ?pool_capacity:cfg.Config.pool_capacity ~local_addr:receiver_addr ()
     in
     let ports = List.init conns (fun j -> (2000 + j, 4000 + j)) in
     let src =
@@ -506,10 +515,19 @@ let setup (cfg : Config.t) plat =
       ~peer:None
       ~gates:!gates ()
 
-let run_gen ?(trace = false) (cfg : Config.t) =
+let run_gen ?(trace = false) ?stall_ns (cfg : Config.t) =
   let plat = make_platform cfg in
   let probe = setup cfg plat in
   let tracer = Sim.tracer plat.Platform.sim in
+  let wd =
+    match stall_ns with
+    | None -> None
+    | Some s ->
+      Some
+        (Watchdog.install plat.Platform.sim ~stall_ns:s
+           ~progress:(fun () -> probe.bytes ())
+           ())
+  in
   let s0 = ref None in
   Sim.at plat.Platform.sim cfg.Config.warmup (fun () ->
       s0 := Some (take probe);
@@ -518,6 +536,7 @@ let run_gen ?(trace = false) (cfg : Config.t) =
          the measurement window. *)
       if trace then Trace.enable tracer);
   Sim.run ~until:(cfg.Config.warmup + cfg.Config.measure) plat.Platform.sim;
+  (match wd with Some w -> Watchdog.disarm w | None -> ());
   if trace then Trace.disable tracer;
   Hostprof.note_sim_events (Sim.events_processed plat.Platform.sim);
   (let drains, hist = Sim.dispatch_stats plat.Platform.sim in
@@ -545,7 +564,8 @@ let run_gen ?(trace = false) (cfg : Config.t) =
       cache_hit_pct = percent_between s0.s_cache s1.s_cache;
       gate_wait_ns = s1.s_gate - s0.s_gate;
     },
-    tracer )
+    tracer,
+    match wd with None -> [] | Some w -> Watchdog.stalls w )
 
 (* Sweep-cell memo.  A cell is a pure function of its [Config.t] (every
    stochastic choice is seeded from [cfg.seed]), and the figures reuse
@@ -570,8 +590,10 @@ let clear_cell_memo () =
 
 let cell_memo_size () = Mutex.protect memo_lock (fun () -> Hashtbl.length memo)
 
+let result_of (r, _, _) = r
+
 let run cfg =
-  if not !memo_enabled then fst (run_gen cfg)
+  if not !memo_enabled then result_of (run_gen cfg)
   else
     let key = Config.canonical cfg in
     match Mutex.protect memo_lock (fun () -> Hashtbl.find_opt memo key) with
@@ -580,13 +602,29 @@ let run cfg =
         r
     | None ->
         Hostprof.note_cell_miss ();
-        let r = fst (run_gen cfg) in
+        let r = result_of (run_gen cfg) in
         Mutex.protect memo_lock (fun () ->
             if not (Hashtbl.mem memo key) then Hashtbl.add memo key r);
         r
 
 (* Traced runs are never memoized: the caller wants the tracer. *)
-let run_traced cfg = run_gen ~trace:true cfg
+let run_traced cfg =
+  let r, tracer, _ = run_gen ~trace:true cfg in
+  (r, tracer)
+
+(* Watched runs are never memoized either: liveness is a property of the
+   execution, and a memo hit would not re-execute. *)
+let run_watched ?(stall_ns = Units.ms 100.0) cfg =
+  let r, _, stalls = run_gen ~stall_ns cfg in
+  let findings =
+    List.map
+      (fun (s : Watchdog.stall) ->
+        Pnp_analysis.Finding.v ~checker:"watchdog"
+          ~subject:(Printf.sprintf "%s@t=%dns" (Config.describe cfg) s.Watchdog.at)
+          (Watchdog.describe_stall s))
+      stalls
+  in
+  (r, findings)
 
 let run_seeds cfg ~seeds =
   Pool.map

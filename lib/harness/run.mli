@@ -52,6 +52,16 @@ val run_traced : Config.t -> result * Pnp_engine.Trace.t
     Tracing never consumes simulated time, so the [result] is identical to
     what [run] returns for the same configuration and seed. *)
 
+val run_watched :
+  ?stall_ns:Pnp_util.Units.ns -> Config.t -> result * Pnp_analysis.Finding.t list
+(** Like [run], but with a {!Pnp_engine.Watchdog} armed on the
+    application-byte progress counter (default horizon 100 ms simulated).
+    A cell that wedges — deadlocked workers, a livelocked retransmission
+    storm — comes back as a result plus one finding per stalled horizon
+    (checker ["watchdog"], naming the blocked threads) instead of
+    hanging the sweep.  Never memoized: liveness is a property of the
+    execution, and a memo hit would not re-execute. *)
+
 val run_seeds : Config.t -> seeds:int -> result list
 (** [run] repeated with seeds [cfg.seed .. cfg.seed+seeds-1], fanned out
     over the {!Pool} workers; the result list is in seed order and

@@ -1,17 +1,26 @@
 open Pnp_xkern
 
+type policy = Block | Drop
+
 type t = {
   pool : Mpool.t;
   max : int;
+  policy : policy;
   mutable segs : Msg.t list; (* front first; kept short, so list suffices *)
   mutable cc : int;
+  mutable drops : int; (* messages shed by the Drop policy *)
+  mutable dropped_bytes : int;
 }
 
-let create pool ~max = { pool; max; segs = []; cc = 0 }
+let create ?(policy = Block) pool ~max =
+  { pool; max; policy; segs = []; cc = 0; drops = 0; dropped_bytes = 0 }
 
 let cc t = t.cc
 let space t = t.max - t.cc
 let max_size t = t.max
+let policy t = t.policy
+let drops t = t.drops
+let dropped_bytes t = t.dropped_bytes
 
 let append t msg =
   let len = Msg.length msg in
@@ -19,8 +28,29 @@ let append t msg =
   t.segs <- t.segs @ [ msg ];
   t.cc <- t.cc + len
 
+(* Overflow resolution is explicit: [`Queued] took ownership, [`Must_wait]
+   left the message with the caller (Block policy — the caller parks on
+   buffer space and retries), [`Dropped] destroyed it and accounted the
+   shed bytes (Drop policy — overload sheds newest-first instead of
+   backpressuring the application). *)
+let offer t msg =
+  let len = Msg.length msg in
+  if len <= space t then begin
+    t.segs <- t.segs @ [ msg ];
+    t.cc <- t.cc + len;
+    `Queued
+  end
+  else
+    match t.policy with
+    | Block -> `Must_wait
+    | Drop ->
+      t.drops <- t.drops + 1;
+      t.dropped_bytes <- t.dropped_bytes + len;
+      Msg.destroy msg;
+      `Dropped
+
 let peek t ~off ~len =
-  if off < 0 || len < 0 || off + len > t.cc then invalid_arg "Sockbuf.peek: out of range";
+  if off < 0 || len < 0 || off + len > t.cc then invalid_arg (Printf.sprintf "Sockbuf.peek: out of range off=%d len=%d cc=%d" off len t.cc);
   (* Collect the covered ranges as shared (dup'd) views and splice them
      into one message. *)
   let rec gather segs off len acc =

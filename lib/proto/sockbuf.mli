@@ -7,7 +7,14 @@
 
 type t
 
-val create : Pnp_xkern.Mpool.t -> max:int -> t
+type policy = Block | Drop
+(** Overflow policy.  [Block]: {!offer} returns [`Must_wait] and the
+    caller backpressures the application (BSD semantics — the default).
+    [Drop]: {!offer} destroys the overflowing message and accounts it
+    ([sockbuf_full] in the overload taxonomy) — load shedding for
+    overload experiments. *)
+
+val create : ?policy:policy -> Pnp_xkern.Mpool.t -> max:int -> t
 
 val cc : t -> int
 (** Bytes currently buffered. *)
@@ -20,6 +27,19 @@ val max_size : t -> int
 val append : t -> Pnp_xkern.Msg.t -> unit
 (** Take ownership of the message's bytes at the tail.
     @raise Invalid_argument if it does not fit. *)
+
+val offer : t -> Pnp_xkern.Msg.t -> [ `Queued | `Must_wait | `Dropped ]
+(** Policy-aware append.  [`Queued]: ownership taken.  [`Must_wait]
+    (Block policy): no space, message untouched — park on buffer space
+    and retry.  [`Dropped] (Drop policy): message destroyed and counted
+    in {!drops}/{!dropped_bytes}. *)
+
+val policy : t -> policy
+
+val drops : t -> int
+(** Messages shed by the Drop policy ([sockbuf_full] drops). *)
+
+val dropped_bytes : t -> int
 
 val peek : t -> off:int -> len:int -> Pnp_xkern.Msg.t
 (** A new message viewing bytes [off, off+len) of the buffered stream

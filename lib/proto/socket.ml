@@ -44,7 +44,14 @@ let connect plat pool tcp ~local_port ~remote_addr ~remote_port =
   of_session plat pool sess
 
 let send t msg = Tcp.send t.sess msg
-let send_string t s = send t (Msg.of_string t.pool s)
+
+(* Admission control at the application boundary: park for mnode headroom
+   BEFORE allocating the message.  Without this a storm of senders can
+   exhaust the pool with freshly built messages that [Tcp.send]'s own
+   admission check never gets to see.  No-op on unbounded pools. *)
+let send_string t s =
+  Mpool.await_headroom t.pool;
+  send t (Msg.of_string t.pool s)
 
 let rec recv t =
   if not (Queue.is_empty t.inbox) then begin

@@ -27,6 +27,10 @@ val send : t -> Pnp_xkern.Msg.t -> unit
     takes ownership of the message. *)
 
 val send_string : t -> string -> unit
+(** {!send} of a fresh message holding [s].  Parks for mnode headroom
+    {e before} allocating ({!Pnp_xkern.Mpool.await_headroom}), so a
+    storm of senders degrades into queuing instead of exhausting a
+    bounded pool. *)
 
 val recv : t -> Pnp_xkern.Msg.t option
 (** The next chunk of in-order payload, blocking until one arrives.

@@ -13,6 +13,8 @@ type config = {
   mss : int;
   rcv_wnd : int;
   snd_buf : int;
+  syn_backlog : int; (* max half-open children per listener; 0 = unbounded *)
+  sb_policy : Sockbuf.policy; (* send-buffer overflow: block or shed *)
 }
 
 let default_config =
@@ -26,6 +28,8 @@ let default_config =
     mss = 4096;
     rcv_wnd = 1 lsl 20;
     snd_buf = 1 lsl 20;
+    syn_backlog = 128;
+    sb_policy = Sockbuf.Block;
   }
 
 type stats = {
@@ -143,6 +147,11 @@ type tcb = {
   mutable dupacks : int;
   mutable open_waiter : (int -> unit) option; (* connect() blocked here *)
   mutable sb_waiters : (int -> unit) list; (* send() blocked on buffer space *)
+  (* SYN backlog: on a listener, how many children sit in Syn_received;
+     on a child, whether it currently occupies one of its listener's
+     backlog slots. *)
+  mutable syn_pending : int;
+  mutable syn_counted : bool;
 }
 
 module Conn_key = struct
@@ -170,6 +179,7 @@ type t = {
   mutable timers_running : bool;
   mutable shutdown : bool;
   mutable cksum_failures : int; (* segments discarded by checksum verification *)
+  mutable syn_backlog_drops : int; (* SYNs shed by a full listener backlog *)
 }
 
 and session = {
@@ -329,7 +339,7 @@ let fresh_tcb t =
     snd_wnd = 0;
     snd_cwnd = t.cfg.mss;
     snd_ssthresh = 1 lsl 30;
-    sb = Sockbuf.create t.pool ~max:t.cfg.snd_buf;
+    sb = Sockbuf.create ~policy:t.cfg.sb_policy t.pool ~max:t.cfg.snd_buf;
     fin_queued = false;
     fin_sent = false;
     irs = 0;
@@ -351,6 +361,8 @@ let fresh_tcb t =
     dupacks = 0;
     open_waiter = None;
     sb_waiters = [];
+    syn_pending = 0;
+    syn_counted = false;
   }
 
 let fresh_session t key =
@@ -630,26 +642,39 @@ let process_ack sess ~ack ~now acc =
   end
 
 (* Retransmit one segment from the front of the window (timeout or fast
-   retransmit).  Caller holds send-state locks. *)
+   retransmit).  Caller holds send-state locks.  In the opening states the
+   front of the window is the SYN (or SYN-ACK) itself: re-emitting it is
+   what keeps handshakes live across a lossy link or a backlog drop —
+   without it a single lost SYN wedges the connect forever. *)
 let retransmit sess acc =
   let t = sess.proto in
   let tcb = sess.tcb in
   sess.st.rexmits <- sess.st.rexmits + 1;
   Costs.charge t.plat Costs.tcp_output_locked;
   access sess ~write:true "snd";
-  let len = min t.cfg.mss (Sockbuf.cc tcb.sb) in
-  tcb.snd_nxt <- Tcp_seq.max tcb.snd_nxt (Tcp_seq.add tcb.snd_una len);
-  if len > 0 then begin
-    let payload =
-      with_rexmt_lock sess (fun () ->
-          access sess ~write:false "sb";
-          Sockbuf.peek tcb.sb ~off:0 ~len)
-    in
-    emit sess ~flags:Tcp_wire.flag_ack ~seq:tcb.snd_una ~payload:(Some payload) acc
-  end
-  else if tcb.fin_sent then
-    emit sess ~flags:Tcp_wire.flag_fin_ack ~seq:tcb.snd_una ~payload:None acc
-  else acc
+  match tcb.state with
+  | Syn_sent ->
+    (* The caller rewound snd_nxt to snd_una (= iss); the re-emitted SYN
+       occupies that sequence slot again. *)
+    tcb.snd_nxt <- Tcp_seq.max tcb.snd_nxt (Tcp_seq.add tcb.iss 1);
+    emit sess ~flags:Tcp_wire.flag_syn ~seq:tcb.iss ~payload:None acc
+  | Syn_received ->
+    tcb.snd_nxt <- Tcp_seq.max tcb.snd_nxt (Tcp_seq.add tcb.iss 1);
+    emit sess ~flags:Tcp_wire.flag_syn_ack ~seq:tcb.iss ~payload:None acc
+  | _ ->
+    let len = min t.cfg.mss (Sockbuf.cc tcb.sb) in
+    tcb.snd_nxt <- Tcp_seq.max tcb.snd_nxt (Tcp_seq.add tcb.snd_una len);
+    if len > 0 then begin
+      let payload =
+        with_rexmt_lock sess (fun () ->
+            access sess ~write:false "sb";
+            Sockbuf.peek tcb.sb ~off:0 ~len)
+      in
+      emit sess ~flags:Tcp_wire.flag_ack ~seq:tcb.snd_una ~payload:(Some payload) acc
+    end
+    else if tcb.fin_sent then
+      emit sess ~flags:Tcp_wire.flag_fin_ack ~seq:tcb.snd_una ~payload:None acc
+    else acc
 
 (* Insert an out-of-order segment into the reassembly queue (no overlap
    merging: overlapping duplicates were trimmed by the caller, and our
@@ -884,6 +909,20 @@ let established_input sess (hdr : Tcp_wire.header) msg ~now acc deliveries =
   end
   else slow_path sess hdr msg ~now acc deliveries
 
+(* A child leaving Syn_received gives its listener's backlog slot back.
+   The listener is found through the wildcard demux entry; if it closed
+   meanwhile there is no backlog left to credit. *)
+let release_syn_slot sess =
+  let t = sess.proto in
+  let tcb = sess.tcb in
+  if tcb.syn_counted then begin
+    tcb.syn_counted <- false;
+    let lkey = { Conn_key.lport = sess.key.Conn_key.lport; raddr = 0; rport = 0 } in
+    match Conn_map.lookup t.conns lkey with
+    | Some l when l.tcb.state = Listen -> l.tcb.syn_pending <- l.tcb.syn_pending - 1
+    | _ -> ()
+  end
+
 (* Non-established states: the connection machinery. *)
 let opening_input sess (hdr : Tcp_wire.header) msg ~now acc deliveries =
   let t = sess.proto in
@@ -912,6 +951,7 @@ let opening_input sess (hdr : Tcp_wire.header) msg ~now acc deliveries =
     tcb.snd_wnd <- hdr.win;
     tcb.state <- Established;
     tcb.t_rexmt <- 0;
+    release_syn_slot sess;
     if Msg.length msg > 0 then
       (* data arrived with the handshake ack *)
       established_input sess { hdr with Tcp_wire.flags = Tcp_wire.flag_ack } msg ~now acc
@@ -926,6 +966,7 @@ let opening_input sess (hdr : Tcp_wire.header) msg ~now acc deliveries =
     (emit_ack sess acc, deliveries)
   | _ when f.Tcp_wire.rst ->
     tcb.state <- Closed;
+    release_syn_slot sess;
     Msg.destroy msg;
     (acc, deliveries)
   | Established | Fin_wait_1 | Fin_wait_2 | Close_wait | Closing | Last_ack ->
@@ -1023,6 +1064,7 @@ let handshake_syn t listener_key accept (hdr : Tcp_wire.header) ~src =
   let sess = fresh_session t key in
   let tcb = sess.tcb in
   tcb.state <- Syn_received;
+  tcb.syn_counted <- true;
   tcb.irs <- hdr.seq;
   tcb.rcv_nxt <- Tcp_seq.add hdr.seq 1;
   tcb.iss <- Tcp_seq.mask ((Atomic_ctr.incr t.iss_source * 64021) + (Ip.local_addr t.ip * 7919));
@@ -1030,6 +1072,9 @@ let handshake_syn t listener_key accept (hdr : Tcp_wire.header) ~src =
   tcb.snd_nxt <- Tcp_seq.add tcb.iss 1;
   tcb.snd_max <- tcb.snd_nxt;
   tcb.snd_wnd <- hdr.win;
+  (* A lost SYN-ACK must not wedge the child in Syn_received: arm the
+     retransmission timer so [retransmit] re-emits it. *)
+  set_rexmt_timer tcb;
   (if Sim.in_thread t.plat.Platform.sim then Lock.with_lock t.create_lock else fun f -> f ())
     (fun () ->
       Conn_map.insert t.conns key sess;
@@ -1095,7 +1140,18 @@ let input t ~src ~dst msg =
              match Conn_map.lookup t.accepting sess.key with
              | Some accept ->
                Msg.destroy msg;
-               handshake_syn t sess.key accept hdr ~src
+               if
+                 t.cfg.syn_backlog > 0
+                 && sess.tcb.syn_pending >= t.cfg.syn_backlog
+               then
+                 (* Bounded backlog (SYN-flood protection): shed the SYN
+                    as an accounted drop; the peer's SYN retransmission
+                    retries once slots free up. *)
+                 t.syn_backlog_drops <- t.syn_backlog_drops + 1
+               else begin
+                 sess.tcb.syn_pending <- sess.tcb.syn_pending + 1;
+                 handshake_syn t sess.key accept hdr ~src
+               end
              | None -> Msg.destroy msg)
            | _ ->
              end_ip_span ();
@@ -1239,6 +1295,7 @@ let create plat pool ~wheel ~ip cfg ~name =
       timers_running = false;
       shutdown = false;
       cksum_failures = 0;
+      syn_backlog_drops = 0;
     }
   in
   Ip.register ip ~proto:Tcp_wire.protocol_number (fun ~src ~dst msg ->
@@ -1314,31 +1371,46 @@ let send sess msg =
   let len = Msg.length msg in
   if len > Sockbuf.max_size tcb.sb then
     invalid_arg "Tcp.send: message larger than the send buffer";
+  (* Graceful degradation: under Block policy the application parks here
+     (outside every connection lock) while the pool sits above its soft
+     watermark, so protocol-internal transients keep their headroom.
+     Under Drop the sockbuf sheds instead — nothing blocks. *)
+  if t.cfg.sb_policy = Sockbuf.Block then Mpool.await_headroom t.pool;
   output_acquire sess;
-  (* Wait for socket-buffer space (so_snd blocking semantics). *)
-  while Sockbuf.space tcb.sb < len do
-    let registered = ref false in
-    Sim.suspend t.plat.Platform.sim (fun resume ->
-        tcb.sb_waiters <- resume :: tcb.sb_waiters;
-        registered := true;
-        output_release sess);
-    assert !registered;
-    output_acquire sess
-  done;
-  sess.st.bytes_out <- sess.st.bytes_out + len;
-  with_rexmt_lock sess (fun () ->
-      access sess ~write:true "sb";
-      Sockbuf.append tcb.sb msg);
+  (* Queue, shed, or wait for socket-buffer space (so_snd semantics). *)
+  let rec enqueue () =
+    match
+      with_rexmt_lock sess (fun () ->
+          access sess ~write:true "sb";
+          Sockbuf.offer tcb.sb msg)
+    with
+    | `Queued -> true
+    | `Dropped -> false
+    | `Must_wait ->
+      let registered = ref false in
+      Sim.suspend t.plat.Platform.sim (fun resume ->
+          tcb.sb_waiters <- resume :: tcb.sb_waiters;
+          registered := true;
+          output_release sess);
+      assert !registered;
+      output_acquire sess;
+      enqueue ()
+  in
+  let queued = enqueue () in
+  if queued then sess.st.bytes_out <- sess.st.bytes_out + len;
   output_release sess;
-  (* The data checksum pass runs here, outside every connection-state lock
-     (Section 5.1); the header is folded in at transmit time.  The Six
-     discipline instead checksums under its header lock (SICS style). *)
-  (match t.cfg.locking with
-   | One | Two ->
-     if t.cfg.checksum && not t.cfg.cksum_under_lock then
-       Membus.consume t.plat.Platform.bus ~bytes:len
-   | Six -> ());
-  pump sess
+  if queued then begin
+    (* The data checksum pass runs here, outside every connection-state
+       lock (Section 5.1); the header is folded in at transmit time.  The
+       Six discipline instead checksums under its header lock (SICS
+       style). *)
+    (match t.cfg.locking with
+     | One | Two ->
+       if t.cfg.checksum && not t.cfg.cksum_under_lock then
+         Membus.consume t.plat.Platform.bus ~bytes:len
+     | Six -> ());
+    pump sess
+  end
 
 let close sess =
   let tcb = sess.tcb in
@@ -1355,6 +1427,13 @@ let state_name sess = state_to_string sess.tcb.state
 let stats sess = sess.st
 let config t = t.cfg
 let checksum_failures t = t.cksum_failures
+let syn_backlog_drops t = t.syn_backlog_drops
+let sockbuf_drops sess = Sockbuf.drops sess.tcb.sb
+let sockbuf_dropped_bytes sess = Sockbuf.dropped_bytes sess.tcb.sb
+
+let total_sockbuf_drops t =
+  List.fold_left (fun acc s -> acc + Sockbuf.drops s.tcb.sb) 0 t.all_sessions
+
 let sessions t = t.all_sessions
 
 let lock_wait_ns sess =

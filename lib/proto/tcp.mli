@@ -47,10 +47,22 @@ type config = {
   mss : int;            (** maximum segment payload *)
   rcv_wnd : int;        (** advertised receive window (32-bit, Section 2.2) *)
   snd_buf : int;        (** send socket buffer limit *)
+  syn_backlog : int;
+      (** maximum half-open (SYN_RCVD) children per listener; a SYN that
+          arrives with the backlog full is shed as an accounted drop
+          ({!syn_backlog_drops}) and recovered by the peer's SYN
+          retransmission.  [0] disables the bound. *)
+  sb_policy : Sockbuf.policy;
+      (** send-buffer overflow policy: [Block] parks the sender (BSD
+          so_snd semantics, plus pool admission control — {!send} waits
+          for mnode headroom under pool pressure); [Drop] sheds the
+          overflowing message as an accounted [sockbuf_full] drop and
+          never blocks. *)
 }
 
 val default_config : config
-(** TCP-1, checksum on, 4096-byte MSS, 1 MB windows, no ticketing. *)
+(** TCP-1, checksum on, 4096-byte MSS, 1 MB windows, no ticketing,
+    SYN backlog 128, blocking send buffer. *)
 
 type t
 type session
@@ -119,8 +131,11 @@ val ticket_gate : session -> Pnp_engine.Gate.t
 (** The session's ordering gate (wait statistics, tickets issued). *)
 
 val send : session -> Pnp_xkern.Msg.t -> unit
-(** Queue payload and transmit as the window allows; blocks while the send
-    buffer is full.  Takes ownership of the message. *)
+(** Queue payload and transmit as the window allows.  Takes ownership of
+    the message.  Under the [Block] policy it blocks while the send
+    buffer is full and, as admission control, while the mnode pool is
+    above its soft watermark; under [Drop] it never blocks — an
+    overflowing message is destroyed and counted ({!sockbuf_drops}). *)
 
 val close : session -> unit
 (** Send FIN.  Does not block for the full close handshake. *)
@@ -134,6 +149,19 @@ val checksum_failures : t -> int
 (** Segments discarded because checksum verification failed (any locking
     discipline).  The fault-injection recovery oracle balances this
     against the corruptions the link pipeline injected. *)
+
+val syn_backlog_drops : t -> int
+(** SYNs shed because a listener's half-open backlog was full
+    ([syn_backlog] cause in the overload taxonomy). *)
+
+val sockbuf_drops : session -> int
+(** Messages shed by this session's [Drop]-policy send buffer
+    ([sockbuf_full] cause). *)
+
+val sockbuf_dropped_bytes : session -> int
+
+val total_sockbuf_drops : t -> int
+(** Sum of {!sockbuf_drops} over every session of this protocol. *)
 
 val lock_wait_ns : session -> Pnp_util.Units.ns
 (** Total time threads spent waiting on this session's state lock(s) — the

@@ -62,6 +62,21 @@ type t = {
   arena_free_n : int array;
   mutable arena_out : int; (* bytes inside arena-drawn nodes now live *)
   mutable arena_hwm : int; (* peak of [arena_out] *)
+  (* Graceful degradation: a soft high-watermark below the hard capacity.
+     Crossing it upward flips [in_pressure] and fires the admission-control
+     hook; falling back below wakes any threads parked in
+     [await_headroom].  The gap between the watermark and the hard
+     capacity is the protocol's headroom budget: admission-controlled
+     producers stop at the watermark so that protocol-internal transients
+     (header pushes, ACK emission, retransmission) never hit the hard
+     wall.  [soft = max_int] (unbounded pools) makes every check a single
+     always-false compare, so bench-path pools pay nothing. *)
+  soft : int;
+  mutable in_pressure : bool;
+  mutable pressure_entries : int;
+  mutable refusals : int; (* try_alloc calls denied at hard capacity *)
+  mutable headroom_waiters : (Pnp_util.Units.ns -> unit) list; (* LIFO; woken in reverse *)
+  mutable pressure_hook : (bool -> unit) option;
 }
 
 (* Instruction budgets: a cache hit is a couple of pointer operations; the
@@ -89,11 +104,25 @@ let trace_node t ev =
     let th = Sim.self sim in
     Trace.emit tracer ~ts:(Sim.now sim) ~tid:(Sim.tid th) ~cpu:(Sim.cpu th) ev
 
-let create ?(capacity = max_int) plat =
+let create ?(capacity = max_int) ?soft_watermark plat =
   if capacity <= 0 then invalid_arg "Mpool.create: capacity must be positive";
+  let soft =
+    match soft_watermark with
+    | Some s ->
+      if s <= 0 || s > capacity then
+        invalid_arg "Mpool.create: soft watermark out of range";
+      s
+    | None -> if capacity = max_int then max_int else max 1 (capacity / 2)
+  in
   {
     plat;
     capacity;
+    soft;
+    in_pressure = false;
+    pressure_entries = 0;
+    refusals = 0;
+    headroom_waiters = [];
+    pressure_hook = None;
     malloc_lock =
       Lock.create plat.Platform.sim plat.Platform.arch Lock.Unfair ~name:"malloc";
     caches = [||];
@@ -198,12 +227,31 @@ let global_alloc t n cls =
   end;
   fresh_node t n cls
 
+(* Pressure edges.  Both are out of line: the hot paths only pay a
+   compare-and-branch against [soft] / [in_pressure]. *)
+let enter_pressure t =
+  t.in_pressure <- true;
+  t.pressure_entries <- t.pressure_entries + 1;
+  match t.pressure_hook with Some f -> f true | None -> ()
+
+let leave_pressure t =
+  t.in_pressure <- false;
+  (match t.pressure_hook with Some f -> f false | None -> ());
+  match t.headroom_waiters with
+  | [] -> ()
+  | ws ->
+    t.headroom_waiters <- [];
+    let now = Sim.now t.plat.Platform.sim in
+    (* Registration order (the list is a LIFO): deterministic wakeups. *)
+    List.iter (fun resume -> resume now) (List.rev ws)
+
 let alloc t n =
   if n < 0 then invalid_arg "Mpool.alloc: negative size";
   if t.live >= t.capacity then
     raise (Out_of_mnodes { requested = n; live = t.live; capacity = t.capacity });
   t.allocations <- t.allocations + 1;
   t.live <- t.live + 1;
+  if (not t.in_pressure) && t.live >= t.soft then enter_pressure t;
   let cls = class_of n in
   let use_cache =
     cls < 2 && t.plat.Platform.message_caching && Sim.in_thread t.plat.Platform.sim
@@ -248,6 +296,7 @@ let decref t node =
   trace_node t (Trace.Mnode_unref { node = node.id; refs = r });
   if r = 0 then begin
     t.live <- t.live - 1;
+    if t.in_pressure && t.live < t.soft then leave_pressure t;
     let use_cache =
       node.size_class < 2
       && t.plat.Platform.message_caching
@@ -271,6 +320,32 @@ let decref t node =
       arena_recycle t node
     end
   end
+
+(* Wire-boundary allocation: a denial is an accounted drop (the NIC's
+   "no mbufs, drop the frame" path), never an exception. *)
+let try_alloc t n =
+  if t.live >= t.capacity then begin
+    t.refusals <- t.refusals + 1;
+    None
+  end
+  else Some (alloc t n)
+
+let under_pressure t = t.in_pressure
+let headroom t = if t.capacity = max_int then max_int else t.capacity - t.live
+
+(* Admission control for producers running in simulated threads: park
+   until the pool falls back below the soft watermark.  Loops because a
+   wakeup races other woken producers re-entering pressure.  Outside a
+   simulated thread (setup traffic) this is a no-op — there is nothing
+   to suspend. *)
+let rec await_headroom t =
+  if t.in_pressure && Sim.in_thread t.plat.Platform.sim then begin
+    Sim.suspend t.plat.Platform.sim (fun resume ->
+        t.headroom_waiters <- resume :: t.headroom_waiters);
+    await_headroom t
+  end
+
+let set_pressure_hook t f = t.pressure_hook <- Some f
 
 let data node = node.data
 let capacity node = Bytes.length node.data
@@ -328,6 +403,9 @@ let arena_hwm t = t.arena_hwm
 let arena_out t = t.arena_out
 
 let pool_capacity t = t.capacity
+let soft_watermark t = t.soft
+let pressure_entries t = t.pressure_entries
+let refusals t = t.refusals
 let allocations t = t.allocations
 let cache_hits t = t.cache_hits
 let global_allocations t = t.global_allocations

@@ -30,15 +30,62 @@ exception Out_of_mnodes of { requested : int; live : int; capacity : int }
     propagates out of [Sim.run] so tests can assert on exhaustion
     instead of silently growing the heap without bound. *)
 
-val create : ?capacity:int -> Pnp_engine.Platform.t -> t
+val create : ?capacity:int -> ?soft_watermark:int -> Pnp_engine.Platform.t -> t
 (** [capacity] bounds the number of simultaneously live MNodes
-    (default: unbounded).  Must be positive. *)
+    (default: unbounded).  Must be positive.
+
+    [soft_watermark] sets the graceful-degradation threshold (see
+    {!under_pressure}); it must be in [1, capacity].  Defaults to
+    [capacity / 2] for bounded pools and to "never" for unbounded ones.
+    The gap between the watermark and the hard capacity is the protocol
+    headroom budget: admission-controlled producers ({!await_headroom})
+    stop at the watermark, leaving room for protocol-internal transients
+    (header pushes, ACK emission, retransmission) that must not block. *)
 
 val alloc : t -> int -> mnode
 (** [alloc t n] returns an MNode with capacity at least [n] and reference
     count 1.
 
     @raise Out_of_mnodes when [capacity] live nodes are already out. *)
+
+val try_alloc : t -> int -> mnode option
+(** Wire-boundary variant of {!alloc}: [None] instead of raising when the
+    pool is at hard capacity, so drivers can turn allocation failure into
+    an accounted per-cause drop (a NIC dropping on mbuf exhaustion)
+    rather than an escaped exception.  Denials count in {!refusals}. *)
+
+(** {2 Graceful degradation} *)
+
+val under_pressure : t -> bool
+(** The pool is at or above its soft watermark.  Producers that can shed
+    or defer load should do so while this holds. *)
+
+val headroom : t -> int
+(** Nodes left before hard capacity ([max_int] when unbounded). *)
+
+val await_headroom : t -> unit
+(** Admission control: block the calling simulated thread until the pool
+    is below its soft watermark.  Returns immediately when not under
+    pressure or when called outside a simulated thread.  Waiters are
+    woken (in registration order) by the {!decref} that takes the pool
+    back below the watermark; a waiter on a pool that never drains is a
+    liveness stall, which the watchdog reports as a finding. *)
+
+val set_pressure_hook : t -> (bool -> unit) -> unit
+(** Admission-control hook: called with [true] when the pool crosses its
+    soft watermark upward and [false] when it falls back below.  Runs
+    synchronously inside the alloc/decref that crossed the edge, so it
+    must not block; drivers use it to start/stop shedding load. *)
+
+val soft_watermark : t -> int
+(** The pressure threshold ([max_int] when the pool never presses). *)
+
+val pressure_entries : t -> int
+(** Times the pool crossed the soft watermark upward. *)
+
+val refusals : t -> int
+(** {!try_alloc} denials at hard capacity (accounted wire-boundary
+    drops). *)
 
 val incref : t -> mnode -> unit
 val decref : t -> mnode -> unit
