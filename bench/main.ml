@@ -79,6 +79,8 @@ let tests =
            ~connections:256 ~steering:Pnp_driver.Steer.Last_sender ~demux_shards:64
            ~procs:4 ~warmup:quickest.Pnp_figures.Opts.warmup
            ~measure:quickest.Pnp_figures.Opts.measure ());
+      point "ext-scr:scr-recv"
+        (cfg_point ~side:Config.Recv ~tcp_locking:Pnp_proto.Tcp.Scr ());
     ]
 
 let run_bechamel () =

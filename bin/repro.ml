@@ -198,8 +198,17 @@ let run_cmd =
   in
   let tcp_locking =
     enum_arg "tcp-locking"
-      [ ("1", Pnp_proto.Tcp.One); ("2", Pnp_proto.Tcp.Two); ("6", Pnp_proto.Tcp.Six) ]
-      Pnp_proto.Tcp.One "Locking granularity: TCP-$(docv)."
+      [
+        ("1", Pnp_proto.Tcp.One);
+        ("2", Pnp_proto.Tcp.Two);
+        ("6", Pnp_proto.Tcp.Six);
+        ("scr", Pnp_proto.Tcp.Scr);
+        ("rcu", Pnp_proto.Tcp.Rcu);
+      ]
+      Pnp_proto.Tcp.One
+      "Per-connection parallelization: lock granularity TCP-$(b,1)/$(b,2)/$(b,6), \
+       $(b,scr) (state-compute replication: log replay instead of locking) or \
+       $(b,rcu) (writer lock + lock-free snapshot readers)."
   in
   let connections =
     Arg.(value & opt int 1 & info [ "connections" ] ~doc:"Simultaneous connections.")
@@ -398,6 +407,21 @@ let check_cmd =
       ("steering", "tcp-recv steer=last-sender shards=8 maplock=off", None,
        scenario ~steering:Pnp_driver.Steer.Last_sender ~map_locking:false
          ~demux_shards:8 ~connections:256 ());
+      (* State-compute replication holds no connection lock at all: every
+         apply-section access must be covered by the synthetic per-log
+         lock (lockset) and the append->apply->apply channel (HB), so a
+         clean run here is the checkers signing off on the discipline.
+         The send side under loss drives retransmission through the
+         deferred-charge output sections too. *)
+      ("ext-scr", "tcp-recv locking=scr mutex", None,
+       scenario ~tcp_locking:Pnp_proto.Tcp.Scr ());
+      ("ext-scr", "tcp-recv locking=scr mcs conns=2", None,
+       scenario ~tcp_locking:Pnp_proto.Tcp.Scr ~lock_disc:Pnp_engine.Lock.Fifo
+         ~connections:2 ());
+      ("ext-scr", "tcp-send locking=scr mutex loss=2%", None,
+       scenario ~side:Config.Send ~tcp_locking:Pnp_proto.Tcp.Scr ~loss_rate:0.02 ());
+      ("ext-scr", "tcp-recv locking=rcu mutex", None,
+       scenario ~tcp_locking:Pnp_proto.Tcp.Rcu ());
     ]
   in
   let figs_term =

@@ -43,6 +43,12 @@ let ev_label (ev : Trace.ev) =
   | Fault_dup { copies } -> Printf.sprintf "fault dup +%d" copies
   | Fault_corrupt { off; bit } -> Printf.sprintf "fault corrupt byte %d bit %d" off bit
   | Fault_reorder { delay_ns } -> Printf.sprintf "fault reorder +%d ns" delay_ns
+  | Scr_append { log; idx } -> Printf.sprintf "scr append %s[%d]" log idx
+  | Scr_apply { log; idx } -> Printf.sprintf "scr apply %s[%d]" log idx
+  | Scr_apply_end { log; idx } -> Printf.sprintf "scr apply-end %s[%d]" log idx
+  | Scr_replay { log; upto } -> Printf.sprintf "scr replay %s upto %d" log upto
+  | Rcu_read { state } -> "rcu read " ^ state
+  | Rcu_publish { state } -> "rcu publish " ^ state
 
 let severity_label = function Error -> "error" | Warning -> "warning"
 

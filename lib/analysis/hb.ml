@@ -14,6 +14,12 @@ open Pnp_engine
                  single bus channel: a charge models a coherence
                  round-trip whose reply orders it after every earlier
                  completed transfer
+     SCR log S   release at [Scr_append] (the append publishes the entry)
+                 and at [Scr_apply_end]; acquire at [Scr_apply].  The
+                 chain append -> apply -> next apply is exactly the
+                 ordering state-compute replication relies on: entries
+                 apply in log order, each apply section after the
+                 appends it consumes and after the previous section.
 
    Two accesses to the same state race when neither happens-before the
    other.  Unlike the Eraser-style lockset checker this sees ordering
@@ -63,19 +69,28 @@ type race = {
   write_write : bool;
 }
 
+(* An SCR apply section claiming an index the trace never saw appended:
+   the replay read ahead of the appended tail, so the "entry" it applied
+   did not exist yet — the log-replay analogue of a use-before-publish
+   race.  [v_max] is the highest index appended so far (-1 if none). *)
+type violation = { v_log : string; v_idx : int; v_max : int; v_rec : Trace.record }
+
 let bus_channel = "\x00bus" (* unspellable as a lock or gate name *)
 
 (* [happened_before a vc] — did access [a] happen before the point whose
    clock is [vc]? *)
 let hb (a : access) (vc : Vc.t) = a.a_clk <= Vc.get vc a.a_tid
 
-let run ?(bus_sync = true) tracer =
+let run_full ?(bus_sync = true) tracer =
   let clocks : (int, Vc.t) Hashtbl.t = Hashtbl.create 16 in
   let channels : (string, Vc.t) Hashtbl.t = Hashtbl.create 16 in
   let exited : (int, Vc.t) Hashtbl.t = Hashtbl.create 16 in
   let forked : (int, Vc.t) Hashtbl.t = Hashtbl.create 16 in
   let cells : (string, cell) Hashtbl.t = Hashtbl.create 32 in
+  (* Per SCR log: highest index seen appended (-1 before any append). *)
+  let appended : (string, int) Hashtbl.t = Hashtbl.create 4 in
   let races = ref [] in
+  let violations = ref [] in
   let clock tid =
     match Hashtbl.find_opt clocks tid with
     | Some vc -> vc
@@ -121,6 +136,18 @@ let run ?(bus_sync = true) tracer =
         | None -> ())
       | Trace.Lock_grant { lock; _ } -> acquire tid ("L:" ^ lock)
       | Trace.Lock_release { lock; _ } -> release tid ("L:" ^ lock)
+      | Trace.Scr_append { log; idx } ->
+        let prev = Option.value ~default:(-1) (Hashtbl.find_opt appended log) in
+        if idx > prev then Hashtbl.replace appended log idx;
+        release tid ("S:" ^ log)
+      | Trace.Scr_apply { log; idx } ->
+        (* idx = -1 marks an output/timer section, which consumes no log
+           entry and cannot read ahead of the tail. *)
+        let max_app = Option.value ~default:(-1) (Hashtbl.find_opt appended log) in
+        if idx >= 0 && idx > max_app then
+          violations := { v_log = log; v_idx = idx; v_max = max_app; v_rec = r } :: !violations;
+        acquire tid ("S:" ^ log)
+      | Trace.Scr_apply_end { log; _ } -> release tid ("S:" ^ log)
       | Trace.Gate_advance { gate; _ } -> release tid ("G:" ^ gate)
       | Trace.Gate_pass { gate; _ } -> acquire tid ("G:" ^ gate)
       | Trace.Membus_charge _ when bus_sync ->
@@ -159,11 +186,13 @@ let run ?(bus_sync = true) tracer =
           c.reads <- entry :: List.filter (fun rd -> rd.a_tid <> tid) c.reads
         end
       | _ -> ());
-  List.rev !races
+  (List.rev !races, List.rev !violations)
 
+let run ?bus_sync tracer = fst (run_full ?bus_sync tracer)
 let races ?bus_sync tracer = List.map (fun r -> r.state) (run ?bus_sync tracer)
 
 let check ?bus_sync tracer =
+  let races, violations = run_full ?bus_sync tracer in
   List.map
     (fun r ->
       Finding.v ~checker:"hb-race" ~subject:r.state
@@ -174,5 +203,15 @@ let check ?bus_sync tracer =
             two accesses"
            (if r.write_write then "writes" else "read/write pair")
            r.first.Trace.tid r.second.Trace.tid))
-    (run ?bus_sync tracer)
+    races
+  @ List.map
+      (fun v ->
+        Finding.v ~checker:"hb-race" ~subject:v.v_log ~witnesses:[ v.v_rec ]
+          (Printf.sprintf
+             "SCR replay read ahead of the appended tail: tid %d applied log \
+              entry %d but only entries up to %d had been appended — the \
+              append that publishes an entry must happen before the apply \
+              that consumes it"
+             v.v_rec.Trace.tid v.v_idx v.v_max))
+      violations
   |> Finding.sort

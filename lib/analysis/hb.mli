@@ -3,7 +3,9 @@
     Builds per-thread vector clocks from the ordering edges the engine
     traces — thread fork/join ([Thread_fork]/[Thread_exit]/[Thread_join]),
     lock release→acquire ([Lock_release]/[Lock_grant]), gate signal→wait
-    ([Gate_advance]/[Gate_pass]) and membus replies ([Membus_charge]) —
+    ([Gate_advance]/[Gate_pass]), membus replies ([Membus_charge]) and
+    SCR log append→apply→apply chains
+    ([Scr_append]/[Scr_apply]/[Scr_apply_end]) —
     and reports two accesses to the same state as a race when neither
     happens-before the other.
 
@@ -33,4 +35,7 @@ val races : ?bus_sync:bool -> Pnp_engine.Trace.t -> string list
 
 val check : ?bus_sync:bool -> Pnp_engine.Trace.t -> Finding.t list
 (** {!run} as findings (checker ["hb-race"]), with both access
-    witnesses. *)
+    witnesses — plus one finding per SCR log-replay violation: a
+    [Scr_apply] whose index exceeds every index the trace saw appended
+    consumed an entry that did not exist yet (replay read ahead of the
+    appended tail). *)

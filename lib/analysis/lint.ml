@@ -281,11 +281,19 @@ type matrix_row = {
    helpers), scoped holds ([Lock.with_lock], [with_*] helpers such as
    [with_rexmt_lock]/[with_send_state]).  The [with_] prefix is a
    naming convention this rule enforces backwards: lock-context helpers
-   must be named so the lexical pass can see them. *)
+   must be named so the lexical pass can see them.
+
+   Deferred-charge sections count too: [Sim.defer_begin] (and the SCR
+   wrappers [scr_section_begin]/[scr_apply_entry] built on it) opens a
+   host-atomic section in which writes are replica-local — no other
+   thread can observe the state mid-section, which is exactly the
+   guarantee a lock provides to this rule. *)
 let is_lock_token tok =
   ends_with tok ".acquire" || ends_with tok "_acquire" || tok = "with_lock"
   || ends_with tok ".with_lock"
   || starts_with tok "with_"
+  || ends_with tok "defer_begin"
+  || ends_with tok "_section_begin"
 
 (* The annotation's write flag and state-class literal.  The flag
    survives scrubbing ([~write:true] is code); the class string does

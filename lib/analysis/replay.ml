@@ -48,6 +48,17 @@ let apply ctx (r : Trace.record) =
   | Trace.Lock_release { lock; _ } ->
     let s = state ctx r.Trace.tid in
     s.locks <- remove_last lock s.locks
+  (* SCR apply sections are host-atomic and ordered by the log, so for
+     lockset purposes they behave as critical sections of one synthetic
+     per-log lock: accesses inside them are consistently protected.  The
+     channel ordering itself is Hb's job; this only keeps Eraser-style
+     classification from calling the serialized sections unprotected. *)
+  | Trace.Scr_apply { log; _ } ->
+    let s = state ctx r.Trace.tid in
+    s.locks <- s.locks @ [ ("scr:" ^ log, r) ]
+  | Trace.Scr_apply_end { log; _ } ->
+    let s = state ctx r.Trace.tid in
+    s.locks <- remove_last ("scr:" ^ log) s.locks
   | Trace.Span_begin { seq; phase = Trace.Enqueue } ->
     (state ctx r.Trace.tid).seq <- Some seq
   | _ -> ()

@@ -71,6 +71,15 @@ let become_owner t th ~grant_time =
   t.hold_start <- grant_time
 
 let acquire t =
+  if Sim.defer_active t.sim then
+    (* Deferred-charge section (SCR replay): the section re-executes code
+       that took this lock, but a replica's lock operations are local —
+       there is no cross-thread lock to contend on.  Charge the lock
+       instruction cost and skip ownership entirely; the matching
+       [release] below is a no-op.  Sections are host-atomic, so no other
+       thread can observe the skipped ownership. *)
+    Sim.delay t.sim t.acquire_ns
+  else begin
   let th = Sim.self t.sim in
   (* The lock operation itself (test-and-set / MCS swap) costs time before
      we learn the outcome; another thread may slip in during it. *)
@@ -97,6 +106,7 @@ let acquire t =
       trace t
         (Trace.Lock_grant
            { lock = t.name; waiters = List.length t.waiters; wait_ns = waited })
+  end
 
 (* Remove and return the waiter chosen by the discipline.  Unfair locks
    model the IRIX mutex: the grant goes to an arbitrary waiter. *)
@@ -140,6 +150,8 @@ let non_owner_release ~what ~lock ~owner th =
        (Sim.tid th) (Sim.thread_name th) owner_desc)
 
 let release t =
+  if Sim.defer_active t.sim then ()
+  else begin
   let th = Sim.self t.sim in
   (match t.owner with
    | Some o when o == th -> ()
@@ -165,6 +177,7 @@ let release t =
            });
     become_owner t w.th ~grant_time;
     w.resume grant_time
+  end
 
 let with_lock t f =
   acquire t;

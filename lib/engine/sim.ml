@@ -34,6 +34,11 @@ type t = {
   mutable drains : int; (* timestamps dispatched, for the batch histogram *)
   batch_hist : int array; (* bucket i = drains of i events; last = overflow *)
   mutable cur_run : int; (* events dispatched at the current timestamp *)
+  (* Deferred charging (SCR replay): while active, [delay] accumulates
+     into [defer_acc] instead of advancing the clock, and [suspend] is an
+     error — the section must be host-atomic. *)
+  mutable defer_on : bool;
+  mutable defer_acc : int;
 }
 
 type _ Effect.t += Suspend : t * ((int -> unit) -> unit) -> unit Effect.t
@@ -76,6 +81,8 @@ let create ?(seed = 42) ?batching () =
     drains = 0;
     batch_hist = Array.make 65 0;
     cur_run = 0;
+    defer_on = false;
+    defer_acc = 0;
   }
 
 let now t = t.now
@@ -235,7 +242,29 @@ let spawn t ?cpu ~name body =
 
 let in_thread t = Option.is_some t.current
 
-let suspend t register = Effect.perform (Suspend (t, register))
+let suspend t register =
+  if t.defer_on then
+    failwith "Sim.suspend: blocking operation inside a deferred-charge section";
+  Effect.perform (Suspend (t, register))
+
+(* Deferred charging: between [defer_begin] and [defer_end] every [delay]
+   (and [yield]) accumulates into a counter instead of consuming simulated
+   time, so a caller can run a whole protocol-processing section
+   host-atomically and learn its total simulated cost afterwards.  SCR
+   replay uses this to apply log entries in place and charge the stored
+   cost on the applying thread's own clock.  Sections must not block:
+   [suspend] raises while a defer is active.  Not nestable. *)
+let defer_begin t =
+  if t.defer_on then invalid_arg "Sim.defer_begin: already deferring";
+  t.defer_on <- true;
+  t.defer_acc <- 0
+
+let defer_end t =
+  if not t.defer_on then invalid_arg "Sim.defer_end: no deferred section";
+  t.defer_on <- false;
+  t.defer_acc
+
+let defer_active t = t.defer_on
 
 (* Close out the histogram entry for the timestamp being dispatched. *)
 let note_drain_end t =
@@ -275,7 +304,8 @@ let delay_fast t d =
 
 let delay t d =
   if d < 0 then invalid_arg "Sim.delay: negative duration";
-  if d = 0 then ()
+  if t.defer_on then t.defer_acc <- t.defer_acc + d
+  else if d = 0 then ()
   else if not (delay_fast t d) then
     let deadline = t.now + d in
     suspend t (fun resume -> resume deadline)
@@ -283,7 +313,8 @@ let delay t d =
 let yield t =
   (* Same fast path with d = 0: nothing else is pending at this instant,
      so yielding to nobody is a plain no-op (minus the event count). *)
-  if not (delay_fast t 0) then suspend t (fun resume -> resume t.now)
+  if t.defer_on then ()
+  else if not (delay_fast t 0) then suspend t (fun resume -> resume t.now)
 
 let stop t = t.stopping <- true
 

@@ -98,6 +98,30 @@ val yield : t -> unit
 (** Reschedule the calling thread at the current time, letting other
     pending events at this instant run first. *)
 
+(** {2 Deferred charging}
+
+    State-compute replication replays logged protocol work in place: the
+    applying thread must run a whole processing section host-atomically
+    (no interleaving with other simulated threads) while still learning
+    what the section {e would} have cost in simulated time.  Between
+    {!defer_begin} and {!defer_end}, {!delay} accumulates its durations
+    into a counter instead of advancing the clock (and {!yield} is a
+    no-op); {!defer_end} returns the accumulated nanoseconds so the
+    caller can charge them explicitly — on its own clock, or on another
+    thread's, or never (a replica replaying an entry a peer already paid
+    for).  Blocking is a programming error inside a deferred section:
+    {!suspend} raises.  Sections do not nest. *)
+
+val defer_begin : t -> unit
+(** Start accumulating {!delay} charges instead of consuming time.
+    @raise Invalid_argument if a deferred section is already active. *)
+
+val defer_end : t -> Pnp_util.Units.ns
+(** End the deferred section and return the accumulated simulated cost.
+    @raise Invalid_argument if no deferred section is active. *)
+
+val defer_active : t -> bool
+
 (** {2 Thread accessors} *)
 
 val tid : thread -> int

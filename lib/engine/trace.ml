@@ -28,6 +28,12 @@ type ev =
   | Fault_dup of { copies : int }
   | Fault_corrupt of { off : int; bit : int }
   | Fault_reorder of { delay_ns : int }
+  | Scr_append of { log : string; idx : int }
+  | Scr_apply of { log : string; idx : int }
+  | Scr_apply_end of { log : string; idx : int }
+  | Scr_replay of { log : string; upto : int }
+  | Rcu_read of { state : string }
+  | Rcu_publish of { state : string }
 
 type record = { ts : int; tid : int; cpu : int; ev : ev }
 
@@ -350,7 +356,22 @@ let to_chrome_string t =
           ~args:(Printf.sprintf "\"off\":%d,\"bit\":%d" off bit)
       | Fault_reorder { delay_ns } ->
         instant ~name:"fault reorder" ~cat:"fault" r
-          ~args:(Printf.sprintf "\"delay_ns\":%d" delay_ns))
+          ~args:(Printf.sprintf "\"delay_ns\":%d" delay_ns)
+      | Scr_append { log; idx } ->
+        instant ~name:("append " ^ log) ~cat:"scr" r
+          ~args:(Printf.sprintf "\"idx\":%d" idx)
+      | Scr_apply { log; idx } ->
+        instant ~name:("apply " ^ log) ~cat:"scr" r
+          ~args:(Printf.sprintf "\"idx\":%d" idx)
+      | Scr_apply_end { log; idx } ->
+        instant ~name:("apply-end " ^ log) ~cat:"scr" r
+          ~args:(Printf.sprintf "\"idx\":%d" idx)
+      | Scr_replay { log; upto } ->
+        instant ~name:("replay " ^ log) ~cat:"scr" r
+          ~args:(Printf.sprintf "\"upto\":%d" upto)
+      | Rcu_read { state } -> instant ~name:("rcu read " ^ state) ~cat:"rcu" r ~args:""
+      | Rcu_publish { state } ->
+        instant ~name:("rcu publish " ^ state) ~cat:"rcu" r ~args:"")
     evs;
   Buffer.add_string buf "\n]}\n";
   Buffer.contents buf

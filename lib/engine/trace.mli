@@ -89,6 +89,26 @@ type ev =
           recovery oracle demands a checksum failure accounts for it *)
   | Fault_reorder of { delay_ns : int }
       (** a frame was held back [delay_ns] so later traffic overtakes it *)
+  | Scr_append of { log : string; idx : int }
+      (** entry [idx] was appended to the SCR packet-history log — the
+          release half of the log's append→replay happens-before edge *)
+  | Scr_apply of { log : string; idx : int }
+      (** a thread began applying entry [idx] to the replicated state;
+          the acquire half of the append→replay edge.  Applying an index
+          beyond the appended tail is a replication-protocol defect the
+          happens-before checker flags directly. *)
+  | Scr_apply_end of { log : string; idx : int }
+      (** the apply section for entry [idx] finished; apply sections are
+          host-atomic, so lockset analysis treats [log] as a lock held
+          between {!Scr_apply} and {!Scr_apply_end} *)
+  | Scr_replay of { log : string; upto : int }
+      (** a replica caught its high watermark up to [upto], paying the
+          per-entry redundant-replay cost *)
+  | Rcu_read of { state : string }
+      (** a lock-free reader classified a segment as a no-op against the
+          published snapshot and answered it without the writer lock *)
+  | Rcu_publish of { state : string }
+      (** the writer published a fresh state snapshot at lock release *)
 
 type record = { ts : int; tid : int; cpu : int; ev : ev }
 

@@ -8,6 +8,7 @@ type stage =
   | Reorder of { p : float; hold_ns : int }
   | Corrupt of { p : float }
   | Jitter of { p : float; spike_ns : int }
+  | Wan_rtt of { base_ns : int; spread_ns : int }
   | Blackout of { start_ns : int; duration_ns : int; period_ns : int }
 
 type plan = { name : string; stages : stage list }
@@ -37,6 +38,12 @@ let builtin =
     ( "blackout",
       plan ~name:"blackout"
         [ Blackout { start_ns = ms 30.0; duration_ns = ms 40.0; period_ns = 0 } ] );
+    ( "wan",
+      plan ~name:"wan"
+        [
+          Wan_rtt { base_ns = ms 5.0; spread_ns = ms 20.0 };
+          Jitter { p = 0.05; spike_ns = ms 2.0 };
+        ] );
     ( "chaos",
       plan ~name:"chaos"
         [
@@ -55,8 +62,11 @@ let find name = Option.map snd (List.find_opt (fun (n, _) -> n = name) builtin)
 (* Instantiation                                                       *)
 (* ------------------------------------------------------------------ *)
 
-(* Gilbert-Elliott chain state: true = bad (bursty) state. *)
-type inst = { spec : stage; rng : Prng.t; mutable ge_bad : bool }
+(* Gilbert-Elliott chain state: true = bad (bursty) state.  [salt] is
+   drawn at instantiation for Wan_rtt stages only (0 otherwise, so the
+   PRNG streams of every pre-existing plan are untouched): the per-flow
+   base-RTT draw must depend on the seed but not on frame order. *)
+type inst = { spec : stage; rng : Prng.t; mutable ge_bad : bool; salt : int }
 
 type t = {
   source : plan;
@@ -70,6 +80,7 @@ type t = {
   mutable duplicated : int;
   mutable reordered : int;
   mutable delayed : int;
+  mutable wan_stretched : int;
 }
 
 (* Consuming stages (loss, blackout) must run before damaging/cloning
@@ -81,7 +92,7 @@ type t = {
    preserved. *)
 let consuming = function
   | Bernoulli_loss _ | Gilbert_elliott _ | Blackout _ -> true
-  | Duplicate _ | Reorder _ | Corrupt _ | Jitter _ -> false
+  | Duplicate _ | Reorder _ | Corrupt _ | Jitter _ | Wan_rtt _ -> false
 
 let normalise stages =
   List.filter consuming stages @ List.filter (fun s -> not (consuming s)) stages
@@ -92,7 +103,12 @@ let instantiate plan ~prng ~skip_bytes =
     skip_bytes;
     insts =
       List.map
-        (fun spec -> { spec; rng = Prng.split prng; ge_bad = false })
+        (fun spec ->
+          let rng = Prng.split prng in
+          let salt =
+            match spec with Wan_rtt _ -> Prng.int rng 0x3FFFFFFF | _ -> 0
+          in
+          { spec; rng; ge_bad = false; salt })
         (normalise plan.stages);
     offered = 0;
     dropped_loss = 0;
@@ -102,6 +118,7 @@ let instantiate plan ~prng ~skip_bytes =
     duplicated = 0;
     reordered = 0;
     delayed = 0;
+    wan_stretched = 0;
   }
 
 let plan_of t = t.source
@@ -138,6 +155,33 @@ let flip_one_bit t inst msg =
     Some (off, bit)
   end
   else None
+
+(* FNV-1a over the frame's flow identity: IP protocol, source and
+   destination addresses, and — when this is an unfragmented first piece
+   long enough to carry them — the transport ports.  Fields that change
+   per packet (id, ttl, length, the IP checksum) are deliberately
+   excluded, so every frame of a connection hashes alike and the WAN
+   stage's path-length draw is stable for the connection's lifetime. *)
+let flow_hash t inst msg =
+  let len = Msg.length msg in
+  let h = ref (0x811c9dc5 lxor inst.salt) in
+  let mix b = h := (!h lxor b) * 0x01000193 land 0x3FFFFFFF in
+  let byte off = if t.skip_bytes + off < len then mix (Msg.get_u8 msg (t.skip_bytes + off)) in
+  byte 9;
+  for off = 12 to 19 do
+    byte off
+  done;
+  let frag_off =
+    if t.skip_bytes + 7 < len then
+      ((Msg.get_u8 msg (t.skip_bytes + 6) lsl 8) lor Msg.get_u8 msg (t.skip_bytes + 7))
+      land 0x1fff
+    else 0
+  in
+  if frag_off = 0 then
+    for off = 20 to 23 do
+      byte off
+    done;
+  !h
 
 let in_blackout ~start_ns ~duration_ns ~period_ns now =
   now >= start_ns
@@ -203,6 +247,13 @@ let apply_stage t ~now ~on_event inst (msg, delay) =
       [ (msg, delay + spike) ]
     end
     else [ (msg, delay) ]
+  | Wan_rtt { base_ns; spread_ns } ->
+    let extra =
+      base_ns + if spread_ns > 0 then flow_hash t inst msg mod spread_ns else 0
+    in
+    t.wan_stretched <- t.wan_stretched + 1;
+    on_event (Ev_delay { delay_ns = extra });
+    [ (msg, delay + extra) ]
   | Blackout { start_ns; duration_ns; period_ns } ->
     if in_blackout ~start_ns ~duration_ns ~period_ns now then begin
       t.dropped_blackout <- t.dropped_blackout + 1;
@@ -228,3 +279,4 @@ let corrupted t = t.corrupted
 let duplicated t = t.duplicated
 let reordered t = t.reordered
 let delayed t = t.delayed
+let wan_stretched t = t.wan_stretched

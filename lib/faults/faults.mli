@@ -44,6 +44,15 @@ type stage =
   | Corrupt of { p : float }  (** flip one payload bit (checksum-detectable) *)
   | Jitter of { p : float; spike_ns : int }
       (** delay spike: add a uniform extra delay in [0, spike_ns) *)
+  | Wan_rtt of { base_ns : int; spread_ns : int }
+      (** WAN RTT distribution: every frame of a given flow is stretched
+          by the same seeded extra one-way delay in
+          [\[base_ns, base_ns + spread_ns)], drawn per connection from a
+          hash of the flow's stable header bytes (protocol, addresses,
+          ports).  Models a population of paths of different lengths —
+          per-flow base RTTs differ but each flow's delay is constant, so
+          the stage introduces no intra-flow reordering by itself; compose
+          with {!Jitter} for variance on top *)
   | Blackout of { start_ns : int; duration_ns : int; period_ns : int }
       (** drop every frame offered inside the window
           [\[start + k*period, start + k*period + duration)]; [period_ns = 0]
@@ -126,3 +135,6 @@ val reordered : t -> int
 
 val delayed : t -> int
 (** Jitter spikes applied. *)
+
+val wan_stretched : t -> int
+(** Frames stretched by a {!Wan_rtt} per-flow base delay. *)

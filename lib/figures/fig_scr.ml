@@ -1,0 +1,113 @@
+open Pnp_engine
+open Pnp_proto
+open Pnp_harness
+
+(* The ext-scr figure: state-compute replication vs the paper's lock
+   ladder on the TCP receive side.  Per packet SCR pays
+   F + (K-1)*r — the full protocol work F plus a replay tax r for each
+   of the other K-1 threads' log entries — where the locked disciplines
+   serialize F behind the connection lock.  With r well under F the
+   redundant compute wins once the lock wait the paper measures (85-90%
+   of thread time at 8 CPUs) exceeds the replay bill, so the curves
+   cross between 2 and 4 CPUs and diverge from there.  The companion
+   tables make the trade visible: replayed-entries-per-append (the
+   redundancy factor, ~K-1 under saturation) against the locked
+   disciplines' wait share. *)
+
+let disciplines =
+  [
+    ("TCP-1", Tcp.One);
+    ("TCP-2", Tcp.Two);
+    ("TCP-6", Tcp.Six);
+    ("SCR", Tcp.Scr);
+    ("RCU", Tcp.Rcu);
+  ]
+
+let cell opts ~tcp_locking ~connections procs =
+  Opts.apply opts
+    (Config.v ~protocol:Config.Tcp ~side:Config.Recv ~payload:4096 ~checksum:true
+       ~lock_disc:Lock.Fifo ~tcp_locking ~connections ~procs ())
+
+let throughput opts ~connections =
+  List.map
+    (fun (label, tcp_locking) ->
+      Report.throughput_series ~label ~procs:(Opts.procs opts) ~seeds:opts.Opts.seeds
+        (cell opts ~tcp_locking ~connections))
+    disciplines
+
+(* The cost ledger at one connection: what SCR spends (replays per
+   appended entry, resyncs) next to what the locked ladder spends (lock
+   wait share).  Both sides of the trade in one table. *)
+let cost_series opts =
+  let metric_for label =
+    Report.metric_series ~label ~procs:(Opts.procs opts) ~seeds:opts.Opts.seeds
+  in
+  [
+    metric_for "SCR replays/append"
+      ~metric:(fun r ->
+        if r.Run.scr_appends = 0 then 0.0
+        else float_of_int r.Run.scr_replayed /. float_of_int r.Run.scr_appends)
+      (cell opts ~tcp_locking:Tcp.Scr ~connections:1);
+    metric_for "SCR resyncs"
+      ~metric:(fun r -> float_of_int r.Run.scr_resyncs)
+      (cell opts ~tcp_locking:Tcp.Scr ~connections:1);
+    metric_for "TCP-1 lock wait %"
+      ~metric:(fun r -> r.Run.lock_wait_pct)
+      (cell opts ~tcp_locking:Tcp.One ~connections:1);
+    metric_for "TCP-6 lock wait %"
+      ~metric:(fun r -> r.Run.lock_wait_pct)
+      (cell opts ~tcp_locking:Tcp.Six ~connections:1);
+  ]
+
+let scr_data opts =
+  [
+    Report.table
+      ~title:
+        "ext-scr: TCP receive throughput, lock ladder vs state-compute \
+         replication (1 connection, checksum on, MCS)"
+      ~unit_label:"Mbit/s"
+      (throughput opts ~connections:1);
+    Report.table
+      ~title:"ext-scr: the same ladder at 4 connections"
+      ~unit_label:"Mbit/s"
+      (throughput opts ~connections:4);
+    Report.table
+      ~title:"ext-scr: what each side of the trade costs (1 connection)"
+      ~unit_label:"ratio / count / %"
+      (cost_series opts);
+  ]
+
+(* Crossover summary under the throughput tables: the least processor
+   count at which SCR beats TCP-1, and the margins at the extremes. *)
+let scr_present opts tables =
+  List.iter Report.print tables;
+  match tables with
+  | t1 :: _ -> (
+    let find label =
+      List.find_opt (fun (s : Report.series) -> s.Report.label = label) t1.Report.series
+    in
+    match (find "SCR", find "TCP-1") with
+    | Some scr, Some one ->
+      let procs = Opts.procs opts in
+      let crossover =
+        List.find_opt
+          (fun p -> Report.value_at scr p > Report.value_at one p)
+          procs
+      in
+      let margin p =
+        let o = Report.value_at one p in
+        if o = 0.0 then 0.0 else 100.0 *. ((Report.value_at scr p /. o) -. 1.0)
+      in
+      let last = List.fold_left max 1 procs in
+      (match crossover with
+       | Some p ->
+         Printf.printf
+           "SCR passes TCP-1 at %d CPU%s and leads %+.1f%% at %d CPUs; at 1 CPU \
+            the margin is %+.1f%% (log appends against lock ops, nobody to \
+            wait for on either side)\n"
+           p
+           (if p = 1 then "" else "s")
+           (margin last) last (margin 1)
+       | None -> print_endline "SCR never passes TCP-1 on this sweep")
+    | _ -> ())
+  | [] -> ()

@@ -1,0 +1,8 @@
+(** The ext-scr extension figure: state-compute replication ([Tcp.Scr])
+    and the read-mostly hybrid ([Tcp.Rcu]) against the paper's lock
+    ladder (TCP-1/2/6) on the receive side, at 1 and 4 connections, with
+    a cost ledger putting SCR's replays-per-append and resyncs next to
+    the locked disciplines' lock-wait share. *)
+
+val scr_data : Opts.t -> Pnp_harness.Report.table list
+val scr_present : Opts.t -> Pnp_harness.Report.table list -> unit

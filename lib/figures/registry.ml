@@ -55,6 +55,9 @@ let all =
     entry "ext-incast"
       "Extension: overload robustness (incast fan-in, shared bottleneck)"
       Fig_incast.incast_data ~present:Fig_incast.incast_present;
+    entry "ext-scr"
+      "Extension: state-compute replication vs the lock ladder (log replay)"
+      Fig_scr.scr_data ~present:Fig_scr.scr_present;
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all

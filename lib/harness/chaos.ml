@@ -12,6 +12,7 @@ let addr_b = 0x0a000002
 type outcome = {
   plan_name : string;
   disc : Lock.discipline;
+  locking : Tcp.locking;
   bytes : int;
   tcp_done_ns : int;
   tcp_rexmits : int;
@@ -26,6 +27,13 @@ let disc_label = function
   | Lock.Unfair -> "mutex"
   | Lock.Fifo -> "mcs"
   | Lock.Barging -> "barging"
+
+let locking_label = function
+  | Tcp.One -> "tcp1"
+  | Tcp.Two -> "tcp2"
+  | Tcp.Six -> "tcp6"
+  | Tcp.Scr -> "scr"
+  | Tcp.Rcu -> "rcu"
 
 (* A deterministic printable golden stream, keyed by the seed so different
    cells exchange different bytes. *)
@@ -42,9 +50,9 @@ let caught_checksums (a : Stack.t) (b : Stack.t) =
 (* TCP world: a full blocking-socket transfer over the faulted link     *)
 (* ------------------------------------------------------------------ *)
 
-let tcp_world ~plan ~disc ~seed ~bytes ~horizon =
+let tcp_world ~plan ~disc ~tcp_locking ~seed ~bytes ~horizon =
   let plat = Platform.create ~seed ~lock_disc:disc Arch.challenge_100 in
-  let cfg = { Tcp.default_config with Tcp.mss = 1024 } in
+  let cfg = { Tcp.default_config with Tcp.mss = 1024; locking = tcp_locking } in
   let a = Stack.create plat ~tcp_config:cfg ~local_addr:addr_a () in
   let b = Stack.create plat ~tcp_config:cfg ~local_addr:addr_b () in
   (* Slow the wire down (40 Mbit/s, 200 us) so a default transfer spans
@@ -165,10 +173,11 @@ let udp_world ~plan ~disc ~seed ~datagrams ~horizon =
 (* Cells and the matrix                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let run_cell ?(bytes = 200_000) ?(datagrams = 600) ?(seed = 1) ~plan ~disc () =
+let run_cell ?(bytes = 200_000) ?(datagrams = 600) ?(seed = 1)
+    ?(tcp_locking = Tcp.One) ~plan ~disc () =
   let horizon = Units.sec 300.0 in
   let stream, tcp_link, tcp_caught, eof_at =
-    tcp_world ~plan ~disc ~seed ~bytes ~horizon
+    tcp_world ~plan ~disc ~tcp_locking ~seed ~bytes ~horizon
   in
   let udp, udp_link, udp_caught =
     udp_world ~plan ~disc ~seed ~datagrams ~horizon:(Units.sec 10.0)
@@ -181,7 +190,9 @@ let run_cell ?(bytes = 200_000) ?(datagrams = 600) ?(seed = 1) ~plan ~disc () =
   in
   let obs =
     {
-      Recovery.run = Printf.sprintf "chaos/%s/%s" plan.Faults.name (disc_label disc);
+      Recovery.run =
+        Printf.sprintf "chaos/%s/%s/%s" plan.Faults.name (disc_label disc)
+          (locking_label tcp_locking);
       streams = [ stream ];
       corruption = Some corruption;
       udp = Some udp;
@@ -190,6 +201,7 @@ let run_cell ?(bytes = 200_000) ?(datagrams = 600) ?(seed = 1) ~plan ~disc () =
   {
     plan_name = plan.Faults.name;
     disc;
+    locking = tcp_locking;
     bytes;
     tcp_done_ns = eof_at;
     tcp_rexmits = stream.Recovery.rexmits;
@@ -205,9 +217,9 @@ let passed o = o.findings = []
 let to_line o =
   let u = o.udp in
   Printf.sprintf
-    "%-8s %-6s tcp: %dB in %.3fs rexmits=%-3d link(off=%d drop=%d corr=%d dup=%d reord=%d) | \
+    "%-8s %-6s %-4s tcp: %dB in %.3fs rexmits=%-3d link(off=%d drop=%d corr=%d dup=%d reord=%d) | \
      udp: %d+%d = %d+%d+%d | cksum %d/%d | %s"
-    o.plan_name (disc_label o.disc) o.bytes
+    o.plan_name (disc_label o.disc) (locking_label o.locking) o.bytes
     (if o.tcp_done_ns < 0 then -1.0 else float_of_int o.tcp_done_ns /. 1e9)
     o.tcp_rexmits o.tcp_link.Link.offered o.tcp_link.Link.dropped
     o.tcp_link.Link.corrupted o.tcp_link.Link.duplicated o.tcp_link.Link.reordered
@@ -215,9 +227,22 @@ let to_line o =
     u.Recovery.dropped_proto o.corruption.Recovery.caught o.corruption.Recovery.injected
     (if passed o then "PASS" else "FAIL")
 
+(* The matrix's recovery-oracle SCR leg: every plan also runs with the
+   log-replay discipline under MCS, so faults (loss, dup, reorder,
+   corruption) hit the replay path and the oracle still demands a
+   byte-identical drained stream. *)
 let matrix ?bytes ?datagrams ?seed () =
-  let discs = [ Lock.Unfair; Lock.Fifo ] in
   let cells =
-    List.concat_map (fun (_, plan) -> List.map (fun disc -> (plan, disc)) discs) Faults.builtin
+    List.concat_map
+      (fun (_, plan) ->
+        [
+          (plan, Lock.Unfair, Tcp.One);
+          (plan, Lock.Fifo, Tcp.One);
+          (plan, Lock.Fifo, Tcp.Scr);
+        ])
+      Faults.builtin
   in
-  Pool.map (fun (plan, disc) -> run_cell ?bytes ?datagrams ?seed ~plan ~disc ()) cells
+  Pool.map
+    (fun (plan, disc, tcp_locking) ->
+      run_cell ?bytes ?datagrams ?seed ~plan ~disc ~tcp_locking ())
+    cells

@@ -19,6 +19,7 @@
 type outcome = {
   plan_name : string;
   disc : Pnp_engine.Lock.discipline;
+  locking : Pnp_proto.Tcp.locking;  (** TCP state-locking granularity *)
   bytes : int;  (** golden-stream length of the TCP transfer *)
   tcp_done_ns : int;  (** sim time the receiver saw EOF; [-1] = never *)
   tcp_rexmits : int;
@@ -32,16 +33,20 @@ type outcome = {
 val disc_label : Pnp_engine.Lock.discipline -> string
 (** ["mutex"], ["mcs"] or ["barging"] — matches {!Config.describe}. *)
 
+val locking_label : Pnp_proto.Tcp.locking -> string
+(** ["tcp1"], ["tcp2"], ["tcp6"], ["scr"] or ["rcu"]. *)
+
 val run_cell :
   ?bytes:int ->
   ?datagrams:int ->
   ?seed:int ->
+  ?tcp_locking:Pnp_proto.Tcp.locking ->
   plan:Pnp_faults.Faults.plan ->
   disc:Pnp_engine.Lock.discipline ->
   unit ->
   outcome
 (** Run one cell.  Defaults: 200 kB TCP transfer, 600 paced datagrams,
-    seed 1.  The TCP world's link runs at 40 Mbit/s with 200 us latency,
+    seed 1, TCP-1 state locking.  The TCP world's link runs at 40 Mbit/s with 200 us latency,
     so the default transfer takes ~50 ms of simulated time — long enough
     to straddle the built-in plans' blackout and burst windows. *)
 
@@ -53,6 +58,9 @@ val to_line : outcome -> string
 
 val matrix :
   ?bytes:int -> ?datagrams:int -> ?seed:int -> unit -> outcome list
-(** Every built-in plan x {Unfair (mutex), Fifo (MCS)}, fanned out over
-    the {!Pool} workers; the list is in plan-table order and independent
-    of the worker count. *)
+(** Every built-in plan x {Unfair (mutex), Fifo (MCS), Fifo+SCR
+    (log-replay state-compute replication)}, fanned out over the {!Pool}
+    workers; the list is in plan-table order and independent of the
+    worker count.  The SCR leg is the recovery-oracle check over the
+    replication discipline: faults must drain to a byte-identical
+    stream through the replay path too. *)

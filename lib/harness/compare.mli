@@ -1,18 +1,23 @@
 (** Cross-scenario overload comparator behind [repro compare].
 
-    Runs a fixed matrix of {!Overload} scenarios — incast clean, incast
-    under Gilbert-Elliott burst loss, incast with a bounded mnode pool
-    (admission control shedding at the boundary), and the paced
-    shared-bottleneck fairness workload clean and bursty — and lines
-    their outcomes up: goodput, Jain fairness, p50/p90/p99
-    connect-to-done latency, the named-cause drop taxonomy and the
-    oracle/watchdog verdicts.
+    Runs a data-driven matrix of {!Overload} scenarios x variants.
+    Scenarios register a workload builder (incast fan-in, paced
+    shared-bottleneck fairness); variants register knob settings along
+    two axes: the fault axis (clean link, Gilbert-Elliott burst loss, a
+    bounded mnode pool shedding at the admission boundary) and the lock
+    axis — every lock discipline (mutex / MCS / barging) crossed with
+    every TCP state-locking granularity (TCP-1/2/6 plus the SCR and RCU
+    replication disciplines).  Each row lines up goodput, Jain fairness,
+    p50/p90/p99 connect-to-done latency, the named-cause drop taxonomy
+    and the oracle/watchdog verdicts.
 
     Cells fan out over {!Pool.map} and every cell is fully seeded, so
     {!print} output and {!to_json} are byte-identical at any [-j]. *)
 
 type row = {
   label : string;              (** "scenario/variant" *)
+  lock_disc : string;          (** "mutex" | "mcs" | "barging" *)
+  tcp_locking : string;        (** "tcp1" | "tcp2" | "tcp6" | "scr" | "rcu" *)
   outcome : Overload.outcome;
   p50_ms : float;              (** connect-to-done latency percentiles over *)
   p90_ms : float;              (** completed flows ({!Report.percentile}, *)
@@ -21,9 +26,10 @@ type row = {
 
 val run : ?senders:int -> ?bytes_per_flow:int -> ?seed:int -> unit -> row list
 (** [run ()] computes the matrix: [senders] (default 32) and
-    [bytes_per_flow] (default 4096) size the three incast variants; the
+    [bytes_per_flow] (default 4096) size the incast variants; the
     bottleneck variants keep their scenario defaults (8 paced 40 kB
-    flows).  Rows come back in fixed presentation order. *)
+    flows).  Rows come back in fixed registration order, the original
+    five fault-axis labels first within each scenario. *)
 
 val passed : row list -> bool
 (** Every row's outcome has no findings. *)

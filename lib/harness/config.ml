@@ -15,6 +15,7 @@ type t = {
   lock_disc : Lock.discipline;
   map_disc : Lock.discipline;
   tcp_locking : Pnp_proto.Tcp.locking;
+  scr_log_bound : int;
   assume_in_order : bool;
   ticketing : bool;
   refcnt_mode : Atomic_ctr.mode;
@@ -48,6 +49,7 @@ let baseline =
     lock_disc = Lock.Unfair;
     map_disc = Lock.Unfair;
     tcp_locking = Pnp_proto.Tcp.One;
+    scr_log_bound = 4096;
     assume_in_order = false;
     ticketing = false;
     refcnt_mode = Atomic_ctr.Ll_sc;
@@ -74,6 +76,7 @@ let v ?(arch = baseline.arch) ?(procs = baseline.procs) ?(side = baseline.side)
     ?(protocol = baseline.protocol) ?(payload = baseline.payload)
     ?(checksum = baseline.checksum) ?(lock_disc = baseline.lock_disc)
     ?(map_disc = baseline.map_disc) ?(tcp_locking = baseline.tcp_locking)
+    ?(scr_log_bound = baseline.scr_log_bound)
     ?(assume_in_order = baseline.assume_in_order) ?(ticketing = baseline.ticketing)
     ?(refcnt_mode = baseline.refcnt_mode) ?(message_caching = baseline.message_caching)
     ?(map_locking = baseline.map_locking) ?(connections = baseline.connections)
@@ -95,6 +98,7 @@ let v ?(arch = baseline.arch) ?(procs = baseline.procs) ?(side = baseline.side)
     lock_disc;
     map_disc;
     tcp_locking;
+    scr_log_bound;
     assume_in_order;
     ticketing;
     refcnt_mode;
@@ -142,15 +146,17 @@ let canonical t =
     | Pnp_engine.Lock.Barging -> "barging"
   in
   Printf.sprintf
-    "arch=%s|procs=%d|side=%s|proto=%s|payload=%d|cksum=%b|lock=%s|map=%s|tcplk=%s|inorder=%b|ticket=%b|refs=%s|mcache=%b|maplock=%b|conns=%d|place=%s|steer=%s|dshards=%d|skew=%h|jitter=%h|offered=%s|loss=%h|cklock=%b|pres=%b|synbl=%d|poolcap=%s|warmup=%d|measure=%d|seed=%d"
+    "arch=%s|procs=%d|side=%s|proto=%s|payload=%d|cksum=%b|lock=%s|map=%s|tcplk=%s|scrlog=%d|inorder=%b|ticket=%b|refs=%s|mcache=%b|maplock=%b|conns=%d|place=%s|steer=%s|dshards=%d|skew=%h|jitter=%h|offered=%s|loss=%h|cklock=%b|pres=%b|synbl=%d|poolcap=%s|warmup=%d|measure=%d|seed=%d"
     (arch_key t.arch) t.procs (side_to_string t.side)
     (protocol_to_string t.protocol) t.payload t.checksum (disc t.lock_disc)
     (disc t.map_disc)
     (match t.tcp_locking with
      | Pnp_proto.Tcp.One -> "1"
      | Pnp_proto.Tcp.Two -> "2"
-     | Pnp_proto.Tcp.Six -> "6")
-    t.assume_in_order t.ticketing
+     | Pnp_proto.Tcp.Six -> "6"
+     | Pnp_proto.Tcp.Scr -> "scr"
+     | Pnp_proto.Tcp.Rcu -> "rcu")
+    t.scr_log_bound t.assume_in_order t.ticketing
     (match t.refcnt_mode with
      | Pnp_engine.Atomic_ctr.Ll_sc -> "llsc"
      | Pnp_engine.Atomic_ctr.Locked -> "locked")

@@ -24,6 +24,9 @@ type t = {
   lock_disc : Pnp_engine.Lock.discipline; (** connection-state locks *)
   map_disc : Pnp_engine.Lock.discipline;
   tcp_locking : Pnp_proto.Tcp.locking;
+  scr_log_bound : int;
+      (** [Scr] only: depth of the per-session packet-history log before
+          truncation (see {!Pnp_proto.Tcp.config}); default 4096 *)
   assume_in_order : bool;
   ticketing : bool;
   refcnt_mode : Pnp_engine.Atomic_ctr.mode;
@@ -92,6 +95,7 @@ val v :
   ?lock_disc:Pnp_engine.Lock.discipline ->
   ?map_disc:Pnp_engine.Lock.discipline ->
   ?tcp_locking:Pnp_proto.Tcp.locking ->
+  ?scr_log_bound:int ->
   ?assume_in_order:bool ->
   ?ticketing:bool ->
   ?refcnt_mode:Pnp_engine.Atomic_ctr.mode ->

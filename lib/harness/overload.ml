@@ -57,14 +57,22 @@ let caught_checksums (a : Stack.t) (b : Stack.t) =
    small [syn_backlog], a SYN flood); a positive value paces the joins
    for the steady shared-bottleneck fairness workload. *)
 let world ~scenario ~plan ~seed ~senders ~bytes_per_flow ~stagger_ns ~syn_backlog
-    ~sb_policy ~pool_capacity ~demux_shards ~bandwidth_mbps ~latency ~stall_ns
-    ~horizon () =
+    ~sb_policy ~pool_capacity ~demux_shards ~lock_disc ~tcp_locking ~bandwidth_mbps
+    ~latency ~stall_ns ~horizon () =
   if senders < 1 || senders > 8000 then
     invalid_arg "Overload: senders out of range (port space)";
-  let plat = Platform.create ~seed ~map_shards:demux_shards Arch.challenge_100 in
+  let plat =
+    Platform.create ~seed ~lock_disc ~map_shards:demux_shards Arch.challenge_100
+  in
   let sim = plat.Platform.sim in
   let tcp_config =
-    { Tcp.default_config with Tcp.mss = 1024; syn_backlog; sb_policy }
+    {
+      Tcp.default_config with
+      Tcp.mss = 1024;
+      syn_backlog;
+      sb_policy;
+      locking = tcp_locking;
+    }
   in
   let client =
     Stack.create plat ~tcp_config ?pool_capacity ~local_addr:client_addr ()
@@ -247,17 +255,20 @@ let default_stall_ns = Units.sec 70.0
 
 let incast ?(plan = Faults.none) ?(senders = 32) ?(bytes_per_flow = 2048) ?(seed = 1)
     ?(syn_backlog = 16) ?(sb_policy = Sockbuf.Block) ?pool_capacity
-    ?(demux_shards = 8) ?(stall_ns = default_stall_ns) ?(horizon = Units.sec 600.0) () =
+    ?(demux_shards = 8) ?(lock_disc = Lock.Unfair) ?(tcp_locking = Tcp.One)
+    ?(stall_ns = default_stall_ns) ?(horizon = Units.sec 600.0) () =
   world ~scenario:"incast" ~plan ~seed ~senders ~bytes_per_flow ~stagger_ns:0
-    ~syn_backlog ~sb_policy ~pool_capacity ~demux_shards ~bandwidth_mbps:100.0
-    ~latency:(Units.us 200.0) ~stall_ns ~horizon ()
+    ~syn_backlog ~sb_policy ~pool_capacity ~demux_shards ~lock_disc ~tcp_locking
+    ~bandwidth_mbps:100.0 ~latency:(Units.us 200.0) ~stall_ns ~horizon ()
 
 let shared_bottleneck ?(plan = Faults.none) ?(senders = 8) ?(bytes_per_flow = 40_000)
     ?(seed = 1) ?(syn_backlog = 128) ?(sb_policy = Sockbuf.Block) ?pool_capacity
-    ?(demux_shards = 1) ?(stall_ns = default_stall_ns) ?(horizon = Units.sec 600.0) () =
+    ?(demux_shards = 1) ?(lock_disc = Lock.Unfair) ?(tcp_locking = Tcp.One)
+    ?(stall_ns = default_stall_ns) ?(horizon = Units.sec 600.0) () =
   world ~scenario:"bottleneck" ~plan ~seed ~senders ~bytes_per_flow
     ~stagger_ns:(Units.ms 2.0) ~syn_backlog ~sb_policy ~pool_capacity ~demux_shards
-    ~bandwidth_mbps:40.0 ~latency:(Units.us 200.0) ~stall_ns ~horizon ()
+    ~lock_disc ~tcp_locking ~bandwidth_mbps:40.0 ~latency:(Units.us 200.0) ~stall_ns
+    ~horizon ()
 
 let passed o = o.findings = []
 

@@ -63,6 +63,8 @@ val incast :
   ?sb_policy:Pnp_proto.Sockbuf.policy ->
   ?pool_capacity:int ->
   ?demux_shards:int ->
+  ?lock_disc:Pnp_engine.Lock.discipline ->
+  ?tcp_locking:Pnp_proto.Tcp.locking ->
   ?stall_ns:Pnp_util.Units.ns ->
   ?horizon:Pnp_util.Units.ns ->
   unit ->
@@ -73,7 +75,11 @@ val incast :
     retransmission — then each pushes [bytes_per_flow] (default 2048)
     over the shared 100 Mbit/s link.  [demux_shards] (default 8) sizes
     the server's sharded demux map; [pool_capacity] (default unbounded)
-    turns on mnode admission control. *)
+    turns on mnode admission control.  [lock_disc] (default unfair
+    mutex) and [tcp_locking] (default TCP-1) pick the lock discipline
+    and the per-connection parallelization for both stacks, so the
+    overload matrix can sweep the lock ladder and the SCR/RCU
+    disciplines ({!Compare}). *)
 
 val shared_bottleneck :
   ?plan:Pnp_faults.Faults.plan ->
@@ -84,6 +90,8 @@ val shared_bottleneck :
   ?sb_policy:Pnp_proto.Sockbuf.policy ->
   ?pool_capacity:int ->
   ?demux_shards:int ->
+  ?lock_disc:Pnp_engine.Lock.discipline ->
+  ?tcp_locking:Pnp_proto.Tcp.locking ->
   ?stall_ns:Pnp_util.Units.ns ->
   ?horizon:Pnp_util.Units.ns ->
   unit ->

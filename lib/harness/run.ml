@@ -15,6 +15,10 @@ type result = {
   lock_wait_pct : float;
   cache_hit_pct : float;
   gate_wait_ns : int;
+  scr_appends : int;
+  scr_replayed : int;
+  scr_resyncs : int;
+  rcu_reads : int;
 }
 
 let sender_addr = 0x0a000001
@@ -31,6 +35,8 @@ type probe = {
   cache : unit -> int * int;        (* (cache hits, allocations) *)
   gate_wait : unit -> int;
   rexmit : unit -> int * int;       (* (retransmitted segments, segments out) *)
+  scr : unit -> int * int * int;    (* (log appends, entries replayed, resyncs) *)
+  rcu : unit -> int * int;          (* (lock-free reads, snapshot publishes) *)
   p_pool : Mpool.t;                 (* the cell's allocator, for host-side
                                        arena accounting and quiescence *)
 }
@@ -74,6 +80,25 @@ let make_tcp_probe stack ?app_unique ~app_bytes ~app_packets ~peer ~gates () =
       (fun () ->
         ( sum_sessions tcp (fun s -> (Tcp.stats s).Tcp.rexmits),
           sum_sessions tcp (fun s -> (Tcp.stats s).Tcp.segs_out) ));
+    scr =
+      (fun () ->
+        List.fold_left
+          (fun (a, r, y) s ->
+            match Tcp.scr_counters s with
+            | None -> (a, r, y)
+            | Some c ->
+              ( a + c.Tcp.scr_appends,
+                r + c.Tcp.scr_replayed,
+                y + c.Tcp.scr_resyncs ))
+          (0, 0, 0) (Tcp.sessions tcp));
+    rcu =
+      (fun () ->
+        List.fold_left
+          (fun (rd, pb) s ->
+            match Tcp.rcu_counters s with
+            | None -> (rd, pb)
+            | Some (r, p) -> (rd + r, pb + p))
+          (0, 0) (Tcp.sessions tcp));
     p_pool = stack.Stack.pool;
   }
 
@@ -88,6 +113,8 @@ type snapshot = {
   s_cache : int * int;
   s_gate : int;
   s_rexmit : int * int;
+  s_scr : int * int * int;
+  s_rcu : int * int;
 }
 
 let take probe =
@@ -102,6 +129,8 @@ let take probe =
     s_cache = probe.cache ();
     s_gate = probe.gate_wait ();
     s_rexmit = probe.rexmit ();
+    s_scr = probe.scr ();
+    s_rcu = probe.rcu ();
   }
 
 (* ------------------------------------------------------------------ *)
@@ -121,6 +150,7 @@ let tcp_config (cfg : Config.t) =
     snd_buf = 1 lsl 20;
     syn_backlog = cfg.Config.syn_backlog;
     sb_policy = Pnp_proto.Sockbuf.Block;
+    scr_log_bound = cfg.Config.scr_log_bound;
   }
 
 let make_platform (cfg : Config.t) =
@@ -309,6 +339,8 @@ let setup (cfg : Config.t) plat =
       cache = (fun () -> (Mpool.cache_hits stack.Stack.pool, Mpool.allocations stack.Stack.pool));
       gate_wait = (fun () -> 0);
       rexmit = (fun () -> (0, 0));
+      scr = (fun () -> (0, 0, 0));
+      rcu = (fun () -> (0, 0));
       p_pool = stack.Stack.pool;
     }
   | Config.Udp, Config.Recv ->
@@ -357,6 +389,8 @@ let setup (cfg : Config.t) plat =
       cache = (fun () -> (Mpool.cache_hits stack.Stack.pool, Mpool.allocations stack.Stack.pool));
       gate_wait = (fun () -> 0);
       rexmit = (fun () -> (0, 0));
+      scr = (fun () -> (0, 0, 0));
+      rcu = (fun () -> (0, 0));
       p_pool = stack.Stack.pool;
     }
   | Config.Tcp, Config.Send ->
@@ -563,6 +597,16 @@ let run_gen ?(trace = false) ?stall_ns (cfg : Config.t) =
         pct (s1.s_lock_wait - s0.s_lock_wait) (cfg.Config.procs * duration);
       cache_hit_pct = percent_between s0.s_cache s1.s_cache;
       gate_wait_ns = s1.s_gate - s0.s_gate;
+      scr_appends =
+        (let a1, _, _ = s1.s_scr and a0, _, _ = s0.s_scr in
+         a1 - a0);
+      scr_replayed =
+        (let _, r1, _ = s1.s_scr and _, r0, _ = s0.s_scr in
+         r1 - r0);
+      scr_resyncs =
+        (let _, _, y1 = s1.s_scr and _, _, y0 = s0.s_scr in
+         y1 - y0);
+      rcu_reads = fst s1.s_rcu - fst s0.s_rcu;
     },
     tracer,
     match wd with None -> [] | Some w -> Watchdog.stalls w )

@@ -38,3 +38,20 @@ let tcp_reass_insert = 4200
 let tcp_reass_drain_per_seg = 1500
 let tcp_ack_locked = 2800
 let tcp_conn_setup = 6000
+
+(* State-compute replication (SCR) and the read-mostly (RCU) hybrid.
+   [scr_append] is the per-segment log-append tax (stamp + store, no
+   lock); [scr_replay_per_entry] is the redundant-compute cost a replica
+   pays to re-derive one logged entry's state delta locally — the price
+   SCR trades for never serializing on the connection lock;
+   [scr_resync] is the penalty for a replica that fell behind a log
+   truncation and must resynchronise from the authoritative snapshot.
+   [rcu_read] covers the snapshot load + no-op classification a lock-free
+   reader performs before deciding it can skip the writer lock, and
+   [rcu_publish] the snapshot copy + pointer swap the writer pays at each
+   release to keep readers current. *)
+let scr_append = 180
+let scr_replay_per_entry = 700
+let scr_resync = 2500
+let rcu_read = 600
+let rcu_publish = 120

@@ -67,3 +67,24 @@ val tcp_ack_locked : int
 
 val tcp_conn_setup : int
 (** Non-steady-state connection processing (SYN/FIN handling). *)
+
+val scr_append : int
+(** SCR: appending one segment to the packet-history log (sequence stamp
+    + store, no lock). *)
+
+val scr_replay_per_entry : int
+(** SCR: a replica re-deriving one logged entry's state delta locally —
+    the redundant compute traded for never waiting on a connection
+    lock. *)
+
+val scr_resync : int
+(** SCR: a replica whose watermark predates a log truncation
+    resynchronising from the authoritative snapshot. *)
+
+val rcu_read : int
+(** RCU hybrid: snapshot load + no-op classification on the lock-free
+    read path. *)
+
+val rcu_publish : int
+(** RCU hybrid: snapshot copy + pointer swap the writer pays at each
+    release. *)

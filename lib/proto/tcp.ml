@@ -1,7 +1,7 @@
 open Pnp_engine
 open Pnp_xkern
 
-type locking = One | Two | Six
+type locking = One | Two | Six | Scr | Rcu
 
 type config = {
   locking : locking;
@@ -15,6 +15,7 @@ type config = {
   snd_buf : int;
   syn_backlog : int; (* max half-open children per listener; 0 = unbounded *)
   sb_policy : Sockbuf.policy; (* send-buffer overflow: block or shed *)
+  scr_log_bound : int; (* SCR: packet-history log depth before truncation *)
 }
 
 let default_config =
@@ -30,6 +31,7 @@ let default_config =
     snd_buf = 1 lsl 20;
     syn_backlog = 128;
     sb_policy = Sockbuf.Block;
+    scr_log_bound = 4096;
   }
 
 type stats = {
@@ -91,6 +93,72 @@ let state_to_string = function
   | Last_ack -> "LAST_ACK"
   | Time_wait -> "TIME_WAIT"
 
+(* A segment built under connection locks, transmitted after they drop.
+   [todo] is the checksum work left for [transmit]:
+   - [Sum_and_fold]: the reference path — sum the segment and store the
+     checksum (or zero the field when checksums are off), then charge the
+     header fold;
+   - [Fold_charge]: the coalesced pure-ACK path already stored the
+     arithmetically computed checksum, but the simulated header-fold
+     charge the reference path pays in [transmit] is still owed;
+   - [Ck_done]: nothing left (Six computed it under the header-prepend
+     lock, or checksums are off and the field is already zero). *)
+type cksum_todo = Sum_and_fold | Fold_charge | Ck_done
+
+type pending = { seg : Msg.t; todo : cksum_todo }
+
+(* State-compute replication (SCR): instead of serializing threads on a
+   connection-state lock, every arriving segment is appended to a
+   per-session sequence-stamped packet-history log, and each thread's
+   state replica catches up by replaying the log tail — redundant
+   compute in place of lock waiting.  One entry per segment; the entry
+   stores the state-delta inputs (header + payload) at append time and
+   the measured apply cost plus deferred I/O once applied. *)
+type scr_entry = {
+  e_hdr : Tcp_wire.header;
+  e_msg : Msg.t;
+  mutable e_applied : bool;
+  mutable e_cost : int; (* simulated ns the apply section consumed *)
+  mutable e_out : pending list; (* segments the apply decided to send *)
+  mutable e_deliveries : Msg.t list; (* payloads the apply made in-order *)
+  mutable e_fin : bool; (* peer's FIN became in-order at this entry *)
+}
+
+type scr_log = {
+  sl_name : string;
+  sl_bound : int; (* ring capacity; history older than this truncates *)
+  sl_ring : scr_entry option array; (* slot = idx mod sl_bound *)
+  mutable sl_tail : int; (* next append index *)
+  mutable sl_applied : int; (* entries [0, sl_applied) are applied *)
+  mutable sl_trunc : int; (* entries below this were truncated away *)
+  sl_marks : (int, int) Hashtbl.t; (* per-tid replica high watermark *)
+  mutable sl_appends : int;
+  mutable sl_replayed : int; (* redundant entries replicas replayed *)
+  mutable sl_resyncs : int; (* replicas that fell behind a truncation *)
+  mutable sl_truncations : int;
+  mutable sl_max_depth : int; (* deepest live log observed *)
+}
+
+(* Read-mostly hybrid: mutating segments serialize on a writer lock that
+   publishes an immutable snapshot of the reader-visible fields at each
+   release; provably no-op segments are answered from the snapshot
+   without taking the lock at all. *)
+type rcu_snap = {
+  r_state : state;
+  r_snd_una : int;
+  r_snd_max : int;
+  r_snd_wnd : int;
+  r_snd_nxt : int;
+  r_rcv_nxt : int;
+}
+
+type rcu = {
+  ru_wr : Lock.t;
+  mutable ru_snap : rcu_snap;
+  mutable ru_reads : int; (* segments answered without the writer lock *)
+  mutable ru_publishes : int;
+}
+
 type locks =
   | L_one of Lock.t
   | L_two of { snd : Lock.t; rcv : Lock.t }
@@ -102,6 +170,8 @@ type locks =
       snd_wnd : Lock.t;
       rcv_wnd : Lock.t;
     }
+  | L_scr of scr_log
+  | L_rcu of rcu
 
 (* BSD timer scale: the slow timeout runs every 500 ms. *)
 let slowtimo_ns = Pnp_util.Units.ms 500.0
@@ -195,20 +265,6 @@ and session = {
   st : stats;
 }
 
-(* A segment built under connection locks, transmitted after they drop.
-   [todo] is the checksum work left for [transmit]:
-   - [Sum_and_fold]: the reference path — sum the segment and store the
-     checksum (or zero the field when checksums are off), then charge the
-     header fold;
-   - [Fold_charge]: the coalesced pure-ACK path already stored the
-     arithmetically computed checksum, but the simulated header-fold
-     charge the reference path pays in [transmit] is still owed;
-   - [Ck_done]: nothing left (Six computed it under the header-prepend
-     lock, or checksums are off and the field is already zero). *)
-type cksum_todo = Sum_and_fold | Fold_charge | Ck_done
-
-type pending = { seg : Msg.t; todo : cksum_todo }
-
 (* Packet-lifecycle trace spans, keyed by the segment's sequence number
    so a misordered segment's journey is visible end to end in the
    exported trace.  Guarded on the tracer so the disabled path costs one
@@ -241,7 +297,7 @@ let access sess ~write field =
 (* Locking disciplines                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let make_locks plat disc ~name = function
+let make_locks plat disc ~name ~scr_bound = function
   | One -> L_one (Lock.create plat.Platform.sim plat.Platform.arch disc ~name)
   | Two ->
     L_two
@@ -262,6 +318,39 @@ let make_locks plat disc ~name = function
         snd_wnd = mk ".swnd";
         rcv_wnd = mk ".rwnd";
       }
+  | Scr ->
+    L_scr
+      {
+        sl_name = name ^ ".log";
+        sl_bound = scr_bound;
+        sl_ring = Array.make scr_bound None;
+        sl_tail = 0;
+        sl_applied = 0;
+        sl_trunc = 0;
+        sl_marks = Hashtbl.create 8;
+        sl_appends = 0;
+        sl_replayed = 0;
+        sl_resyncs = 0;
+        sl_truncations = 0;
+        sl_max_depth = 0;
+      }
+  | Rcu ->
+    L_rcu
+      {
+        ru_wr =
+          Lock.create plat.Platform.sim plat.Platform.arch disc ~name:(name ^ ".wr");
+        ru_snap =
+          {
+            r_state = Closed;
+            r_snd_una = 0;
+            r_snd_max = 0;
+            r_snd_wnd = 0;
+            r_snd_nxt = 0;
+            r_rcv_nxt = 0;
+          };
+        ru_reads = 0;
+        ru_publishes = 0;
+      }
 
 let all_locks sess =
   match sess.locks with
@@ -269,6 +358,50 @@ let all_locks sess =
   | L_two { snd; rcv } -> [ snd; rcv ]
   | L_six { reass; rexmt; hdr_prep; hdr_rem; snd_wnd; rcv_wnd } ->
     [ reass; rexmt; hdr_prep; hdr_rem; snd_wnd; rcv_wnd ]
+  | L_scr _ -> []
+  | L_rcu { ru_wr; _ } -> [ ru_wr ]
+
+(* SCR/RCU synchronisation events for the analysis layer, guarded like
+   [access] so the disabled path costs one field read. *)
+let sync_trace sess ev =
+  let sim = sess.proto.plat.Platform.sim in
+  let tracer = Sim.tracer sim in
+  if Trace.enabled tracer && Sim.in_thread sim then
+    let th = Sim.self sim in
+    Trace.emit tracer ~ts:(Sim.now sim) ~tid:(Sim.tid th) ~cpu:(Sim.cpu th) ev
+
+(* An SCR host-atomic section outside the log proper (output path,
+   timers, send-buffer mutation): simulated charges accumulate while the
+   section runs without a suspension point, and the accumulated cost is
+   paid on this thread's clock once the section closes.  The index -1
+   marks a section with no log entry; lockset analysis treats the span
+   between [Scr_apply] and [Scr_apply_end] as a hold of the synthetic
+   log lock either way. *)
+let scr_section_begin sess log =
+  sync_trace sess (Trace.Scr_apply { log = log.sl_name; idx = -1 });
+  Sim.defer_begin sess.proto.plat.Platform.sim
+
+let scr_section_end sess log =
+  let cost = Sim.defer_end sess.proto.plat.Platform.sim in
+  sync_trace sess (Trace.Scr_apply_end { log = log.sl_name; idx = -1 });
+  Sim.delay sess.proto.plat.Platform.sim cost
+
+(* RCU: publish a fresh immutable snapshot of the reader-visible fields.
+   Called at every release point, while the writer lock is still held. *)
+let rcu_publish sess r =
+  let tcb = sess.tcb in
+  r.ru_snap <-
+    {
+      r_state = tcb.state;
+      r_snd_una = tcb.snd_una;
+      r_snd_max = tcb.snd_max;
+      r_snd_wnd = tcb.snd_wnd;
+      r_snd_nxt = tcb.snd_nxt;
+      r_rcv_nxt = tcb.rcv_nxt;
+    };
+  r.ru_publishes <- r.ru_publishes + 1;
+  Costs.charge sess.proto.plat Costs.rcu_publish;
+  sync_trace sess (Trace.Rcu_publish { state = sess.state_ns })
 
 (* The lock(s) guarding the receive path's serialisation point.  Header
    prediction manipulates send-side state on the receive path (the Net/2
@@ -283,6 +416,8 @@ let input_acquire sess =
   | L_six { snd_wnd; rcv_wnd; _ } ->
     Lock.acquire snd_wnd;
     Lock.acquire rcv_wnd
+  | L_scr log -> scr_section_begin sess log
+  | L_rcu r -> Lock.acquire r.ru_wr
 
 let input_release sess =
   match sess.locks with
@@ -293,6 +428,10 @@ let input_release sess =
   | L_six { snd_wnd; rcv_wnd; _ } ->
     Lock.release rcv_wnd;
     Lock.release snd_wnd
+  | L_scr log -> scr_section_end sess log
+  | L_rcu r ->
+    rcu_publish sess r;
+    Lock.release r.ru_wr
 
 (* The lock(s) guarding the send path. *)
 let output_acquire sess =
@@ -300,12 +439,18 @@ let output_acquire sess =
   | L_one l -> Lock.acquire l
   | L_two { snd; _ } -> Lock.acquire snd
   | L_six { snd_wnd; _ } -> Lock.acquire snd_wnd
+  | L_scr log -> scr_section_begin sess log
+  | L_rcu r -> Lock.acquire r.ru_wr
 
 let output_release sess =
   match sess.locks with
   | L_one l -> Lock.release l
   | L_two { snd; _ } -> Lock.release snd
   | L_six { snd_wnd; _ } -> Lock.release snd_wnd
+  | L_scr log -> scr_section_end sess log
+  | L_rcu r ->
+    rcu_publish sess r;
+    Lock.release r.ru_wr
 
 (* Six-only scoped sections; no-ops for One/Two (already covered by the
    coarser lock). *)
@@ -375,7 +520,9 @@ let fresh_session t key =
     key;
     tcb = fresh_tcb t;
     state_ns = base;
-    locks = make_locks t.plat t.plat.Platform.lock_disc ~name:base t.cfg.locking;
+    locks =
+      make_locks t.plat t.plat.Platform.lock_disc ~name:base
+        ~scr_bound:t.cfg.scr_log_bound t.cfg.locking;
     gate = Gate.create t.plat.Platform.sim t.plat.Platform.arch ~name:"tcp.order";
     sess_ref = Platform.refcnt t.plat ~name:"tcp.sess" ~init:1;
     receiver = (fun msg -> Msg.destroy msg);
@@ -421,7 +568,8 @@ let emit sess ~flags ~seq ~payload acc =
       &&
       match sess.locks with
       | L_six _ -> true
-      | L_one _ | L_two _ -> t.cfg.cksum_under_lock
+      | L_one _ | L_two _ | L_rcu _ -> t.cfg.cksum_under_lock
+      | L_scr _ -> false
     in
     with_hdr_prep sess (fun () ->
         Tcp_wire.encode_empty msg hdr ~src:(Ip.local_addr t.ip)
@@ -444,7 +592,7 @@ let emit sess ~flags ~seq ~payload acc =
           Tcp_wire.store_checksum t.plat ~src:(Ip.local_addr t.ip)
             ~dst:sess.key.Conn_key.raddr msg;
           cksummed := true
-        | (L_one _ | L_two _) when t.cfg.checksum && t.cfg.cksum_under_lock ->
+        | (L_one _ | L_two _ | L_rcu _) when t.cfg.checksum && t.cfg.cksum_under_lock ->
           (* Ablation: the unrestructured placement, checksum inside the
              connection-state lock the caller holds. *)
           Tcp_wire.store_checksum t.plat ~src:(Ip.local_addr t.ip)
@@ -976,6 +1124,205 @@ let opening_input sess (hdr : Tcp_wire.header) msg ~now acc deliveries =
     Msg.destroy msg;
     (acc, deliveries)
 
+(* ------------------------------------------------------------------ *)
+(* State-compute replication (SCR) input path                          *)
+(* ------------------------------------------------------------------ *)
+
+let scr_entry_at log idx =
+  match log.sl_ring.(idx mod log.sl_bound) with
+  | Some e -> e
+  | None -> invalid_arg "Tcp: SCR log entry missing"
+
+(* Append one segment to the packet-history log.  The append itself is
+   host-atomic (stamp + store, no suspension point), so log order is the
+   arrival order of append operations. *)
+let scr_append_entry sess log hdr msg =
+  let idx = log.sl_tail in
+  log.sl_ring.(idx mod log.sl_bound) <-
+    Some
+      {
+        e_hdr = hdr;
+        e_msg = msg;
+        e_applied = false;
+        e_cost = 0;
+        e_out = [];
+        e_deliveries = [];
+        e_fin = false;
+      };
+  log.sl_tail <- idx + 1;
+  log.sl_appends <- log.sl_appends + 1;
+  let depth = log.sl_tail - log.sl_trunc in
+  if depth > log.sl_max_depth then log.sl_max_depth <- depth;
+  sync_trace sess (Trace.Scr_append { log = log.sl_name; idx });
+  (* Bounded log: retire the history the ring is about to overwrite.
+     Entries apply in the same host event burst as their append, so
+     sl_applied trails sl_tail by at most one and truncation can never
+     discard an unapplied entry. *)
+  if log.sl_tail - log.sl_trunc > log.sl_bound then begin
+    log.sl_trunc <- log.sl_tail - log.sl_bound;
+    log.sl_truncations <- log.sl_truncations + 1
+  end;
+  idx
+
+(* Apply one log entry to the authoritative connection state as a
+   host-atomic section: simulated charges are deferred into the entry,
+   and the I/O the apply decided on (segments, deliveries, FIN verdict)
+   is stored for the entry's owner to perform on its own clock. *)
+let scr_apply_entry sess log idx =
+  let e = scr_entry_at log idx in
+  if not e.e_applied then begin
+    e.e_applied <- true;
+    sync_trace sess (Trace.Scr_apply { log = log.sl_name; idx });
+    let sim = sess.proto.plat.Platform.sim in
+    let now = Sim.now sim in
+    Sim.defer_begin sim;
+    let acc, deliveries =
+      match sess.tcb.state with
+      | Established -> established_input sess e.e_hdr e.e_msg ~now [] []
+      | _ -> opening_input sess e.e_hdr e.e_msg ~now [] []
+    in
+    e.e_out <- acc;
+    e.e_deliveries <- deliveries;
+    e.e_fin <-
+      (match sess.tcb.state with
+       | Close_wait | Closing | Last_ack | Time_wait -> true
+       | Closed -> e.e_hdr.Tcp_wire.flags.Tcp_wire.fin
+       | _ -> false);
+    e.e_cost <- Sim.defer_end sim;
+    sync_trace sess (Trace.Scr_apply_end { log = log.sl_name; idx });
+    log.sl_applied <- idx + 1
+  end
+
+(* The SCR receive path.  No connection-state lock exists: the segment
+   is appended to the log, unapplied entries are applied in log order
+   (usually just our own; a thread that overtook us during the append
+   tax may already have applied it), this thread's replica pays the
+   redundant-replay tax for entries other threads appended since its
+   last packet, and finally the entry's stored cost and I/O land on the
+   owner's clock.  With K threads, per-packet work is F + (K-1)*r
+   instead of a serialized F hold — the log-replay trade the paper's
+   lock ladder never reaches. *)
+let scr_segment_arrives sess log (hdr : Tcp_wire.header) msg =
+  let t = sess.proto in
+  let sim = t.plat.Platform.sim in
+  let tid = if Sim.in_thread sim then Sim.tid (Sim.self sim) else -1 in
+  let idx = scr_append_entry sess log hdr msg in
+  Costs.charge t.plat Costs.scr_append;
+  while log.sl_applied < log.sl_tail do
+    scr_apply_entry sess log log.sl_applied
+  done;
+  let mark =
+    match Hashtbl.find_opt log.sl_marks tid with
+    | Some m when m >= log.sl_trunc -> m
+    | Some _ ->
+      (* Fell behind a truncation: resynchronise from the authoritative
+         snapshot, then replay what the bounded log still holds. *)
+      log.sl_resyncs <- log.sl_resyncs + 1;
+      Costs.charge t.plat Costs.scr_resync;
+      log.sl_trunc
+    | None ->
+      (* Replica bootstrap: join at the current position from the
+         snapshot rather than replaying the whole surviving log. *)
+      log.sl_resyncs <- log.sl_resyncs + 1;
+      Costs.charge t.plat Costs.scr_resync;
+      idx
+  in
+  let gap = idx - mark in
+  if gap > 0 then begin
+    log.sl_replayed <- log.sl_replayed + gap;
+    Costs.charge t.plat (Costs.scr_replay_per_entry * gap);
+    sync_trace sess (Trace.Scr_replay { log = log.sl_name; upto = idx })
+  end;
+  Hashtbl.replace log.sl_marks tid (idx + 1);
+  (* Our own entry: pay its measured processing cost on this thread's
+     clock, then perform the I/O the apply deferred. *)
+  let e = scr_entry_at log idx in
+  span_begin t.plat ~seq:hdr.seq Trace.Tcp_input;
+  Sim.delay sim e.e_cost;
+  span_end t.plat ~seq:hdr.seq Trace.Tcp_input;
+  let out = e.e_out in
+  e.e_out <- [];
+  transmit sess out;
+  pump sess;
+  let deliveries = e.e_deliveries in
+  e.e_deliveries <- [];
+  span_begin t.plat ~seq:hdr.seq Trace.Upcall;
+  List.iter (fun m -> sess.receiver m) (List.rev deliveries);
+  span_end t.plat ~seq:hdr.seq Trace.Upcall;
+  if e.e_fin then sess.on_fin ()
+
+(* ------------------------------------------------------------------ *)
+(* RCU read path                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Answer a fully duplicate data segment with an ack built purely from
+   the published snapshot — no connection state is read or written. *)
+let rcu_emit_dup_ack sess snap =
+  let t = sess.proto in
+  Costs.charge t.plat Costs.tcp_ack_locked;
+  let hdr =
+    {
+      Tcp_wire.sport = sess.key.Conn_key.lport;
+      dport = sess.key.Conn_key.rport;
+      seq = snap.r_snd_nxt;
+      ack = snap.r_rcv_nxt;
+      flags = Tcp_wire.flag_ack;
+      win = sess.tcb.rcv_adv_wnd; (* immutable after creation *)
+      cksum = 0;
+    }
+  in
+  let msg = Msg.create t.pool 0 in
+  Tcp_wire.encode msg hdr;
+  sess.st.segs_out <- sess.st.segs_out + 1;
+  sess.st.acks_out <- sess.st.acks_out + 1;
+  transmit sess [ { seg = msg; todo = Sum_and_fold } ]
+
+(* The lock-free read path: process a segment without the writer lock
+   when the snapshot proves it cannot change connection state.  Two
+   provably no-op shapes qualify, both requiring an Established
+   snapshot, a plain ack (no syn/fin/rst), an unchanged window, nothing
+   in flight (snd_max = snd_una) and an old ack (ack <= snd_una):
+   - a pure stale ack (no payload) is dropped — the slow path would
+     neither mutate state nor emit anything for it;
+   - fully duplicate data (seq+len <= rcv_nxt) is dropped and re-acked
+     from the snapshot — the slow path would trim it to nothing and
+     emit the same ack.
+   Readers touch no tcb field the writer mutates, so they emit no
+   Access annotations; the snapshot swap is the synchronisation. *)
+let rcu_try_read sess r (hdr : Tcp_wire.header) msg =
+  let t = sess.proto in
+  if t.cfg.checksum && t.cfg.cksum_under_lock then false
+  else begin
+    let snap = r.ru_snap in
+    let f = hdr.Tcp_wire.flags in
+    let len = Msg.length msg in
+    if
+      snap.r_state = Established
+      && f.Tcp_wire.ack
+      && (not (f.Tcp_wire.syn || f.Tcp_wire.fin || f.Tcp_wire.rst))
+      && hdr.win = snap.r_snd_wnd
+      && snap.r_snd_max = snap.r_snd_una
+      && Tcp_seq.leq hdr.ack snap.r_snd_una
+    then
+      if len = 0 then begin
+        r.ru_reads <- r.ru_reads + 1;
+        Costs.charge t.plat Costs.rcu_read;
+        sync_trace sess (Trace.Rcu_read { state = sess.state_ns });
+        Msg.destroy msg;
+        true
+      end
+      else if Tcp_seq.leq (Tcp_seq.add hdr.seq len) snap.r_rcv_nxt then begin
+        r.ru_reads <- r.ru_reads + 1;
+        Costs.charge t.plat Costs.rcu_read;
+        sync_trace sess (Trace.Rcu_read { state = sess.state_ns });
+        Msg.destroy msg;
+        rcu_emit_dup_ack sess snap;
+        true
+      end
+      else false
+    else false
+  end
+
 let segment_arrives sess (hdr : Tcp_wire.header) msg =
   let t = sess.proto in
   let now = Sim.now t.plat.Platform.sim in
@@ -984,6 +1331,10 @@ let segment_arrives sess (hdr : Tcp_wire.header) msg =
   sess.st.segs_in <- sess.st.segs_in + 1;
   if Msg.length msg = 0 && hdr.flags.Tcp_wire.ack && not hdr.flags.Tcp_wire.syn then
     sess.st.acks_in <- sess.st.acks_in + 1;
+  match sess.locks with
+  | L_scr log -> scr_segment_arrives sess log hdr msg
+  | L_rcu r when rcu_try_read sess r hdr msg -> ()
+  | _ ->
   let is_data = Msg.length msg > 0 in
   let plat = t.plat in
   span_begin plat ~seq:hdr.seq Trace.Lock_wait;
@@ -1004,7 +1355,7 @@ let segment_arrives sess (hdr : Tcp_wire.header) msg =
      Costs.charge t.plat 200;
      Lock.release rexmt;
      Lock.release reass
-   | L_one _ | L_two _ -> ());
+   | L_one _ | L_two _ | L_scr _ | L_rcu _ -> ());
   let acc, deliveries =
     match sess.tcb.state with
     | Established -> established_input sess hdr msg ~now [] []
@@ -1100,11 +1451,11 @@ let input t ~src ~dst msg =
     in
     let cksum_ok =
       match t.cfg.locking with
-      | (One | Two) when not t.cfg.cksum_under_lock ->
+      | (One | Two | Scr | Rcu) when not t.cfg.cksum_under_lock ->
         (* Checksum outside any connection-state lock. *)
         (not t.cfg.checksum) || hdr.cksum = 0
         || Tcp_wire.verify_checksum t.plat ~src ~dst msg
-      | One | Two | Six -> true (* verified under locks below *)
+      | One | Two | Six | Scr | Rcu -> true (* verified under locks below *)
     in
     if not cksum_ok then begin
       t.cksum_failures <- t.cksum_failures + 1;
@@ -1126,7 +1477,7 @@ let input t ~src ~dst msg =
                     && not (Tcp_wire.verify_checksum t.plat ~src ~dst msg) ->
                t.cksum_failures <- t.cksum_failures + 1;
                proceed := false
-             | One | Two | Six -> ());
+             | One | Two | Six | Scr | Rcu -> ());
             if !proceed then Tcp_wire.strip msg);
         (if not !proceed then begin
            end_ip_span ();
@@ -1274,6 +1625,14 @@ let start_timers t =
 (* ------------------------------------------------------------------ *)
 
 let create plat pool ~wheel ~ip cfg ~name =
+  (match cfg.locking with
+   | Scr ->
+     if cfg.ticketing then
+       invalid_arg "Tcp: ticketing reintroduces the serialization SCR removes";
+     if cfg.cksum_under_lock then
+       invalid_arg "Tcp: cksum_under_lock requires a connection-state lock; SCR has none";
+     if cfg.scr_log_bound < 2 then invalid_arg "Tcp: scr_log_bound must be at least 2"
+   | One | Two | Six | Rcu -> ());
   let t =
     {
       plat;
@@ -1365,6 +1724,39 @@ let set_receiver sess f = sess.receiver <- f
 let set_fin_handler sess f = sess.on_fin <- f
 let ticket_gate sess = sess.gate
 
+(* Queue application data under SCR: each attempt is a host-atomic
+   deferred section whose cost is paid after it closes; a full buffer
+   suspends OUTSIDE the section (deferred sections cannot block).  The
+   failed offer and the waiter registration share one host-atomic span —
+   no suspension point separates them — so a concurrent wake cannot be
+   lost. *)
+let scr_send_enqueue sess log msg =
+  let sim = sess.proto.plat.Platform.sim in
+  let rec go () =
+    sync_trace sess (Trace.Scr_apply { log = log.sl_name; idx = -1 });
+    Sim.defer_begin sim;
+    let r =
+      with_rexmt_lock sess (fun () ->
+          access sess ~write:true "sb";
+          Sockbuf.offer sess.tcb.sb msg)
+    in
+    let cost = Sim.defer_end sim in
+    sync_trace sess (Trace.Scr_apply_end { log = log.sl_name; idx = -1 });
+    match r with
+    | `Queued ->
+      Sim.delay sim cost;
+      true
+    | `Dropped ->
+      Sim.delay sim cost;
+      false
+    | `Must_wait ->
+      Sim.suspend sim (fun resume ->
+          sess.tcb.sb_waiters <- resume :: sess.tcb.sb_waiters);
+      Sim.delay sim cost;
+      go ()
+  in
+  go ()
+
 let send sess msg =
   let t = sess.proto in
   let tcb = sess.tcb in
@@ -1376,36 +1768,50 @@ let send sess msg =
      watermark, so protocol-internal transients keep their headroom.
      Under Drop the sockbuf sheds instead — nothing blocks. *)
   if t.cfg.sb_policy = Sockbuf.Block then Mpool.await_headroom t.pool;
-  output_acquire sess;
-  (* Queue, shed, or wait for socket-buffer space (so_snd semantics). *)
-  let rec enqueue () =
-    match
-      with_rexmt_lock sess (fun () ->
-          access sess ~write:true "sb";
-          Sockbuf.offer tcb.sb msg)
-    with
-    | `Queued -> true
-    | `Dropped -> false
-    | `Must_wait ->
-      let registered = ref false in
-      Sim.suspend t.plat.Platform.sim (fun resume ->
-          tcb.sb_waiters <- resume :: tcb.sb_waiters;
-          registered := true;
-          output_release sess);
-      assert !registered;
+  let queued =
+    match sess.locks with
+    | L_scr log ->
+      let queued = scr_send_enqueue sess log msg in
+      if queued then sess.st.bytes_out <- sess.st.bytes_out + len;
+      queued
+    | _ ->
       output_acquire sess;
-      enqueue ()
+      (* Queue, shed, or wait for socket-buffer space (so_snd semantics). *)
+      let rec enqueue () =
+        match
+          with_rexmt_lock sess (fun () ->
+              access sess ~write:true "sb";
+              Sockbuf.offer tcb.sb msg)
+        with
+        | `Queued -> true
+        | `Dropped -> false
+        | `Must_wait ->
+          let registered = ref false in
+          Sim.suspend t.plat.Platform.sim (fun resume ->
+              tcb.sb_waiters <- resume :: tcb.sb_waiters;
+              registered := true;
+              (* The register callback cannot consume simulated time, so
+                 RCU releases without its (charging) snapshot publish —
+                 sound, because a failed offer mutated nothing. *)
+              match sess.locks with
+              | L_rcu r -> Lock.release r.ru_wr
+              | _ -> output_release sess);
+          assert !registered;
+          output_acquire sess;
+          enqueue ()
+      in
+      let queued = enqueue () in
+      if queued then sess.st.bytes_out <- sess.st.bytes_out + len;
+      output_release sess;
+      queued
   in
-  let queued = enqueue () in
-  if queued then sess.st.bytes_out <- sess.st.bytes_out + len;
-  output_release sess;
   if queued then begin
     (* The data checksum pass runs here, outside every connection-state
        lock (Section 5.1); the header is folded in at transmit time.  The
        Six discipline instead checksums under its header lock (SICS
        style). *)
     (match t.cfg.locking with
-     | One | Two ->
+     | One | Two | Scr | Rcu ->
        if t.cfg.checksum && not t.cfg.cksum_under_lock then
          Membus.consume t.plat.Platform.bus ~bytes:len
      | Six -> ());
@@ -1446,3 +1852,29 @@ let snd_nxt sess = sess.tcb.snd_nxt
 let rcv_nxt sess = sess.tcb.rcv_nxt
 let cwnd sess = sess.tcb.snd_cwnd
 let initial_seqs sess = (sess.tcb.iss, sess.tcb.irs)
+
+type scr_counters = {
+  scr_appends : int;
+  scr_replayed : int;
+  scr_resyncs : int;
+  scr_truncations : int;
+  scr_max_depth : int;
+}
+
+let scr_counters sess =
+  match sess.locks with
+  | L_scr l ->
+    Some
+      {
+        scr_appends = l.sl_appends;
+        scr_replayed = l.sl_replayed;
+        scr_resyncs = l.sl_resyncs;
+        scr_truncations = l.sl_truncations;
+        scr_max_depth = l.sl_max_depth;
+      }
+  | _ -> None
+
+let rcu_counters sess =
+  match sess.locks with
+  | L_rcu r -> Some (r.ru_reads, r.ru_publishes)
+  | _ -> None

@@ -6,8 +6,8 @@
     congestion avoidance, Jacobson RTT estimation, and BSD-style fast
     (200 ms) and slow (500 ms) timers driven by the timing wheel.
 
-    Three locking disciplines for per-connection state are provided
-    (Section 5.1):
+    Five per-connection parallelization disciplines are provided — the
+    paper's lock ladder (Section 5.1) plus two that step off it:
 
     - [One]: a single lock protects all connection state (the baseline,
       and the paper's winner).
@@ -17,6 +17,24 @@
       queue, the retransmission buffer, header prepend, header remove,
       send window and receive window; checksums are computed while the
       header locks are held, as in that implementation.
+    - [Scr]: state-compute replication — no connection-state lock at
+      all.  Every arriving segment is appended to a per-session
+      sequence-stamped packet-history log; entries apply to the
+      authoritative state in log order as host-atomic sections whose
+      simulated cost ([Costs] charges, lock instructions, bus traffic)
+      is measured and charged on the owning thread's clock, and each
+      thread's state replica catches up by replaying the log tail at
+      {!Pnp_proto.Costs.scr_replay_per_entry} per foreign entry instead
+      of blocking.  The log is bounded ([scr_log_bound]); a replica that
+      falls behind a truncation pays {!Pnp_proto.Costs.scr_resync}.
+      Per-packet work is F + (K-1)·r for K threads, against the locked
+      disciplines' serialized F — redundant compute traded for the lock
+      wait the paper measures at 85-90% of time at 8 CPUs.
+    - [Rcu]: a read-mostly hybrid — mutating segments serialize on a
+      writer lock that publishes an immutable snapshot of the
+      reader-visible fields at each release, and segments the snapshot
+      proves to be no-ops (stale pure acks, fully duplicate data) are
+      answered without taking any lock.
 
     Segment checksums for [One]/[Two] are computed {e outside} any
     connection-state lock, the restructuring Section 5.1 describes.
@@ -31,7 +49,7 @@
     data segment is treated as if its sequence number were the expected
     one. *)
 
-type locking = One | Two | Six
+type locking = One | Two | Six | Scr | Rcu
 
 type config = {
   locking : locking;
@@ -58,6 +76,12 @@ type config = {
           for mnode headroom under pool pressure); [Drop] sheds the
           overflowing message as an accounted [sockbuf_full] drop and
           never blocks. *)
+  scr_log_bound : int;
+      (** [Scr] only: packet-history log depth.  Older entries truncate
+          once the log outgrows this bound; a replica whose high
+          watermark predates the truncation must resynchronise from the
+          authoritative snapshot instead of replaying.  Must be at
+          least 2. *)
 }
 
 val default_config : config
@@ -174,3 +198,18 @@ val cwnd : session -> int
 
 val initial_seqs : session -> int * int
 (** (iss, irs) — initial send and receive sequence numbers. *)
+
+type scr_counters = {
+  scr_appends : int;       (** log entries appended (= segments logged) *)
+  scr_replayed : int;      (** redundant entries replicas replayed *)
+  scr_resyncs : int;       (** replica bootstraps + post-truncation resyncs *)
+  scr_truncations : int;   (** times the bounded log discarded history *)
+  scr_max_depth : int;     (** deepest live log observed *)
+}
+
+val scr_counters : session -> scr_counters option
+(** The session's SCR log counters; [None] unless [locking = Scr]. *)
+
+val rcu_counters : session -> (int * int) option
+(** [(reads, publishes)]: segments answered without the writer lock, and
+    snapshot publications; [None] unless [locking = Rcu]. *)

@@ -172,6 +172,61 @@ let test_blackout_window () =
       Alcotest.(check bool) "next period" true (fate (ms 112.0) = `Dropped);
       Alcotest.(check int) "two blackout drops" 2 (Faults.dropped_blackout t))
 
+let test_wan_rtt_per_flow () =
+  let p = plat () in
+  let pool = Mpool.create p in
+  in_sim p (fun () ->
+      let t =
+        Faults.instantiate
+          (Faults.plan [ Faults.Wan_rtt { base_ns = 1000; spread_ns = 500 } ])
+          ~prng:(Prng.create 11) ~skip_bytes:0
+      in
+      (* A minimal unfragmented "IP" frame: proto, addresses and ports at
+         their real offsets, everything else zero. *)
+      let frame ~src ~sport =
+        let m = Msg.create pool 40 in
+        for i = 0 to 39 do
+          Msg.set_u8 m i 0
+        done;
+        Msg.set_u8 m 9 6;
+        Msg.set_u8 m 12 src;
+        Msg.set_u8 m 16 99;
+        Msg.set_u8 m 20 sport;
+        m
+      in
+      let delay_of ~src ~sport =
+        match Faults.feed t ~now:0 ~on_event:(fun _ -> ()) (frame ~src ~sport) with
+        | [ (m, d) ] ->
+          Msg.destroy m;
+          d
+        | _ -> Alcotest.fail "wan stage must pass exactly one frame"
+      in
+      let d1 = delay_of ~src:1 ~sport:10 in
+      (* Same flow again, later: the draw is stable for the flow's life. *)
+      let d1' = delay_of ~src:1 ~sport:10 in
+      Alcotest.(check int) "same flow, same stretch" d1 d1';
+      List.iter
+        (fun d ->
+          Alcotest.(check bool)
+            (Printf.sprintf "stretch in [base, base+spread) (%d)" d)
+            true
+            (d >= 1000 && d < 1500))
+        [ d1 ];
+      (* Different flows draw different path lengths (a distribution, not
+         one number).  Collect several and demand spread. *)
+      let draws =
+        List.map
+          (fun (src, sport) -> delay_of ~src ~sport)
+          [ (1, 10); (2, 10); (3, 10); (1, 11); (4, 20); (5, 30) ]
+      in
+      let distinct = List.sort_uniq compare draws in
+      Alcotest.(check bool)
+        (Printf.sprintf "flows spread across the RTT distribution (%d distinct)"
+           (List.length distinct))
+        true
+        (List.length distinct >= 3);
+      Alcotest.(check int) "all stretches counted" 8 (Faults.wan_stretched t))
+
 (* ------------------------------------------------------------------ *)
 (* Recovery oracle: a seeded defect must produce findings               *)
 (* ------------------------------------------------------------------ *)
@@ -366,6 +421,8 @@ let prop_random_plans_recover =
     | Faults.Reorder { p; hold_ns } -> Printf.sprintf "reorder(%.3f,%dns)" p hold_ns
     | Faults.Corrupt { p } -> Printf.sprintf "corrupt(%.3f)" p
     | Faults.Jitter { p; spike_ns } -> Printf.sprintf "jitter(%.3f,%dns)" p spike_ns
+    | Faults.Wan_rtt { base_ns; spread_ns } ->
+      Printf.sprintf "wan(%dns,%dns)" base_ns spread_ns
     | Faults.Blackout { start_ns; duration_ns; period_ns } ->
       Printf.sprintf "blackout(%d,%d,%d)" start_ns duration_ns period_ns
   in
@@ -486,6 +543,7 @@ let suites =
           test_corrupt_spares_shared_nodes;
         Alcotest.test_case "duplicate and delays" `Quick test_duplicate_and_delays;
         Alcotest.test_case "blackout window" `Quick test_blackout_window;
+        Alcotest.test_case "wan rtt per-flow stretch" `Quick test_wan_rtt_per_flow;
       ] );
     ( "faults.oracle",
       [

@@ -295,8 +295,16 @@ let with_jobs n f =
 
 let test_compare_matrix () =
   let rows = with_jobs 1 (fun () -> Compare.run ~senders:8 ~bytes_per_flow:1024 ()) in
-  Alcotest.(check int) "five scenarios" 5 (List.length rows);
+  (* 3 + 2 fault-axis cells plus 2 x 15 lock-axis cells (3 disciplines
+     x 5 granularities on both scenarios). *)
+  Alcotest.(check int) "thirty-five cells" 35 (List.length rows);
   Alcotest.(check bool) "all pass" true (Compare.passed rows);
+  (* The first fault-axis label and its lock-axis twin are the same
+     world; the matrix labels must not lie. *)
+  let find l = List.find (fun (r : Compare.row) -> r.Compare.label = l) rows in
+  Alcotest.(check string) "baseline = mutex+tcp1"
+    (Overload.to_line (find "incast/baseline").Compare.outcome)
+    (Overload.to_line (find "incast/mutex+tcp1").Compare.outcome);
   let json = Compare.to_json rows in
   Alcotest.(check bool) "json document" true
     (String.length json > 2 && String.sub json 0 11 = "{\"compare\":");
